@@ -1,0 +1,43 @@
+"""Shared helpers for the per-table / per-figure benchmark harness.
+
+Every bench both *regenerates* its table or figure (writing the rendered
+text to ``benchmarks/results/`` and attaching headline numbers to the
+pytest-benchmark ``extra_info``) and *asserts* the paper's shape claims —
+who wins, by roughly what factor, where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_report(results_dir):
+    """Write a rendered report under benchmarks/results/<name>.txt."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n{text}")
+        return path
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive function a single time.
+
+    Model evaluations are microseconds (benchmarked normally); cycle
+    simulations take seconds, so benches wrap them with one round.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,66 @@
+"""Energy extension of Fig. 12 (§VI-C2).
+
+"Memory accesses account for most of the energy consumed by many
+computer systems.  Thus, bandwidth-efficiency is directly related to
+energy consumption."  This bench quantifies that link: joules per sorted
+GB, computed from each approach's data-movement pass count.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.energy import (
+    EnergyModel,
+    baseline_energy_per_gb,
+    bonsai_energy_per_gb,
+)
+from repro.analysis.tables import render_table
+from repro.units import GB
+
+
+def compute_energy_table():
+    size = 16 * GB
+    model = EnergyModel()
+    return {
+        # Bonsai DRAM sorter: 4 stages at this size with l = 256.
+        "Bonsai AMT(32, 256)": bonsai_energy_per_gb(size, stages=4, model=model),
+        # Implemented l = 64 sorter: 5 stages.
+        "Bonsai AMT(32, 64)": bonsai_energy_per_gb(size, stages=5, model=model),
+        # LSD radix over 32-bit keys: 4 digit passes, 2 bytes moved per
+        # byte per pass.
+        "radix sort (4 passes)": baseline_energy_per_gb(
+            size, bytes_moved_per_byte_sorted=8, model=model
+        ),
+        # Sample sort: scatter + per-bucket sort + gather ~ 3 passes.
+        "sample sort (~3 passes)": baseline_energy_per_gb(
+            size, bytes_moved_per_byte_sorted=6, model=model
+        ),
+        # Flash-based external sort (Terabyte Sort style): 7 flash trips.
+        "flash merge (7 passes)": EnergyModel().joules_per_gb(
+            size, dram_passes=0, flash_passes=7
+        ),
+    }
+
+
+def test_energy(benchmark, save_report):
+    table = run_once(benchmark, compute_energy_table)
+
+    rows = [(name, f"{joules:.2f} J/GB") for name, joules in table.items()]
+    report = render_table(
+        ("approach", "energy per sorted GB"),
+        rows,
+        title="Energy extension of Fig. 12 - data movement energy at 16 GB",
+    )
+    save_report("energy_comparison", report)
+
+    # Energy tracks pass counts: fewer stages, less energy.
+    assert table["Bonsai AMT(32, 256)"] < table["Bonsai AMT(32, 64)"]
+    # The flash path's per-byte cost dwarfs everything DRAM-resident.
+    assert table["flash merge (7 passes)"] > 5 * table["Bonsai AMT(32, 64)"]
+    # Bonsai's wide tree is within the same energy class as radix (both
+    # are pass-count-optimal families); the flash external sorter is not.
+    ratio = table["Bonsai AMT(32, 256)"] / table["radix sort (4 passes)"]
+    assert 0.8 < ratio < 1.3
+    benchmark.extra_info["bonsai_j_per_gb"] = table["Bonsai AMT(32, 256)"]

@@ -1,0 +1,61 @@
+"""Fig. 10: measured LUT utilization of various AMTs vs the resource model.
+
+The paper synthesised every AMT with p <= 32 and l <= 256 and found Eq. 8
+within 5% of Vivado's reports.  Here the structural component enumeration
+(what a synthesis report counts) plays "measured" against Eq. 8's
+closed form, over the same configuration grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_table
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import MergerArchParams
+from repro.core.validation import (
+    geometric_mean_error,
+    validate_resources,
+    worst_relative_error,
+)
+
+GRID = [
+    AmtConfig(p=p, leaves=leaves)
+    for p in (1, 2, 4, 8, 16, 32)
+    for leaves in (4, 16, 64, 256)
+]
+
+
+def run_grid():
+    platform = presets.aws_f1()
+    return validate_resources(
+        GRID, hardware=platform.hardware, arch=MergerArchParams()
+    )
+
+
+def test_fig10(benchmark, save_report):
+    points = run_once(benchmark, run_grid)
+
+    rows = [
+        (
+            point.config.describe(),
+            round(point.measured),
+            round(point.predicted),
+            f"{100 * point.relative_error:.1f}%",
+        )
+        for point in points
+    ]
+    report = render_table(
+        ("AMT", "structural LUTs", "Eq. 8 LUTs", "error"),
+        rows,
+        title="Fig. 10 - LUT utilization: structural enumeration vs Eq. 8",
+    )
+    save_report("fig10_lut_validation", report)
+
+    # Paper claim: within 5% on average; every config within ~12%
+    # (Eq. 8 deliberately over-counts couplers on 1-merger levels).
+    assert geometric_mean_error(points) < 0.08
+    assert worst_relative_error(points) < 0.12
+    benchmark.extra_info["mean_error"] = geometric_mean_error(points)

@@ -1,0 +1,72 @@
+"""Fig. 11: the DRAM sorter vs the best CPU / GPU / FPGA sorters, 4-32 GB.
+
+Regenerates the comparison at each size and checks the paper's headline
+speedups: "when sorting 32 GB data our implementation has 2.3x, 3.7x, and
+1.3x lower sorting time than the best designs on CPUs, FPGAs, and GPUs".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.charts import ascii_bar_chart
+from repro.analysis.sweeps import size_sweep
+from repro.analysis.tables import render_table
+from repro.baselines.published import PUBLISHED_SORTERS
+from repro.units import GB
+
+SIZES_GB = (4, 8, 16, 32)
+
+
+def compute_ours():
+    return size_sweep([int(size * GB) for size in SIZES_GB])
+
+
+def test_fig11(benchmark, save_report):
+    ours = run_once(benchmark, compute_ours)
+
+    paradis = PUBLISHED_SORTERS["paradis"]
+    hrs = PUBLISHED_SORTERS["hrs"]
+    samplesort = PUBLISHED_SORTERS["samplesort"]
+    rows = []
+    for size, point in zip(SIZES_GB, ours):
+        rows.append(
+            (
+                f"{size} GB",
+                paradis.at_size_gb(size),
+                hrs.at_size_gb(size),
+                samplesort.at_size_gb(size),
+                round(point["ms_per_gb"], 1),
+            )
+        )
+    report = render_table(
+        ("size", "PARADIS (CPU)", "HRS (GPU)", "SampleSort (FPGA)", "Bonsai"),
+        rows,
+        title="Fig. 11 - sorting time per GB (lower is better)",
+    )
+    chart = ascii_bar_chart(
+        ["PARADIS", "HRS", "SampleSort", "Bonsai"],
+        [
+            paradis.at_size_gb(32),
+            hrs.at_size_gb(32),
+            samplesort.at_size_gb(32),
+            ours[-1]["ms_per_gb"],
+        ],
+        title="at 32 GB (ms/GB)",
+        unit=" ms/GB",
+    )
+    save_report("fig11_dram_sorter", report + "\n" + chart)
+
+    our_32 = ours[-1]["ms_per_gb"]
+    assert paradis.at_size_gb(32) / our_32 == pytest.approx(2.3, abs=0.1)
+    assert samplesort.at_size_gb(32) / our_32 == pytest.approx(3.7, abs=0.1)
+    assert hrs.at_size_gb(32) / our_32 == pytest.approx(1.3, abs=0.1)
+    # Bonsai's per-GB latency is flat across 4-32 GB (same stage count).
+    per_gb = [point["ms_per_gb"] for point in ours]
+    assert max(per_gb) == pytest.approx(min(per_gb))
+    # Bonsai leads at every size.
+    for size, point in zip(SIZES_GB, ours):
+        for spec in (paradis, hrs, samplesort):
+            assert point["ms_per_gb"] < spec.at_size_gb(size)
+    benchmark.extra_info["speedup_cpu_32gb"] = paradis.at_size_gb(32) / our_32

@@ -1,0 +1,53 @@
+"""Fig. 12: bandwidth-efficiency at 16 GB input size.
+
+Bonsai at 8 GB/s and 32 GB/s DRAM against PARADIS / HRS / SampleSort,
+each normalised by its platform's memory bandwidth.  Headline claim:
+"3.3x better bandwidth-efficiency than any other sorter" at 8 GB/s and
+"2.25x" at 32 GB/s (we reproduce the ordering and a >= 3x lead; the
+exact paper ratios embed their measured 7.19 GB/s throughput).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.bandwidth_efficiency import efficiency_comparison
+from repro.analysis.charts import ascii_bar_chart
+from repro.analysis.tables import render_table
+
+
+def test_fig12(benchmark, save_report):
+    entries = run_once(benchmark, efficiency_comparison, 16.0)
+
+    rows = [
+        (
+            entry.name,
+            round(entry.throughput_gb_per_s, 2),
+            round(entry.bandwidth_gb_per_s, 1),
+            round(entry.efficiency, 3),
+        )
+        for entry in entries
+    ]
+    report = render_table(
+        ("sorter", "sort GB/s", "memory GB/s", "efficiency"),
+        rows,
+        title="Fig. 12 - bandwidth-efficiency at 16 GB",
+        precision=3,
+    )
+    chart = ascii_bar_chart(
+        [entry.name for entry in entries],
+        [entry.efficiency for entry in entries],
+        title="bandwidth-efficiency",
+    )
+    save_report("fig12_bandwidth_efficiency", report + "\n" + chart)
+
+    efficiency = {entry.name: entry.efficiency for entry in entries}
+    best_other = max(
+        value for name, value in efficiency.items() if not name.startswith("Bonsai")
+    )
+    assert efficiency["Bonsai 8"] / best_other > 3.0   # paper: 3.3x
+    assert efficiency["Bonsai 32"] / best_other > 2.25  # paper: 2.25x
+    # Ordering of the non-Bonsai bars: SampleSort > PARADIS > HRS.
+    assert efficiency["SampleSort"] > efficiency["PARADIS"] > efficiency["HRS"]
+    benchmark.extra_info["bonsai8_over_best"] = efficiency["Bonsai 8"] / best_other

@@ -1,0 +1,74 @@
+"""Fig. 13: latency per GB of latency-optimized Bonsai sorters across
+0.5 GB - 1 PB, with the four annotated latency steps.
+
+Shape claims under test: the curve is a staircase with steps at 2 GB
+(extra DRAM stage), past 64 GB (switch to the SSD sorter), and past the
+single-round-trip capacity of phase two (extra second-phase stage,
+x1.5), with a flat plateau between steps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.charts import ascii_line_chart
+from repro.analysis.tables import render_table
+from repro.core.scalability import ScalabilityModel
+from repro.units import GB, TB, format_bytes
+
+
+def compute_curve():
+    model = ScalabilityModel()
+    sizes = ScalabilityModel.paper_sizes()
+    return model, sizes, model.curve(sizes)
+
+
+def test_fig13(benchmark, save_report):
+    model, sizes, points = run_once(benchmark, compute_curve)
+
+    rows = [
+        (
+            format_bytes(point.total_bytes),
+            point.regime,
+            point.stages,
+            round(point.latency_ms_per_gb, 1),
+        )
+        for point in points
+    ]
+    report = render_table(
+        ("input size", "regime", "stages", "ms/GB"),
+        rows,
+        title="Fig. 13 - latency per GB across input sizes",
+    )
+    chart = ascii_line_chart(
+        [point.total_bytes for point in points],
+        {"bonsai": [point.latency_ms_per_gb for point in points]},
+        title="Fig. 13 (log x)",
+        log_x=True,
+    )
+    jumps = model.breakpoints(sizes)
+    annotations = "\n".join(
+        f"  at {format_bytes(jump['at_bytes'])}: x{jump['factor']:.2f} ({jump['cause']})"
+        for jump in jumps
+    )
+    save_report("fig13_scalability", report + "\n" + chart + "\nbreakpoints:\n" + annotations)
+
+    causes = [jump["cause"] for jump in jumps]
+    assert causes[0] == "extra stage"
+    assert causes[1] == "switch to SSD sorter"
+    assert "extra stage in second phase" in causes
+    positions = {jump["cause"]: jump["at_bytes"] for jump in jumps}
+    assert positions["extra stage"] == 2 * GB
+    assert positions["switch to SSD sorter"] == 128 * GB
+    # The second-phase step lands at the first sampled size past the
+    # 256 x 64 GB = ~16 TB single-trip capacity (paper's arrow: 32 TB).
+    assert 16 * TB < positions["extra stage in second phase"] <= 64 * TB
+    # Plateaus are flat: 4-64 GB all share one latency.
+    dram_plateau = [
+        point.latency_ms_per_gb
+        for point in points
+        if 4 * GB <= point.total_bytes <= 64 * GB
+    ]
+    assert max(dram_plateau) == pytest.approx(min(dram_plateau))
+    benchmark.extra_info["steps"] = len(jumps)

@@ -1,0 +1,93 @@
+"""Fig. 5: optimal sorting time vs off-chip memory bandwidth.
+
+Sweeps DRAM bandwidth, re-optimising the AMT configuration at each point
+(16 GB of 32-bit records), against the flat published CPU/GPU/FPGA lines
+and the I/O lower bound.  Shape claims: Bonsai tracks the lower bound
+within its stage count, adapts its configuration across the sweep, and
+overtakes every baseline once bandwidth passes a small threshold.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.charts import ascii_line_chart
+from repro.analysis.sweeps import bandwidth_sweep
+from repro.analysis.tables import render_table
+from repro.baselines.lower_bounds import io_lower_bound_seconds
+from repro.baselines.published import PUBLISHED_SORTERS
+from repro.units import GB
+
+BANDWIDTHS_GB = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512)
+SIZE_BYTES = 16 * GB
+
+
+def compute_sweep():
+    return bandwidth_sweep([b * GB for b in BANDWIDTHS_GB], total_bytes=SIZE_BYTES)
+
+
+def test_fig5(benchmark, save_report):
+    points = run_once(benchmark, compute_sweep)
+
+    baselines = {
+        "PARADIS (CPU)": PUBLISHED_SORTERS["paradis"].at_size_gb(16) * 16 / 1e3,
+        "HRS (GPU)": PUBLISHED_SORTERS["hrs"].at_size_gb(16) * 16 / 1e3,
+        "SampleSort (FPGA)": PUBLISHED_SORTERS["samplesort"].at_size_gb(16) * 16 / 1e3,
+    }
+    rows = []
+    for point in points:
+        bound = io_lower_bound_seconds(SIZE_BYTES, point["bandwidth"])
+        rows.append(
+            (
+                f"{point['bandwidth'] / GB:.0f} GB/s",
+                point["config"].describe(),
+                round(point["seconds"], 2),
+                round(bound, 2),
+            )
+        )
+    report = render_table(
+        ("DRAM bandwidth", "optimal config", "Bonsai s", "I/O bound s"),
+        rows,
+        title="Fig. 5 - optimal sorting time vs DRAM bandwidth (16 GB)",
+    )
+    chart = ascii_line_chart(
+        list(BANDWIDTHS_GB),
+        {
+            "bonsai": [p["seconds"] for p in points],
+            "io-bound": [
+                io_lower_bound_seconds(SIZE_BYTES, b * GB) for b in BANDWIDTHS_GB
+            ],
+            "paradis": [baselines["PARADIS (CPU)"]] * len(BANDWIDTHS_GB),
+            "hrs": [baselines["HRS (GPU)"]] * len(BANDWIDTHS_GB),
+        },
+        title="Fig. 5 (log-log)",
+        log_x=True,
+        log_y=True,
+    )
+    save_report("fig5_bandwidth_sweep", report + "\n" + chart)
+
+    seconds = {b: p["seconds"] for b, p in zip(BANDWIDTHS_GB, points)}
+    # Never beats the I/O bound; always within a small stage factor of it.
+    for b, point in zip(BANDWIDTHS_GB, points):
+        bound = io_lower_bound_seconds(SIZE_BYTES, b * GB)
+        assert point["seconds"] >= bound
+        # Within a small stage-count factor of the bound; at extreme
+        # bandwidths the p <= 32 compute cap (not memory) dominates and
+        # the gap widens to ~stages x (beta / (lambda p f r)).
+        assert point["seconds"] <= 16 * bound
+    # Monotone improvement with bandwidth.
+    ordered = [seconds[b] for b in BANDWIDTHS_GB]
+    assert ordered == sorted(ordered, reverse=True)
+    # Crossovers: sorting takes ~4 streamed passes, so Bonsai's curve
+    # crosses a baseline's flat line at roughly 4x that baseline's
+    # sorted-throughput — the CPU line by 16 GB/s, the GPU/FPGA lines by
+    # 32 GB/s — and leads everything comfortably from 32 GB/s up.
+    assert seconds[8] > baselines["PARADIS (CPU)"] / 2  # still contested low
+    assert seconds[16] < baselines["PARADIS (CPU)"]
+    assert seconds[32] < baselines["HRS (GPU)"]
+    assert seconds[32] < baselines["SampleSort (FPGA)"]
+    assert seconds[64] < min(baselines.values())
+    # Configuration adapts: low-beta picks small p, high-beta unrolls.
+    assert points[0]["config"].p < points[5]["config"].p
+    benchmark.extra_info["seconds_at_32GBs"] = seconds[32]

@@ -1,0 +1,90 @@
+"""§VI-D: HBM sorter validation — unrolling scales linearly.
+
+The paper could not access HBM hardware, so it validated the projection
+on DRAM banks: "we showed that two p = 16 AMTs saturate DRAM bandwidth,
+with each AMT using two DRAM banks.  We also showed that four p = 8 AMTs
+saturate DRAM bandwidth, with each AMT working independently on a single
+DRAM bank.  This demonstrates that unrolling scales both performance and
+resource utilization linearly with the unrolling amount."
+
+We rerun that experiment: simulate a single AMT at its per-bank
+bandwidth share and check the aggregate over λ AMTs reaches the full
+32 GB/s; check resource usage is exactly λ-linear.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_table
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import MergerArchParams
+from repro.core.resources import ResourceModel
+from repro.hw.tree import simulate_merge
+from repro.units import GB
+
+#: The paper's two validation points: (p, lambda) pairs saturating 32 GB/s.
+VALIDATION_POINTS = ((16, 2), (8, 4))
+
+
+def simulate_unrolled_point(p: int, lam: int) -> float:
+    """Aggregate throughput of λ AMTs, each on a β/λ bandwidth share."""
+    per_amt_bandwidth = 32 * GB / lam
+    budget = per_amt_bandwidth / 250e6  # bytes per cycle
+    rng = random.Random(p * lam)
+    runs = [sorted(rng.randrange(1, 10**9) for _ in range(2048)) for _ in range(8)]
+    _, stats = simulate_merge(
+        p=p,
+        leaves=8,
+        runs=runs,
+        read_bytes_per_cycle=budget,
+        write_bytes_per_cycle=budget,
+        check_sorted_inputs=False,
+    )
+    per_amt_bytes_per_s = stats.records_per_cycle * 4 * 250e6
+    return lam * per_amt_bytes_per_s
+
+
+def run_points():
+    return {point: simulate_unrolled_point(*point) for point in VALIDATION_POINTS}
+
+
+def test_hbm_unrolling(benchmark, save_report):
+    aggregates = run_once(benchmark, run_points)
+
+    platform = presets.aws_f1()
+    resources = ResourceModel(
+        hardware=platform.hardware, library=MergerArchParams().library
+    )
+    rows = []
+    for (p, lam), aggregate in aggregates.items():
+        single = resources.lut_usage(AmtConfig(p=p, leaves=8))
+        unrolled = resources.lut_usage(AmtConfig(p=p, leaves=8, lambda_unroll=lam))
+        rows.append(
+            (
+                f"{lam} x AMT({p}, 8)",
+                f"{aggregate / GB:.1f} GB/s",
+                round(unrolled),
+                round(unrolled / single, 2),
+            )
+        )
+    report = render_table(
+        ("configuration", "aggregate throughput", "LUTs", "LUT ratio vs single"),
+        rows,
+        title="§VI-D - unrolling scales performance and resources linearly",
+    )
+    save_report("hbm_unrolling", report)
+
+    for (p, lam), aggregate in aggregates.items():
+        # Each AMT saturates its bank share, so the aggregate reaches
+        # the full 32 GB/s within the simulator's startup transient.
+        assert aggregate > 0.85 * 32 * GB, f"{lam} x p={p}"
+        # Resource linearity is exact (§III-B).
+        single = resources.lut_usage(AmtConfig(p=p, leaves=8))
+        unrolled = resources.lut_usage(AmtConfig(p=p, leaves=8, lambda_unroll=lam))
+        assert unrolled == pytest.approx(lam * single)
+    benchmark.extra_info["aggregate_16x2"] = aggregates[(16, 2)] / GB

@@ -1,0 +1,74 @@
+"""§VI-B's accuracy claims as a standing benchmark.
+
+Performance model vs cycle simulator across a mixed configuration sweep
+(the paper's 10% band, widened to 15% at simulation scale), and the
+resource model vs structural enumeration (the paper's 5% band on
+average).  This is the regression gate for any change to the merger,
+loader, or model code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_table
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import MergerArchParams
+from repro.core.validation import (
+    geometric_mean_error,
+    validate_performance,
+    validate_resources,
+    worst_relative_error,
+)
+
+PERF_CONFIGS = [
+    AmtConfig(p=2, leaves=8),
+    AmtConfig(p=4, leaves=16),
+    AmtConfig(p=8, leaves=16),
+    AmtConfig(p=8, leaves=64),
+    AmtConfig(p=16, leaves=32),
+]
+
+RESOURCE_CONFIGS = [
+    AmtConfig(p=p, leaves=leaves)
+    for p in (2, 8, 32)
+    for leaves in (8, 64, 256)
+]
+
+
+def run_both():
+    platform = presets.aws_f1()
+    arch = MergerArchParams()
+    perf = validate_performance(
+        PERF_CONFIGS, n_records=32_768, hardware=platform.hardware, arch=arch
+    )
+    resources = validate_resources(
+        RESOURCE_CONFIGS, hardware=platform.hardware, arch=arch
+    )
+    return perf, resources
+
+
+def test_model_accuracy(benchmark, save_report):
+    perf, resources = run_once(benchmark, run_both)
+
+    rows = [
+        ("performance " + point.config.describe(), f"{100 * point.relative_error:.1f}%")
+        for point in perf
+    ] + [
+        ("resources " + point.config.describe(), f"{100 * point.relative_error:.1f}%")
+        for point in resources
+    ]
+    report = render_table(
+        ("model vs measured", "relative error"),
+        rows,
+        title="§VI-B accuracy claims (paper: 10% performance, 5% resources)",
+    )
+    save_report("model_accuracy", report)
+
+    assert worst_relative_error(perf) < 0.15
+    assert geometric_mean_error(perf) < 0.10
+    assert geometric_mean_error(resources) < 0.08
+    benchmark.extra_info["perf_mean_error"] = geometric_mean_error(perf)
+    benchmark.extra_info["resource_mean_error"] = geometric_mean_error(resources)

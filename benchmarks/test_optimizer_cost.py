@@ -1,0 +1,35 @@
+"""The optimizer's own cost: exhaustive search is cheap.
+
+§I promises reconfiguration "within hundreds of milliseconds"; for that
+to matter, picking the configuration must be far cheaper still.  This
+bench times Bonsai's full exhaustive search (the §III-C "exhaustively
+prunes all AMT configurations") — it completes in milliseconds, orders
+of magnitude under the reprogramming time it gates.
+"""
+
+from __future__ import annotations
+
+from repro.core import presets
+from repro.core.parameters import ArrayParams
+from repro.units import GB
+
+
+def test_latency_search_cost(benchmark):
+    bonsai = presets.aws_f1().bonsai()
+    array = ArrayParams.from_bytes(16 * GB)
+
+    result = benchmark(lambda: bonsai.latency_optimal(array))
+    assert result.config.p == 32
+    # The search must be negligible next to the 4.3 s reprogramming it
+    # precedes (and the paper's "hundreds of milliseconds" partial
+    # reconfiguration).
+    assert benchmark.stats["mean"] < 0.5
+
+
+def test_throughput_search_cost(benchmark):
+    bonsai = presets.ssd_node().bonsai(presort_run=256)
+    array = ArrayParams.from_bytes(8 * GB)
+
+    result = benchmark(lambda: bonsai.throughput_optimal(array))
+    assert result.config.lambda_pipe == 4
+    assert benchmark.stats["mean"] < 2.0

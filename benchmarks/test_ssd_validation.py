@@ -1,0 +1,93 @@
+"""§VI-E: SSD sorter validation under throttled bandwidth.
+
+The paper validated its SSD projections by throttling DRAM to flash
+speed: "We throttled the DRAM throughput to that of modern SSD Flash
+(8 GB/s), and run the pipeline in phase one ... The pipeline effectively
+saturates I/O bandwidth of 8 GB/s"; likewise phase two's AMT(8, 256)
+"operates at 8 GB/s".  We rerun both checks against the model and the
+cycle simulator, plus the headline: 17.3x lower latency than the best
+prior single-node terabyte sorter.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_table
+from repro.baselines.published import PUBLISHED_SORTERS
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import ArrayParams, MergerArchParams
+from repro.core.performance import PerformanceModel
+from repro.core.ssd_planner import SsdSortPlan
+from repro.core import presets
+from repro.hw.tree import simulate_merge
+from repro.memory.dram import DdrDram
+from repro.units import GB
+
+
+def simulate_throttled_phase_two() -> float:
+    """AMT(8, 256)-shaped stage at an 8 GB/s budget (simulated at l=16)."""
+    budget = 8 * GB / 250e6
+    rng = random.Random(9)
+    # Long runs amortise the leaf-priming transient, which is what the
+    # hardware's GB-scale stages do; at exactly-critical bandwidth there
+    # is no headroom to recover fill cycles.
+    runs = [sorted(rng.randrange(1, 10**9) for _ in range(4096)) for _ in range(16)]
+    _, stats = simulate_merge(
+        p=8,
+        leaves=16,
+        runs=runs,
+        read_bytes_per_cycle=budget,
+        write_bytes_per_cycle=budget,
+        check_sorted_inputs=False,
+    )
+    return stats.records_per_cycle * 4 * 250e6
+
+
+def test_ssd_validation(benchmark, save_report):
+    simulated_rate = run_once(benchmark, simulate_throttled_phase_two)
+
+    # --- model-side checks -------------------------------------------------
+    throttled = DdrDram().throttled(8 * GB)
+    arch = MergerArchParams()
+    plan = SsdSortPlan()
+    phase_one_rate = plan.phase_one_throughput()
+
+    model = PerformanceModel(
+        hardware=presets.ssd_as_memory().hardware, arch=arch, presort_run=16
+    )
+    phase_two_rate = min(
+        model.amt_throughput(AmtConfig(p=8, leaves=256)), throttled.peak_bandwidth
+    )
+
+    # --- 17.3x headline ------------------------------------------------------
+    terabyte_ms = PUBLISHED_SORTERS["terabyte-sort"].at_size_gb(1024)
+    ours_seconds = plan.plan(ArrayParams.from_bytes(1024 * GB)).total_seconds
+    ours_ms = ours_seconds * 1e3 / 1024
+    speedup = terabyte_ms / ours_ms
+
+    rows = [
+        ("phase one pipeline rate (model)", f"{phase_one_rate / GB:.1f} GB/s"),
+        ("phase two AMT(8, 256) rate (model)", f"{phase_two_rate / GB:.1f} GB/s"),
+        ("phase two stage rate (cycle sim)", f"{simulated_rate / GB:.1f} GB/s"),
+        ("1 TB sort, Terabyte Sort (published)", f"{terabyte_ms:.0f} ms/GB"),
+        ("1 TB sort, Bonsai two-phase (model)", f"{ours_ms:.0f} ms/GB"),
+        ("speedup", f"{speedup:.1f}x"),
+    ]
+    report = render_table(
+        ("quantity", "value"),
+        rows,
+        title="§VI-E - SSD sorter validation at throttled 8 GB/s",
+    )
+    save_report("ssd_validation", report)
+
+    assert phase_one_rate == pytest.approx(8 * GB)
+    assert phase_two_rate == pytest.approx(8 * GB)
+    assert simulated_rate > 0.85 * 8 * GB
+    # Paper: "17.3x lower latency on sorting 1 TB of data compared to the
+    # best previous single server node terabyte-scale sorter".
+    assert speedup == pytest.approx(17.3, rel=0.05)
+    benchmark.extra_info["speedup_vs_terabyte_sort"] = speedup

@@ -1,0 +1,65 @@
+"""Table VI: LUT utilization and throughput of building-block elements.
+
+Regenerates both sub-tables (32-bit and 128-bit records) from the
+component library and checks the paper's §VI-F claims: equal-throughput
+elements cost comparably, with wide records cheaper per byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.tables import render_table
+from repro.core.components import ComponentLibrary
+from repro.units import GB
+
+SIZES = (1, 2, 4, 8, 16, 32)
+
+
+def build_tables():
+    return {
+        4: ComponentLibrary(record_bytes=4),
+        16: ComponentLibrary(record_bytes=16),
+    }
+
+
+def test_table6(benchmark, save_report):
+    libraries = run_once(benchmark, build_tables)
+
+    text_parts = []
+    for width, label in ((4, "(a) 32-bit records"), (16, "(b) 128-bit records")):
+        library = libraries[width]
+        rows = []
+        for k in SIZES:
+            rows.append(
+                (
+                    f"{k}-merger",
+                    f"{library.element_throughput_bytes(k) / GB:.0f} GB/s",
+                    round(library.merger_luts(k)),
+                    "FIFO" if k == 1 else f"{k}-coupler",
+                    round(library.fifo_luts() if k == 1 else library.coupler_luts(k)),
+                )
+            )
+        text_parts.append(
+            render_table(
+                ("element", "th-put", "LUT", "element", "LUT"),
+                rows,
+                title=f"Table VI {label}",
+            )
+        )
+    save_report("table6_components", "\n".join(text_parts))
+
+    lib32 = libraries[4]
+    lib128 = libraries[16]
+    # Throughput law: k records/cycle at 250 MHz.
+    assert lib32.element_throughput_bytes(32) == pytest.approx(32 * GB)
+    assert lib128.element_throughput_bytes(8) == pytest.approx(32 * GB)
+    # §VI-F: "a 128-bit record 4-merger has the same throughput as a
+    # 32-bit record 16-merger, but almost 50% less logic utilization."
+    assert lib128.element_throughput_bytes(4) == lib32.element_throughput_bytes(16)
+    ratio = lib128.merger_luts(4) / lib32.merger_luts(16)
+    assert ratio == pytest.approx(0.66, abs=0.08)
+    # Superlinear merger growth vs linear-ish coupler growth.
+    assert lib32.merger_luts(32) / lib32.merger_luts(16) > 2.0
+    assert lib32.coupler_luts(32) / lib32.coupler_luts(16) < 2.1

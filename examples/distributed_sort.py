@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Scaling Bonsai out: a cluster of FPGA nodes sorting 100 TB (§II-B).
+
+The paper argues a single Bonsai node has "much better per-node
+performance on terabyte-scale problems than any distributed sorting
+system" (Table I normalises cluster results per node).  This example
+builds the distributed system the paper sketches — range partition +
+exchange, then node-local two-phase sorts — and compares its per-node
+efficiency against the published Tencent Sort and GPU-cluster rows.
+
+Run:  python examples/distributed_sort.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.baselines.distributed import CLUSTER_RESULTS
+from repro.core.scalability import ScalabilityModel
+from repro.distributed import Cluster, SortingNode
+from repro.memory.dram import DdrDram
+from repro.memory.hierarchy import TwoTierHierarchy
+from repro.memory.ssd import Ssd
+from repro.units import GB, TB, format_bytes, format_seconds
+
+
+def main() -> None:
+    total = 100 * TB
+
+    # An F1-style node with the paper's 2048 GB SSD and a 100 GbE NIC.
+    node = SortingNode(
+        sorter=ScalabilityModel(
+            hierarchy=TwoTierHierarchy(
+                fast=DdrDram(), slow=Ssd(capacity_bytes=2048 * GB)
+            )
+        ),
+        network_bandwidth=12.5 * GB,
+    )
+    cluster = Cluster(node=node, nodes=Cluster(node=node).nodes_needed(total))
+    print(f"sorting {format_bytes(total)} needs {cluster.nodes} nodes "
+          f"({format_bytes(node.capacity_bytes())} SSD each)")
+
+    report = cluster.sort_report(total)
+    print(f"  exchange phase: {format_seconds(report.exchange_seconds)} "
+          f"(all-to-all over {node.network_bandwidth / GB:.1f} GB/s NICs)")
+    print(f"  local sorts:    {format_seconds(report.local_sort_seconds)} "
+          f"({format_bytes(cluster.partition_bytes(total))} per node, "
+          "two-phase SSD sorter)")
+    print(f"  makespan:       {format_seconds(report.elapsed_seconds)}  "
+          f"({report.aggregate_gb_per_s:.1f} GB/s aggregate)")
+
+    rows = [
+        ("Bonsai cluster (this repro)", cluster.nodes,
+         round(report.per_node_ms_per_gb)),
+        ("Tencent Sort (CPU cluster)", CLUSTER_RESULTS["tencent-100tb"].nodes,
+         round(CLUSTER_RESULTS["tencent-100tb"].per_node_ms_per_gb)),
+        ("GPU cluster (2 TB run)", CLUSTER_RESULTS["gpu-cluster-2tb"].nodes,
+         round(CLUSTER_RESULTS["gpu-cluster-2tb"].per_node_ms_per_gb)),
+        ("single Bonsai node (Table I, 100 TB)", 1, 375),
+    ]
+    print()
+    print(render_table(
+        ("system", "nodes", "per-node ms/GB"),
+        rows,
+        title="per-node efficiency (elapsed x nodes / GB; lower is better)",
+    ))
+
+    # Skew sensitivity: imperfect splitters stretch the slowest node.
+    print("splitter-skew sensitivity:")
+    for skew in (1.0, 1.2, 1.5):
+        skewed = Cluster(node=node, nodes=cluster.nodes, skew_factor=skew)
+        if skewed.partition_bytes(total) > node.capacity_bytes():
+            print(f"  skew {skew:.1f}: partitions no longer fit - add nodes")
+            continue
+        r = skewed.sort_report(total)
+        print(f"  skew {skew:.1f}: makespan {format_seconds(r.elapsed_seconds)}")
+
+
+if __name__ == "__main__":
+    main()

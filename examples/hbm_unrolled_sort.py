@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""High-bandwidth-memory sorting via AMT unrolling (§IV-B, §VI-D).
+
+With a 512 GB/s HBM, no single p <= 32 tree can use the bandwidth
+(p f r = 32 GB/s), so Bonsai unrolls: many small AMTs sort address
+ranges in parallel, then progressively fewer AMTs merge the ranges
+("half of the AMTs are idled" per final stage).
+
+Shows the model-optimal configuration next to the paper's 16x AMT(32, 2)
+pick, and runs the address-range data path functionally.
+
+Run:  python examples/hbm_unrolled_sort.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AmtConfig, ArrayParams, MergerArchParams, UnrolledSorter, presets
+from repro.analysis.tables import render_table
+from repro.records.workloads import uniform_random
+from repro.units import GB
+
+
+def main() -> None:
+    platform = presets.alveo_u50()
+    print(f"platform: {platform.name}, "
+          f"{platform.hardware.beta_dram / GB:.0f} GB/s HBM "
+          f"({platform.memory.banks} banks)")
+
+    array = ArrayParams.from_bytes(16 * GB)
+    bonsai = platform.bonsai()
+    model = bonsai.performance
+
+    paper_config = AmtConfig(p=32, leaves=2, lambda_unroll=16)
+    model_best = bonsai.latency_optimal(array, unroll_mode="address_range")
+
+    rows = []
+    for label, config in (
+        ("model-optimal", model_best.config),
+        ("paper's pick (§IV-B)", paper_config),
+        ("no unrolling", AmtConfig(p=32, leaves=256)),
+    ):
+        seconds = model.latency_unrolled_address_range(config, array)
+        rows.append(
+            (
+                label,
+                config.describe(),
+                round(seconds, 3),
+                round(bonsai.resources.lut_usage(config)),
+            )
+        )
+    print()
+    print(render_table(("choice", "configuration", "seconds for 16 GB", "LUTs"),
+                       rows, title="HBM configurations under the model"))
+    print("note: the paper's 2-leaf pick reflects per-bank wiring limits the\n"
+          "analytic model does not see; both unrolled designs use the full\n"
+          "512 GB/s during the main stages, the un-unrolled tree only 32 GB/s.")
+
+    # --- run the address-range scheme functionally ----------------------
+    data = uniform_random(200_000, seed=3)
+    sorter = UnrolledSorter(
+        config=paper_config,
+        hardware=platform.hardware,
+        arch=MergerArchParams(),
+        partitioning="address",
+    )
+    outcome = sorter.sort(data)
+    assert np.array_equal(outcome.data, np.sort(data))
+    print(f"\naddress-range sort of {outcome.n_records:,} records: "
+          f"{outcome.detail['final_merge_stages']} halving merge stages - OK")
+
+    # --- range partitioning alternative ----------------------------------
+    ranged = UnrolledSorter(
+        config=paper_config,
+        hardware=platform.hardware,
+        arch=MergerArchParams(),
+        partitioning="range",
+    ).sort(data)
+    assert np.array_equal(ranged.data, np.sort(data))
+    print(f"range-partitioned sort: no final merges needed, modeled "
+          f"{ranged.seconds * 1e3:.2f} ms vs {outcome.seconds * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

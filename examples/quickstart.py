@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: optimise an AMT for your hardware, then sort with it.
+
+This walks the three core steps of the Bonsai workflow:
+
+1. describe the platform (here: the paper's AWS F1 instance),
+2. ask the Bonsai optimizer for the latency-optimal AMT configuration,
+3. sort data through that configuration — once with modeled timing and
+   once through the cycle-level hardware simulator — and verify.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import AmtConfig, AmtSorter, ArrayParams, MergerArchParams, presets
+from repro.records.workloads import uniform_random
+from repro.units import GB, format_seconds
+
+
+def main() -> None:
+    # 1. The platform: VU9P FPGA + 64 GB DDR4 at 32 GB/s (§IV-A).
+    platform = presets.aws_f1()
+    print(f"platform: {platform.name}")
+    print(f"  DRAM: {platform.hardware.beta_dram / GB:.0f} GB/s, "
+          f"{platform.hardware.c_dram / GB:.0f} GB")
+    print(f"  FPGA: {platform.hardware.c_lut:,} LUTs")
+
+    # 2. Optimise for sorting 16 GB of 32-bit records.
+    bonsai = platform.bonsai()
+    best = bonsai.latency_optimal(ArrayParams.from_bytes(16 * GB))
+    print(f"\nlatency-optimal configuration for 16 GB: {best.config.describe()}")
+    print(f"  modeled sorting time: {format_seconds(best.latency_seconds)} "
+          f"({best.throughput_bytes / GB:.1f} GB/s)")
+    print(f"  resources: {best.lut_usage:,.0f} LUTs, {best.bram_bytes:,} B BRAM")
+
+    print("\nrunner-up configurations:")
+    for entry in bonsai.rank_by_latency(ArrayParams.from_bytes(16 * GB), top=4)[1:]:
+        print(f"  {entry.describe()}")
+
+    # 3a. Sort real data at laptop scale with modeled timing.
+    data = uniform_random(500_000, seed=42)
+    sorter = AmtSorter(
+        config=AmtConfig(p=best.config.p, leaves=64),  # implemented leaf cap
+        hardware=platform.hardware,
+        arch=MergerArchParams(),
+    )
+    outcome = sorter.sort(data)
+    assert np.array_equal(outcome.data, np.sort(data)), "sort mismatch!"
+    print(f"\nsorted {outcome.n_records:,} records in {outcome.stages} stages")
+    print(f"  modeled FPGA time: {format_seconds(outcome.seconds)} "
+          f"({outcome.latency_ms_per_gb:.0f} ms/GB)")
+
+    # 3b. The same sort through the cycle-level simulator.
+    small = uniform_random(30_000, seed=7)
+    simulated = AmtSorter(
+        config=AmtConfig(p=8, leaves=16),
+        hardware=platform.hardware,
+        arch=MergerArchParams(),
+        mode="simulate",
+    ).sort(small)
+    assert np.array_equal(simulated.data, np.sort(small))
+    print(f"\ncycle simulation of {simulated.n_records:,} records: "
+          f"{simulated.seconds * 1e6:.1f} us of FPGA time "
+          f"across {simulated.stages} stages — output verified")
+
+
+if __name__ == "__main__":
+    main()

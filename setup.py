@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline evaluation environment lacks the ``wheel`` package, which
+setuptools' PEP-660 editable-install backend requires; keeping a
+``setup.py`` (and no ``[build-system]`` table in ``pyproject.toml``) lets
+``pip install -e .`` take the legacy editable path that works without it.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

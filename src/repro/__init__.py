@@ -1,0 +1,81 @@
+"""Bonsai: high-performance adaptive merge tree sorting — reproduction.
+
+A complete Python reproduction of *Bonsai: High-Performance Adaptive
+Merge Tree Sorting* (ISCA 2020): the adaptive merge tree (AMT)
+architecture as a cycle-level simulator, the analytical performance and
+resource models (Eqs. 1-10), the Bonsai configuration optimizer, the
+two-phase SSD sorting procedure, and the cross-platform baselines the
+paper compares against.
+
+Quickstart::
+
+    from repro import presets, ArrayParams
+    from repro.units import GB
+
+    platform = presets.aws_f1()
+    bonsai = platform.bonsai()
+    best = bonsai.latency_optimal(ArrayParams.from_bytes(16 * GB))
+    print(best.describe())   # -> AMT(32, 256): 2.000 s, ...
+
+See ``examples/`` for runnable end-to-end scenarios and ``benchmarks/``
+for the per-table/per-figure reproduction harness.
+"""
+
+from repro._version import __version__
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.optimizer import Bonsai, RankedConfig
+from repro.core.parameters import (
+    ArrayParams,
+    FpgaSpec,
+    HardwareParams,
+    MergerArchParams,
+)
+from repro.core.performance import PerformanceModel
+from repro.core.resources import ResourceModel
+from repro.core.scalability import ScalabilityModel
+from repro.core.ssd_planner import SsdSortPlan
+from repro.engine import AmtSorter, PipelinedSorter, SortOutcome, SsdSorter, UnrolledSorter
+from repro.errors import (
+    BonsaiError,
+    ConfigurationError,
+    InfeasibleConfigError,
+    MemoryModelError,
+    NoFeasibleConfigError,
+    SimulationError,
+    WorkloadError,
+)
+from repro.records.record import GENSORT_PACKED, U32, U64, U128, RecordFormat
+
+__all__ = [
+    "__version__",
+    "presets",
+    "AmtConfig",
+    "Bonsai",
+    "RankedConfig",
+    "ArrayParams",
+    "FpgaSpec",
+    "HardwareParams",
+    "MergerArchParams",
+    "PerformanceModel",
+    "ResourceModel",
+    "ScalabilityModel",
+    "SsdSortPlan",
+    "AmtSorter",
+    "UnrolledSorter",
+    "PipelinedSorter",
+    "SsdSorter",
+    "SortOutcome",
+    "RecordFormat",
+    "U32",
+    "U64",
+    "U128",
+    "GENSORT_PACKED",
+    "BonsaiError",
+    "ConfigurationError",
+    "InfeasibleConfigError",
+    "NoFeasibleConfigError",
+    "SimulationError",
+    "MemoryModelError",
+    "WorkloadError",
+]

@@ -1,0 +1,22 @@
+"""Analysis and reporting utilities shared by benches and examples."""
+
+from repro.analysis.bandwidth_efficiency import (
+    bandwidth_efficiency,
+    bonsai_efficiency,
+    efficiency_comparison,
+)
+from repro.analysis.tables import render_table, rows_to_csv
+from repro.analysis.charts import ascii_bar_chart, ascii_line_chart
+from repro.analysis.sweeps import bandwidth_sweep, size_sweep
+
+__all__ = [
+    "bandwidth_efficiency",
+    "bonsai_efficiency",
+    "efficiency_comparison",
+    "render_table",
+    "rows_to_csv",
+    "ascii_bar_chart",
+    "ascii_line_chart",
+    "bandwidth_sweep",
+    "size_sweep",
+]

@@ -1,0 +1,108 @@
+"""Bandwidth-efficiency analysis (Fig. 12, §VI-C2).
+
+"Formally, bandwidth-efficiency is defined as the ratio of the
+throughput of the sorter to the available bandwidth of off-chip memory;
+for example, the DRAM-scale sorter used in the first phase of
+terabyte-scale sorting sorts at a throughput of 7.19 GB/s; since the
+DRAM bandwidth is 32 GB/s, the bandwidth-efficiency of our DRAM sorter
+is 7.19/32 = 0.225."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.published import PUBLISHED_SORTERS
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import MergerArchParams
+from repro.errors import ConfigurationError
+from repro.units import GB, ceil_log
+
+
+def bandwidth_efficiency(throughput_bytes: float, bandwidth_bytes: float) -> float:
+    """The §VI-C2 ratio."""
+    if throughput_bytes < 0:
+        raise ConfigurationError("throughput must be >= 0")
+    if bandwidth_bytes <= 0:
+        raise ConfigurationError("bandwidth must be positive")
+    return throughput_bytes / bandwidth_bytes
+
+
+def bonsai_sort_throughput(
+    total_bytes: int,
+    bandwidth: float,
+    config: AmtConfig = AmtConfig(p=32, leaves=256),
+    presort_run: int = 16,
+    arch: MergerArchParams | None = None,
+    record_bytes: int = 4,
+) -> float:
+    """End-to-end sorted-bytes/s of a Bonsai DRAM sorter.
+
+    Sorting takes ``stages`` full passes, so throughput is
+    ``min(p f r, beta) / stages``.
+    """
+    arch = arch or MergerArchParams(record_bytes=record_bytes)
+    n_records = max(1, total_bytes // record_bytes)
+    stages = max(1, ceil_log(max(1, -(-n_records // presort_run)), config.leaves))
+    rate = min(arch.amt_throughput_bytes(config.p), bandwidth)
+    return rate / stages
+
+
+def bonsai_efficiency(
+    total_bytes: int,
+    bandwidth: float,
+    config: AmtConfig = AmtConfig(p=32, leaves=256),
+    presort_run: int = 16,
+) -> float:
+    """Bandwidth-efficiency of the Bonsai DRAM sorter at a given size."""
+    throughput = bonsai_sort_throughput(
+        total_bytes, bandwidth, config=config, presort_run=presort_run
+    )
+    return bandwidth_efficiency(throughput, bandwidth)
+
+
+@dataclass(frozen=True)
+class EfficiencyEntry:
+    """One bar of Fig. 12."""
+
+    name: str
+    throughput_gb_per_s: float
+    bandwidth_gb_per_s: float
+
+    @property
+    def efficiency(self) -> float:
+        """The §VI-C2 ratio for this bar."""
+        return self.throughput_gb_per_s / self.bandwidth_gb_per_s
+
+
+def efficiency_comparison(size_gb: float = 16.0) -> list[EfficiencyEntry]:
+    """Fig. 12's bars: Bonsai at 8 and 32 GB/s DRAM vs the baselines.
+
+    Baselines use published throughput at ``size_gb`` over their
+    platforms' documented memory bandwidth (for SampleSort, 1/latency
+    stands in for throughput, as the paper's footnote 3 does).
+    """
+    entries = []
+    for key in ("paradis", "hrs", "samplesort"):
+        spec = PUBLISHED_SORTERS[key]
+        throughput = spec.throughput_gb_per_s(size_gb)
+        if throughput is None or spec.memory_bandwidth is None:
+            continue
+        entries.append(
+            EfficiencyEntry(
+                name=spec.name,
+                throughput_gb_per_s=throughput,
+                bandwidth_gb_per_s=spec.memory_bandwidth / GB,
+            )
+        )
+    total_bytes = int(size_gb * GB)
+    for label, bandwidth in (("Bonsai 8", 8 * GB), ("Bonsai 32", 32 * GB)):
+        throughput = bonsai_sort_throughput(total_bytes, bandwidth)
+        entries.append(
+            EfficiencyEntry(
+                name=label,
+                throughput_gb_per_s=throughput / GB,
+                bandwidth_gb_per_s=bandwidth / GB,
+            )
+        )
+    return entries

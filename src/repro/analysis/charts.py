@@ -1,0 +1,100 @@
+"""ASCII charts for figure benches.
+
+The offline environment has no plotting stack, so figure reproductions
+render as monospace bar/line charts; the same data is also available as
+CSV via :func:`repro.analysis.tables.rows_to_csv` for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label."""
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must align")
+    if not values:
+        return title + "\n(empty)\n"
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(label)) for label in labels)
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        out.write(
+            f"{str(label).ljust(label_width)} | {bar} {value:.3g}{unit}\n"
+        )
+    return out.getvalue()
+
+
+def ascii_line_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float | None]],
+    title: str = "",
+    height: int = 12,
+    width: int = 64,
+    log_x: bool = False,
+    log_y: bool = False,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series gets its own marker; None values are gaps.
+    """
+    if not xs:
+        return title + "\n(empty)\n"
+    markers = "*o+x#@%&"
+    all_ys = [
+        y for ys in series.values() for y in ys if y is not None and y > 0
+    ]
+    if not all_ys:
+        return title + "\n(no data)\n"
+
+    def tx(value: float) -> float:
+        """x-axis transform (log when requested)."""
+        return math.log10(value) if log_x else value
+
+    def ty(value: float) -> float:
+        """y-axis transform (log when requested)."""
+        return math.log10(value) if log_y else value
+
+    x_lo, x_hi = tx(min(xs)), tx(max(xs))
+    y_lo, y_hi = ty(min(all_ys)), ty(max(all_ys))
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            if y is None or y <= 0:
+                continue
+            col = round((tx(x) - x_lo) / x_span * (width - 1))
+            row = round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(f"y: {min(all_ys):.3g} .. {max(all_ys):.3g}"
+              f"{' (log)' if log_y else ''}\n")
+    for row in grid:
+        out.write("|" + "".join(row) + "\n")
+    out.write("+" + "-" * width + "\n")
+    out.write(f"x: {min(xs):.3g} .. {max(xs):.3g}{' (log)' if log_x else ''}\n")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    out.write("legend: " + legend + "\n")
+    return out.getvalue()

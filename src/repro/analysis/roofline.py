@@ -1,0 +1,96 @@
+"""Roofline-style bound analysis for AMT configurations (§III-A1).
+
+The paper's central sizing intuition — "increasing p is more beneficial
+than increasing l up until the AMT throughput reaches the DRAM
+bandwidth" — is a roofline argument: a configuration is either
+*compute-bound* (its p·f·r datapath is the ceiling) or *bandwidth-bound*
+(the off-chip memory is).  This module classifies configurations, finds
+the crossover p for a given memory, and computes how much headroom each
+resource leaves, which the design-space examples use to narrate Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import HardwareParams, MergerArchParams
+from repro.errors import ConfigurationError
+
+Bound = Literal["compute", "bandwidth", "balanced"]
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """Where one configuration sits against the memory roofline."""
+
+    config: AmtConfig
+    datapath_bytes: float
+    memory_bytes: float
+
+    @property
+    def bound(self) -> Bound:
+        """Which ceiling binds this configuration."""
+        if abs(self.datapath_bytes - self.memory_bytes) < 1e-6 * self.memory_bytes:
+            return "balanced"
+        return "compute" if self.datapath_bytes < self.memory_bytes else "bandwidth"
+
+    @property
+    def achievable_bytes(self) -> float:
+        """The stage streaming rate: min of the two ceilings."""
+        return min(self.datapath_bytes, self.memory_bytes)
+
+    @property
+    def headroom(self) -> float:
+        """Unused fraction of the non-binding ceiling."""
+        high = max(self.datapath_bytes, self.memory_bytes)
+        return 1.0 - self.achievable_bytes / high
+
+
+def classify(
+    config: AmtConfig, hardware: HardwareParams, arch: MergerArchParams
+) -> RooflinePoint:
+    """Place a configuration against its platform's roofline.
+
+    Unrolled configurations compare the per-AMT datapath against the
+    per-AMT bandwidth share, which is what decides each tree's duty.
+    """
+    share = hardware.beta_dram / config.total_amts
+    return RooflinePoint(
+        config=config,
+        datapath_bytes=arch.amt_throughput_bytes(config.p),
+        memory_bytes=share,
+    )
+
+
+def balanced_p(hardware: HardwareParams, arch: MergerArchParams) -> int:
+    """Smallest power-of-two p whose datapath reaches the memory ceiling.
+
+    This is the p the latency optimizer lands on (§IV-A: the p = 32 AMT
+    "matches the peak bandwidth of DRAM"); anything wider wastes LUTs.
+    """
+    p = 1
+    while arch.amt_throughput_bytes(p) < hardware.beta_dram:
+        p *= 2
+        if p > 2**20:
+            raise ConfigurationError(
+                "no practical p reaches this bandwidth; check the units"
+            )
+    return p
+
+
+def unroll_for_bandwidth(
+    hardware: HardwareParams, arch: MergerArchParams, p_cap: int = 32
+) -> int:
+    """Unroll factor needed to soak the memory with ``p <= p_cap`` trees.
+
+    The HBM sizing rule of §IV-B: with the datapath capped (the paper
+    builds up to 32-mergers), bandwidth beyond ``p_cap * f * r`` is only
+    reachable by unrolling.
+    """
+    per_tree = arch.amt_throughput_bytes(p_cap)
+    lam = 1
+    while lam * per_tree < hardware.beta_dram:
+        lam *= 2
+    return lam

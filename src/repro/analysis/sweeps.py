@@ -1,0 +1,78 @@
+"""Parameter sweeps behind Fig. 5 and Fig. 11/13.
+
+:func:`bandwidth_sweep` re-optimises the AMT configuration at each DRAM
+bandwidth (that is Fig. 5's whole point: "Bonsai can pick AMT
+configurations that optimally utilize any off-chip memory bandwidth");
+:func:`size_sweep` evaluates a fixed platform across input sizes.
+"""
+
+from __future__ import annotations
+
+from repro.core import presets
+from repro.core.parameters import ArrayParams
+from repro.errors import ConfigurationError
+from repro.units import GB, ms_per_gb
+
+
+def bandwidth_sweep(
+    bandwidths: list[float],
+    total_bytes: int = 16 * GB,
+    presort_run: int = 16,
+) -> list[dict]:
+    """Optimal sorting time per DRAM bandwidth (Fig. 5's Bonsai curve).
+
+    Returns dicts with the bandwidth, the chosen configuration and the
+    modeled time for ``total_bytes``.
+    """
+    if not bandwidths:
+        raise ConfigurationError("sweep needs at least one bandwidth")
+    array = ArrayParams.from_bytes(total_bytes)
+    points = []
+    for bandwidth in bandwidths:
+        platform = presets.custom_dram(bandwidth)
+        bonsai = platform.bonsai(presort_run=presort_run)
+        best = bonsai.latency_optimal(array)
+        points.append(
+            {
+                "bandwidth": bandwidth,
+                "config": best.config,
+                "seconds": best.latency_seconds,
+                "ms_per_gb": ms_per_gb(best.latency_seconds, total_bytes),
+            }
+        )
+    return points
+
+
+def size_sweep(
+    sizes_bytes: list[int],
+    platform=None,
+    presort_run: int = 16,
+    leaves_cap: int | None = 64,
+    single_amt: bool = True,
+) -> list[dict]:
+    """Modeled sorting time across input sizes on one platform (Fig. 11).
+
+    Defaults to the measured-bandwidth F1 with the implemented l = 64 cap
+    and a single AMT (§VI-C1's hardware), which is the configuration
+    behind the paper's reported 172 ms/GB.  ``single_amt=False`` lets the
+    optimizer unroll as the pure model would.
+    """
+    if not sizes_bytes:
+        raise ConfigurationError("sweep needs at least one size")
+    platform = platform or presets.aws_f1_measured()
+    bonsai = platform.bonsai(presort_run=presort_run, leaves_cap=leaves_cap)
+    if single_amt:
+        bonsai.unroll_max = 1
+    points = []
+    for size in sizes_bytes:
+        array = ArrayParams.from_bytes(size)
+        best = bonsai.latency_optimal(array)
+        points.append(
+            {
+                "bytes": size,
+                "config": best.config,
+                "seconds": best.latency_seconds,
+                "ms_per_gb": ms_per_gb(best.latency_seconds, size),
+            }
+        )
+    return points

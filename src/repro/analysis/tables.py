@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment reports.
+
+Every bench prints the paper's rows next to the reproduction's, so the
+renderer favours alignment and explicit "-" markers for missing entries
+(Table I's dashes) over decoration.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    precision: int = 1,
+) -> str:
+    """Render an aligned monospace table.
+
+    ``None`` cells render as "-" (no reported result, as in Table I).
+    """
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells for {len(headers)} headers: {row!r}"
+            )
+    text_rows = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[col]) for row in text_rows))
+        if text_rows
+        else len(str(header))
+        for col, header in enumerate(headers)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    out.write(header_line + "\n")
+    out.write("-" * len(header_line) + "\n")
+    for row in text_rows:
+        out.write("  ".join(cell.rjust(w) for cell, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def rows_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """CSV form of the same data (for plotting outside the repo)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(
+            ",".join("" if cell is None else str(cell) for cell in row)
+        )
+    return "\n".join(lines) + "\n"

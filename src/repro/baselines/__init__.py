@@ -1,0 +1,45 @@
+"""Comparison baselines.
+
+The paper compares against the best published sorters per platform
+(Table I, Figs. 5/11/12).  For each we carry (a) the published
+performance numbers, (b) an analytical cost model interpolating them,
+and (c) a functional Python implementation of the algorithm so examples
+and tests can compare real outputs at laptop scale:
+
+* :mod:`repro.baselines.paradis` — PARADIS, in-place parallel radix sort
+  (CPU state of the art).
+* :mod:`repro.baselines.hrs` — hybrid radix sort (GPU state of the art):
+  GPU-sized chunks radix-sorted, then CPU-merged.
+* :mod:`repro.baselines.samplesort` — FPGA-accelerated SampleSort.
+* :mod:`repro.baselines.terabyte_sort` — FPGA flash-based Terabyte Sort.
+* :mod:`repro.baselines.distributed` — per-node numbers of distributed
+  CPU/GPU sorters (Tencent sort, GPU clusters).
+* :mod:`repro.baselines.published` — Table I verbatim plus platform
+  memory-bandwidth metadata for Fig. 12.
+* :mod:`repro.baselines.lower_bounds` — the I/O lower bound of Fig. 5.
+"""
+
+from repro.baselines.published import (
+    PublishedSorter,
+    PUBLISHED_SORTERS,
+    TABLE_I_SIZES_GB,
+    table_i_ms_per_gb,
+)
+from repro.baselines.paradis import ParadisSorter
+from repro.baselines.hrs import HybridRadixSorter
+from repro.baselines.samplesort import SampleSorter
+from repro.baselines.terabyte_sort import TerabyteSorter
+from repro.baselines.lower_bounds import io_lower_bound_seconds, aggarwal_vitter_passes
+
+__all__ = [
+    "PublishedSorter",
+    "PUBLISHED_SORTERS",
+    "TABLE_I_SIZES_GB",
+    "table_i_ms_per_gb",
+    "ParadisSorter",
+    "HybridRadixSorter",
+    "SampleSorter",
+    "TerabyteSorter",
+    "io_lower_bound_seconds",
+    "aggarwal_vitter_passes",
+]

@@ -1,0 +1,50 @@
+"""Shared baseline-sorter interface.
+
+Each baseline implements the same two facets the Bonsai engine exposes:
+``sort(data)`` — a functional reference implementation of the published
+algorithm, runnable at laptop scale — and ``modeled_seconds(total_bytes)``
+— a cost model anchored to the published performance numbers so
+cross-platform comparisons (Figs. 5/11/12) use the same figures the paper
+compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.published import PublishedSorter
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@dataclass
+class BaselineSorter:
+    """Base class wiring the published-number cost model."""
+
+    spec: PublishedSorter
+
+    # ------------------------------------------------------------------
+    def sort(self, data: np.ndarray) -> np.ndarray:  # pragma: no cover
+        """Functional reference sort; subclasses override."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def modeled_ms_per_gb(self, total_bytes: float) -> float | None:
+        """Published/interpolated ms-per-GB at this input size."""
+        return self.spec.at_size_gb(total_bytes / GB)
+
+    def modeled_seconds(self, total_bytes: float) -> float | None:
+        """Published/interpolated sorting time at this input size."""
+        if total_bytes <= 0:
+            raise ConfigurationError(f"input size must be positive, got {total_bytes}")
+        ms = self.modeled_ms_per_gb(total_bytes)
+        return None if ms is None else ms * 1e-3 * (total_bytes / GB)
+
+    def check_sorted(self, original: np.ndarray, result: np.ndarray) -> None:
+        """Reference-sorter self-check used by tests."""
+        if result.shape != original.shape:
+            raise ConfigurationError("baseline changed the record count")
+        if result.size and not np.all(result[:-1] <= result[1:]):
+            raise ConfigurationError("baseline produced unsorted output")

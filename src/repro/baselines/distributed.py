@@ -1,0 +1,75 @@
+"""Distributed-sorter comparison points (Table I's two cluster rows).
+
+The paper normalises cluster results per node: "Performance of
+distributed sorters multiplied by number of server nodes used", which is
+what makes the 2.9-3.4 s/GB GPU-cluster and ~0.5 s/GB CPU-cluster rows
+comparable to a single FPGA node.  This module exposes that arithmetic
+so experiments can recompute per-node figures from the clusters' raw
+aggregate results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB, ms_per_gb
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """One published cluster sorting result."""
+
+    name: str
+    total_bytes: float
+    elapsed_seconds: float
+    nodes: int
+    citation: str = ""
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0 or self.elapsed_seconds <= 0 or self.nodes < 1:
+            raise ConfigurationError(f"invalid cluster result {self.name!r}")
+
+    @property
+    def aggregate_gb_per_s(self) -> float:
+        """Whole-cluster sorted throughput."""
+        return self.total_bytes / GB / self.elapsed_seconds
+
+    @property
+    def per_node_gb_per_s(self) -> float:
+        """Throughput each node contributed."""
+        return self.aggregate_gb_per_s / self.nodes
+
+    @property
+    def per_node_ms_per_gb(self) -> float:
+        """Table I's normalisation: elapsed time x nodes, per GB."""
+        return ms_per_gb(self.elapsed_seconds * self.nodes, self.total_bytes)
+
+
+#: Representative published cluster runs behind Table I's rows:
+#: Tencent Sort's 100 TB GraySort entry (512 nodes, 98.8 s) and the
+#: GPU-cluster result of Shamoto et al. normalised the same way.
+CLUSTER_RESULTS = {
+    "tencent-100tb": ClusterResult(
+        name="Tencent Sort 100 TB",
+        total_bytes=100e12,
+        elapsed_seconds=98.8,
+        nodes=512,
+        citation="[36], GraySort 2016",
+    ),
+    "gpu-cluster-2tb": ClusterResult(
+        name="GPU cluster 2 TB",
+        total_bytes=2e12,
+        elapsed_seconds=26.3,
+        nodes=256,
+        citation="[37]",
+    ),
+}
+
+
+def per_node_penalty(result: ClusterResult, single_node_ms_per_gb: float) -> float:
+    """How much worse the cluster's per-node latency is than a single
+    Bonsai node (the paper's "2x better per-node latency" claim)."""
+    if single_node_ms_per_gb <= 0:
+        raise ConfigurationError("single-node latency must be positive")
+    return result.per_node_ms_per_gb / single_node_ms_per_gb

@@ -1,0 +1,59 @@
+"""I/O lower bounds (Fig. 5's dashed line; §I's Aggarwal-Vitter citation).
+
+Fig. 5 includes "the time required to stream the entire data from and to
+memory" as the unbeatable floor for any sorter; with duplex memory that
+is one full pass at the memory bandwidth.
+
+The classical external-memory lower bound (Aggarwal & Vitter 1988) gives
+the minimum number of passes any algorithm needs when only ``M`` bytes
+fit on-chip/in-fast-memory and transfers happen in blocks of ``B``:
+``ceil(log_{M/B}(N/M)) + 1`` passes over the data — the asymptotic
+argument for merge sort's optimality the paper leans on (§I: "due to its
+asymptotically optimal I/O complexity, merge sort is generally regarded
+as the preferred technique").
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.units import ceil_log
+
+
+def io_lower_bound_seconds(total_bytes: float, bandwidth: float, duplex: bool = True) -> float:
+    """Fig. 5's floor: one streamed pass (two for half-duplex memory)."""
+    if total_bytes < 0:
+        raise ConfigurationError(f"size must be >= 0, got {total_bytes}")
+    if bandwidth <= 0:
+        raise ConfigurationError(f"bandwidth must be positive, got {bandwidth}")
+    passes = 1 if duplex else 2
+    return passes * total_bytes / bandwidth
+
+
+def aggarwal_vitter_passes(
+    total_bytes: float, fast_memory_bytes: float, block_bytes: float
+) -> int:
+    """Minimum data passes for external sorting (Aggarwal-Vitter).
+
+    ``1 + ceil(log_{M/B}(N/M))``: one run-formation pass plus the merge
+    passes, each merging ``M/B`` runs.
+    """
+    for label, value in (
+        ("total size", total_bytes),
+        ("fast memory", fast_memory_bytes),
+        ("block size", block_bytes),
+    ):
+        if value <= 0:
+            raise ConfigurationError(f"{label} must be positive, got {value}")
+    fanin = fast_memory_bytes / block_bytes
+    if fanin <= 1:
+        raise ConfigurationError(
+            "fast memory must hold more than one block for merging"
+        )
+    if total_bytes <= fast_memory_bytes:
+        return 1
+    return 1 + ceil_log(total_bytes / fast_memory_bytes, fanin)
+
+
+def lower_bound_ms_per_gb(bandwidth: float, duplex: bool = True) -> float:
+    """The Fig. 5 floor normalised per GB."""
+    return io_lower_bound_seconds(1e9, bandwidth, duplex) * 1e3

@@ -1,0 +1,155 @@
+"""Published comparison numbers (Table I) and platform metadata.
+
+Table I reports sorting time in ms per GB for the best sorters on each
+platform across problem sizes; dashes mean no reported result and map to
+``None`` here.  Distributed sorters' times are "multiplied by number of
+server nodes used", i.e. per-node-normalised, exactly as the paper does.
+
+``platform_bandwidth`` carries each system's off-chip memory bandwidth,
+used by the Fig. 12 bandwidth-efficiency comparison; values are the
+publicly documented spec rates of the platforms the respective papers
+evaluated on (see EXPERIMENTS.md for the sourcing discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+#: The column headers of Table I, in GB.
+TABLE_I_SIZES_GB = (4, 8, 16, 32, 64, 128, 512, 2_048, 102_400)
+
+#: Human-readable labels for the columns (4 GB ... 2 TB, 100 TB).
+TABLE_I_SIZE_LABELS = (
+    "4 GB", "8 GB", "16 GB", "32 GB", "64 GB", "128 GB", "512 GB", "2 TB", "100 TB",
+)
+
+
+@dataclass(frozen=True)
+class PublishedSorter:
+    """One row of Table I plus Fig. 12 metadata."""
+
+    name: str
+    platform: str
+    ms_per_gb: tuple[float | None, ...]
+    memory_bandwidth: float | None = None
+    citation: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.ms_per_gb) != len(TABLE_I_SIZES_GB):
+            raise ConfigurationError(
+                f"{self.name}: expected {len(TABLE_I_SIZES_GB)} Table I "
+                f"columns, got {len(self.ms_per_gb)}"
+            )
+
+    def at_size_gb(self, size_gb: float) -> float | None:
+        """ms/GB at a Table I column, or interpolated between columns.
+
+        Returns None outside the sorter's reported range.
+        """
+        known = [
+            (size, value)
+            for size, value in zip(TABLE_I_SIZES_GB, self.ms_per_gb)
+            if value is not None
+        ]
+        if not known:
+            return None
+        sizes = [size for size, _ in known]
+        if not sizes[0] <= size_gb <= sizes[-1]:
+            return None
+        for (s0, v0), (s1, v1) in zip(known, known[1:]):
+            if s0 <= size_gb <= s1:
+                if s1 == s0:
+                    return v0
+                fraction = (size_gb - s0) / (s1 - s0)
+                return v0 + fraction * (v1 - v0)
+        return known[-1][1]
+
+    def throughput_gb_per_s(self, size_gb: float) -> float | None:
+        """Sorted GB/s at a given size."""
+        ms = self.at_size_gb(size_gb)
+        return None if ms is None else 1_000.0 / ms
+
+    def bandwidth_efficiency(self, size_gb: float) -> float | None:
+        """Fig. 12's metric: sorter throughput over memory bandwidth."""
+        if self.memory_bandwidth is None:
+            return None
+        throughput = self.throughput_gb_per_s(size_gb)
+        if throughput is None:
+            return None
+        return throughput * GB / self.memory_bandwidth
+
+
+#: Table I, verbatim.  Memory bandwidths: PARADIS ran on a 4-socket Xeon
+#: E7-8890 v3 class server (~68 GB/s usable stream bandwidth per the
+#: PARADIS paper's platform); HRS on a GTX 1080 (320 GB/s GDDR5X);
+#: SampleSort on four DDR4-2400 channels (~76.8 GB/s); Terabyte Sort on
+#: flash at ~4.8 GB/s aggregate.
+PUBLISHED_SORTERS: dict[str, PublishedSorter] = {
+    "paradis": PublishedSorter(
+        name="PARADIS",
+        platform="CPU",
+        ms_per_gb=(436, 436, 395, 388, 363, None, None, None, None),
+        memory_bandwidth=68 * GB,
+        citation="Cho et al., VLDB 2015 [20]",
+    ),
+    "cpu-distributed": PublishedSorter(
+        name="Tencent Sort (per node)",
+        platform="CPU distributed",
+        ms_per_gb=(None, None, None, None, None, 508, 508, 508, 466),
+        memory_bandwidth=None,
+        citation="Jiang et al. [36]",
+    ),
+    "hrs": PublishedSorter(
+        name="HRS",
+        platform="GPU",
+        ms_per_gb=(208, 208, 208, 224, 260, 267, None, None, None),
+        memory_bandwidth=320 * GB,
+        citation="Stehle & Jacobsen, SIGMOD 2017 [18]",
+    ),
+    "gpu-distributed": PublishedSorter(
+        name="GPU distributed (per node)",
+        platform="GPU distributed",
+        ms_per_gb=(None, None, None, None, None, None, 2_909, 3_368, None),
+        memory_bandwidth=None,
+        citation="Shamoto et al., Big Data 2016 [37]",
+    ),
+    "samplesort": PublishedSorter(
+        name="SampleSort",
+        platform="FPGA",
+        ms_per_gb=(215, 217, 220, 643, None, None, None, None, None),
+        memory_bandwidth=76.8 * GB,
+        citation="Chen et al., FCCM 2019 [19]",
+    ),
+    "terabyte-sort": PublishedSorter(
+        name="Terabyte Sort",
+        platform="FPGA",
+        ms_per_gb=(None, None, None, None, 3_401, 4_366, 4_347, 4_347, 6_210),
+        memory_bandwidth=4.8 * GB,
+        citation="Jun et al., FCCM 2017 [29]",
+    ),
+}
+
+#: The paper's own Table I row for Bonsai (what our model must reproduce).
+BONSAI_TABLE_I_MS_PER_GB = (172, 172, 172, 172, 172, 250, 250, 250, 375)
+
+
+def table_i_ms_per_gb() -> dict[str, tuple[float | None, ...]]:
+    """All Table I rows including Bonsai's, keyed by sorter name."""
+    rows = {spec.name: spec.ms_per_gb for spec in PUBLISHED_SORTERS.values()}
+    rows["Bonsai (paper)"] = BONSAI_TABLE_I_MS_PER_GB
+    return rows
+
+
+def best_published_at(size_gb: float) -> tuple[str, float] | None:
+    """The fastest non-Bonsai published sorter at a given size."""
+    best: tuple[str, float] | None = None
+    for spec in PUBLISHED_SORTERS.values():
+        ms = spec.at_size_gb(size_gb)
+        if ms is None:
+            continue
+        if best is None or ms < best[1]:
+            best = (spec.name, ms)
+    return best

@@ -1,0 +1,62 @@
+"""Terabyte Sort (Jun et al., FCCM 2017) — flash-based FPGA baseline.
+
+A merge-tree sorter over flash storage that scales to 1 TB but, per the
+paper's analysis (§I, §IV-C), "misses many optimization opportunities and
+does not perform well on smaller-scale sorting tasks": its merge tree is
+narrow (16-to-1) and its per-pass throughput is flash-bound, so it needs
+many more passes than Bonsai's wide phase-two tree.  The functional
+model is an external merge sort with a 16-way tree; the cost model's
+pass arithmetic shows why its ms/GB sits 17x above Bonsai's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import BaselineSorter
+from repro.baselines.published import PUBLISHED_SORTERS, PublishedSorter
+from repro.engine.stage import merge_stage, split_into_runs
+from repro.units import GB, ceil_log
+
+
+@dataclass
+class TerabyteSorter(BaselineSorter):
+    """External merge sort with a narrow (16-leaf) merge tree."""
+
+    spec: PublishedSorter = field(
+        default_factory=lambda: PUBLISHED_SORTERS["terabyte-sort"]
+    )
+    fanin: int = 16
+    initial_run_records: int = 4096
+    flash_bandwidth: float = 4.8 * GB
+
+    def sort(self, data: np.ndarray) -> np.ndarray:
+        """External merge sort with the narrow 16-way tree."""
+        data = np.asarray(data)
+        if data.size == 0:
+            return data.copy()
+        runs = split_into_runs(data, self.initial_run_records)
+        while len(runs) > 1:
+            runs = merge_stage(runs, self.fanin)
+        self.check_sorted(data, runs[0])
+        return runs[0]
+
+    # ------------------------------------------------------------------
+    def merge_passes(self, total_bytes: float, record_bytes: int = 4) -> int:
+        """Flash round trips at true scale."""
+        n_records = max(1, int(total_bytes // record_bytes))
+        n_runs = max(1, -(-n_records // self.initial_run_records))
+        return max(1, ceil_log(n_runs, self.fanin))
+
+    def modeled_seconds_from_structure(
+        self, total_bytes: float, record_bytes: int = 4
+    ) -> float:
+        """Structural cost model: passes x flash round-trip time.
+
+        Used for sizes outside the published range; inside it, prefer
+        :meth:`modeled_seconds` (published numbers).
+        """
+        passes = self.merge_passes(total_bytes, record_bytes)
+        return passes * total_bytes / self.flash_bandwidth

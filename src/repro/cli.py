@@ -1,0 +1,380 @@
+"""Command-line interface: ``bonsai`` / ``python -m repro``.
+
+Subcommands map onto the paper's workflows:
+
+* ``optimize`` — run the Bonsai optimizer for a platform and input size,
+  printing the optimal configuration and the ranked alternatives
+  (§III-C's "list all implementable AMT configurations").
+* ``sort`` — generate a workload and sort it through the engine
+  (model or cycle-simulated timing), verifying the output.
+* ``scalability`` — print the Fig. 13 latency/GB curve and breakpoints.
+* ``ssd-plan`` — print the two-phase plan and Table V-style breakdown.
+* ``components`` — print the Table VI component library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro._version import __version__
+from repro.analysis.tables import render_table
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import ArrayParams, MergerArchParams
+from repro.core.scalability import ScalabilityModel
+from repro.core.ssd_planner import SsdSortPlan
+from repro.engine.sorter import AmtSorter
+from repro.errors import BonsaiError
+from repro.records.workloads import WorkloadSpec, generate
+from repro.units import GB, format_bytes, format_seconds, ms_per_gb
+
+PLATFORMS = {
+    "aws-f1": presets.aws_f1,
+    "aws-f1-measured": presets.aws_f1_measured,
+    "alveo-u50": presets.alveo_u50,
+    "ssd-node": presets.ssd_node,
+    "ssd-as-memory": presets.ssd_as_memory,
+}
+
+
+def _parse_size(text: str) -> int:
+    """Parse sizes like ``16GB``, ``512MB``, ``2TB`` or raw bytes."""
+    text = text.strip().upper()
+    for suffix, scale in (("TB", 10**12), ("GB", 10**9), ("MB", 10**6), ("KB", 10**3)):
+        if text.endswith(suffix):
+            return int(float(text[: -len(suffix)]) * scale)
+    return int(text)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bonsai",
+        description="Bonsai adaptive merge tree sorting (ISCA 2020 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    opt = sub.add_parser("optimize", help="find the optimal AMT configuration")
+    opt.add_argument("--platform", choices=sorted(PLATFORMS), default="aws-f1")
+    opt.add_argument("--size", type=_parse_size, default=16 * GB,
+                     help="input size (e.g. 16GB)")
+    opt.add_argument("--record-bytes", type=int, default=4)
+    opt.add_argument("--objective", choices=("latency", "throughput"),
+                     default="latency")
+    opt.add_argument("--presort", type=int, default=16)
+    opt.add_argument("--leaves-cap", type=int, default=None)
+    opt.add_argument("--top", type=int, default=5,
+                     help="how many ranked configurations to print")
+
+    srt = sub.add_parser("sort", help="sort a generated workload or a file")
+    srt.add_argument("--records", type=int, default=100_000)
+    srt.add_argument("--workload", default="uniform")
+    srt.add_argument("--seed", type=int, default=0)
+    srt.add_argument("--p", type=int, default=8)
+    srt.add_argument("--leaves", type=int, default=16)
+    srt.add_argument("--mode", choices=("model", "simulate"), default="model")
+    srt.add_argument("--platform", choices=sorted(PLATFORMS),
+                     default="aws-f1-measured")
+    srt.add_argument("--input", default=None,
+                     help="flat binary file of little-endian u32 keys")
+    srt.add_argument("--output", default=None,
+                     help="write sorted keys to this file")
+
+    sca = sub.add_parser("scalability", help="Fig. 13 curve and breakpoints")
+    sca.add_argument("--min", type=_parse_size, default=GB // 2)
+    sca.add_argument("--max", type=_parse_size, default=1024 * 10**12)
+
+    ssd = sub.add_parser("ssd-plan", help="two-phase SSD sorting plan")
+    ssd.add_argument("--size", type=_parse_size, default=2048 * GB)
+    ssd.add_argument("--run-bytes", type=_parse_size, default=None)
+
+    sub.add_parser("components", help="print the Table VI component library")
+
+    val = sub.add_parser(
+        "validate", help="model-vs-simulator accuracy check (§VI-B)"
+    )
+    val.add_argument("--records", type=int, default=32_768)
+
+    exp = sub.add_parser(
+        "experiments", help="regenerate the paper's tables into a directory"
+    )
+    exp.add_argument("--out", default="results")
+
+    rep = sub.add_parser(
+        "report", help="consolidate benchmarks/results/ into one REPORT.md"
+    )
+    rep.add_argument("--results", default="benchmarks/results")
+    rep.add_argument("--output", default="REPORT.md")
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    platform = PLATFORMS[args.platform]()
+    bonsai = platform.bonsai(
+        record_bytes=args.record_bytes,
+        presort_run=args.presort,
+        leaves_cap=args.leaves_cap,
+    )
+    array = ArrayParams.from_bytes(args.size)
+    if args.objective == "latency":
+        ranked = bonsai.rank_by_latency(array, top=args.top)
+    else:
+        ranked = bonsai.rank_by_throughput(array, top=args.top)
+    print(f"platform={platform.name}  size={format_bytes(args.size)}  "
+          f"objective={args.objective}")
+    rows = [
+        (
+            index + 1,
+            entry.config.describe(),
+            format_seconds(entry.latency_seconds),
+            f"{entry.throughput_bytes / GB:.2f} GB/s",
+            f"{entry.lut_usage:,.0f}",
+            f"{entry.bram_bytes:,}",
+        )
+        for index, entry in enumerate(ranked)
+    ]
+    print(render_table(
+        ("#", "configuration", "latency", "throughput", "LUTs", "BRAM bytes"),
+        rows,
+    ))
+    return 0
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    from repro.records.files import read_records, write_records
+    from repro.records.valsort import validate_sort
+
+    platform = PLATFORMS[args.platform]()
+    if args.input:
+        data = read_records(args.input)
+        source = args.input
+    else:
+        data = generate(WorkloadSpec(kind=args.workload, n_records=args.records,
+                                     seed=args.seed))
+        source = args.workload
+    sorter = AmtSorter(
+        config=AmtConfig(p=args.p, leaves=args.leaves),
+        hardware=platform.hardware,
+        arch=MergerArchParams(),
+        mode=args.mode,
+    )
+    outcome = sorter.sort(data)
+    summary = validate_sort(data, outcome.data)  # raises on any corruption
+    if args.output:
+        write_records(args.output, outcome.data)
+    print(f"sorted {len(data):,} records ({source}) with "
+          f"AMT({args.p}, {args.leaves}) in {outcome.stages} stages")
+    print(f"mode={outcome.mode}  modeled time={format_seconds(outcome.seconds)}  "
+          f"({outcome.latency_ms_per_gb:.0f} ms/GB)  "
+          f"verified=OK ({summary.duplicates:,} duplicate keys)")
+    if args.output:
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_scalability(args: argparse.Namespace) -> int:
+    model = ScalabilityModel()
+    sizes = [s for s in ScalabilityModel.paper_sizes() if args.min <= s <= args.max]
+    rows = []
+    for point in model.curve(sizes):
+        rows.append(
+            (
+                format_bytes(point.total_bytes),
+                point.regime,
+                point.stages,
+                f"{point.latency_ms_per_gb:.0f}",
+            )
+        )
+    print(render_table(("size", "regime", "stages", "ms/GB"), rows,
+                       title="Latency per GB across input sizes (Fig. 13)"))
+    print("breakpoints:")
+    for jump in model.breakpoints(sizes):
+        print(f"  at {format_bytes(jump['at_bytes'])}: x{jump['factor']:.2f} "
+              f"({jump['cause']})")
+    return 0
+
+
+def _cmd_ssd_plan(args: argparse.Namespace) -> int:
+    plan = SsdSortPlan(run_bytes=args.run_bytes)
+    breakdown = plan.plan(ArrayParams.from_bytes(args.size))
+    print(f"two-phase plan for {format_bytes(args.size)} "
+          f"(runs of {format_bytes(breakdown.run_bytes)}):")
+    rows = [
+        (phase, f"{seconds:.1f}s", f"{percent:.1f}%")
+        for phase, seconds, percent in breakdown.rows()
+    ]
+    rows.append(("Total", f"{breakdown.total_seconds:.1f}s", "100%"))
+    print(render_table(("phase", "time", "share"), rows))
+    print(f"phase one: {breakdown.phase_one_config.describe()}")
+    print(f"phase two: {breakdown.phase_two_config.describe()} "
+          f"x{breakdown.phase_two_stages} stage(s)")
+    return 0
+
+
+def _cmd_components(args: argparse.Namespace) -> int:
+    for record_bytes, label in ((4, "32-bit records"), (16, "128-bit records")):
+        arch = MergerArchParams(record_bytes=record_bytes)
+        rows = []
+        for k in (1, 2, 4, 8, 16, 32):
+            rows.append(
+                (
+                    f"{k}-merger",
+                    f"{arch.library.element_throughput_bytes(k) / GB:.0f} GB/s",
+                    f"{arch.library.merger_luts(k):,.0f}",
+                    f"{k}-coupler" if k > 1 else "FIFO",
+                    f"{arch.library.coupler_luts(k):,.0f}"
+                    if k > 1
+                    else f"{arch.library.fifo_luts():,.0f}",
+                )
+            )
+        print(render_table(
+            ("element", "throughput", "LUTs", "element", "LUTs"),
+            rows,
+            title=f"Table VI — {label}",
+        ))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.core.validation import (
+        geometric_mean_error,
+        validate_performance,
+        validate_resources,
+    )
+
+    platform = PLATFORMS["aws-f1"]()
+    arch = MergerArchParams()
+    perf_configs = [
+        AmtConfig(p=2, leaves=8),
+        AmtConfig(p=4, leaves=16),
+        AmtConfig(p=8, leaves=16),
+    ]
+    perf = validate_performance(
+        perf_configs, n_records=args.records,
+        hardware=platform.hardware, arch=arch,
+    )
+    resource_configs = [
+        AmtConfig(p=p, leaves=leaves) for p in (2, 8, 32) for leaves in (16, 256)
+    ]
+    resources = validate_resources(
+        resource_configs, hardware=platform.hardware, arch=arch
+    )
+    rows = [
+        (point.config.describe(), "performance",
+         f"{100 * point.relative_error:.1f}%")
+        for point in perf
+    ] + [
+        (point.config.describe(), "resources",
+         f"{100 * point.relative_error:.1f}%")
+        for point in resources
+    ]
+    print(render_table(("configuration", "model", "error vs measured"), rows))
+    print(f"performance geometric-mean error: "
+          f"{100 * geometric_mean_error(perf):.1f}%  (paper claims <10%)")
+    print(f"resource geometric-mean error:    "
+          f"{100 * geometric_mean_error(resources):.1f}%  (paper claims <5%)")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.analysis.bandwidth_efficiency import efficiency_comparison
+    from repro.baselines.published import (
+        TABLE_I_SIZE_LABELS,
+        TABLE_I_SIZES_GB,
+        table_i_ms_per_gb,
+    )
+    from repro.core.scalability import ScalabilityModel
+
+    out_dir = pathlib.Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    # Table I with our reproduced row.
+    model = ScalabilityModel()
+    rows = [(name,) + values for name, values in table_i_ms_per_gb().items()]
+    ours = tuple(
+        round(model.point(int(size * GB)).latency_ms_per_gb, 1)
+        for size in TABLE_I_SIZES_GB
+    )
+    rows.append(("Bonsai (this repro)",) + ours)
+    (out_dir / "table1.txt").write_text(
+        render_table(("sorter",) + TABLE_I_SIZE_LABELS, rows,
+                     title="Table I - ms/GB")
+    )
+
+    # Table V.
+    breakdown = SsdSortPlan().plan(ArrayParams.from_bytes(2048 * GB))
+    table5 = [(phase, round(seconds, 1), round(pct, 1))
+              for phase, seconds, pct in breakdown.rows()]
+    table5.append(("Total", round(breakdown.total_seconds, 1), 100.0))
+    (out_dir / "table5.txt").write_text(
+        render_table(("phase", "seconds", "%"), table5, title="Table V")
+    )
+
+    # Fig. 12.
+    fig12 = [(e.name, round(e.efficiency, 3)) for e in efficiency_comparison()]
+    (out_dir / "fig12.txt").write_text(
+        render_table(("sorter", "efficiency"), fig12,
+                     title="Fig. 12 - bandwidth-efficiency at 16 GB",
+                     precision=3)
+    )
+
+    # Fig. 13.
+    sizes = ScalabilityModel.paper_sizes()
+    fig13 = [
+        (format_bytes(point.total_bytes), point.regime, point.stages,
+         round(point.latency_ms_per_gb, 1))
+        for point in model.curve(sizes)
+    ]
+    (out_dir / "fig13.txt").write_text(
+        render_table(("size", "regime", "stages", "ms/GB"), fig13,
+                     title="Fig. 13 - latency per GB")
+    )
+
+    for name in ("table1", "table5", "fig12", "fig13"):
+        print(f"wrote {out_dir / name}.txt")
+    print("run `pytest benchmarks/ --benchmark-only` for the full set "
+          "(Tables IV/VI, Figs. 5/8/9/10/11, ablations)")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_report, collect_status
+
+    status = collect_status(args.results)
+    build_report(args.results, args.output)
+    print(f"wrote {args.output} with {len(status.present)} sections")
+    if status.missing:
+        print(f"missing sections (run the benches): {', '.join(status.missing)}")
+    return 0
+
+
+COMMANDS = {
+    "optimize": _cmd_optimize,
+    "sort": _cmd_sort,
+    "scalability": _cmd_scalability,
+    "ssd-plan": _cmd_ssd_plan,
+    "components": _cmd_components,
+    "validate": _cmd_validate,
+    "experiments": _cmd_experiments,
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``bonsai`` console script."""
+    args = _build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args)
+    except BonsaiError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

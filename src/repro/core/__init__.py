@@ -1,0 +1,50 @@
+"""Bonsai's models and optimizer — the paper's primary contribution.
+
+* :mod:`repro.core.parameters` — the input parameters of Table II.
+* :mod:`repro.core.configuration` — AMT configurations of Table III.
+* :mod:`repro.core.components` — the merger/coupler/FIFO component library
+  measured in Table VI, with record-width and size extrapolation.
+* :mod:`repro.core.performance` — the performance model, Eqs. 1-7.
+* :mod:`repro.core.resources` — the resource model, Eqs. 8-10, plus the
+  structural enumerator standing in for Vivado synthesis reports.
+* :mod:`repro.core.optimizer` — Bonsai: exhaustive pruning of the AMT
+  configuration space for latency- or throughput-optimal designs (§III-C).
+* :mod:`repro.core.ssd_planner` — the two-phase SSD sorting plan (§IV-C).
+* :mod:`repro.core.scalability` — end-to-end latency across the full input
+  range, DRAM and SSD regimes (Fig. 13, Table I).
+* :mod:`repro.core.presets` — AWS F1 / Alveo U50 / SSD-node platforms.
+* :mod:`repro.core.validation` — model-vs-simulator accuracy checks (§VI-B).
+"""
+
+from repro.core.parameters import (
+    ArrayParams,
+    FpgaSpec,
+    HardwareParams,
+    MergerArchParams,
+)
+from repro.core.configuration import AmtConfig
+from repro.core.components import ComponentLibrary
+from repro.core.performance import PerformanceModel
+from repro.core.resources import ResourceModel, ResourceBreakdown
+from repro.core.optimizer import Bonsai, RankedConfig
+from repro.core.ssd_planner import SsdSortPlan, TwoPhaseBreakdown
+from repro.core.scalability import ScalabilityModel
+from repro.core import presets
+
+__all__ = [
+    "ArrayParams",
+    "FpgaSpec",
+    "HardwareParams",
+    "MergerArchParams",
+    "AmtConfig",
+    "ComponentLibrary",
+    "PerformanceModel",
+    "ResourceModel",
+    "ResourceBreakdown",
+    "Bonsai",
+    "RankedConfig",
+    "SsdSortPlan",
+    "TwoPhaseBreakdown",
+    "ScalabilityModel",
+    "presets",
+]

@@ -1,0 +1,140 @@
+"""The building-block component library (Table VI).
+
+Bonsai treats mergers and couplers as black boxes whose frequency and
+logic cost are *inputs* to the model (§I-B: "the resource utilization and
+frequency of mergers/couplers are treated as input parameters").  This
+module carries the paper's measured LUT counts for 32-bit and 128-bit
+records, and extrapolates:
+
+* to larger mergers via the Θ(k log k) growth law (§I-A), anchored at the
+  widest measured entry;
+* to other record widths by linear interpolation/extrapolation in the
+  record width, reflecting the paper's observation that compare-and-swap
+  logic grows linearly with width (§VI-F).
+
+Throughput of a k-element is ``k`` records/cycle, i.e. ``k * r * f``
+bytes/s — Table VI's "Th-put" column at 250 MHz.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import is_power_of_two
+
+#: Table VI(a): 32-bit records.
+MERGER_LUTS_32BIT = {1: 300, 2: 622, 4: 1_555, 8: 3_620, 16: 8_500, 32: 18_853}
+COUPLER_LUTS_32BIT = {2: 142, 4: 273, 8: 530, 16: 1_047, 32: 2_079}
+FIFO_LUTS_32BIT = 50
+
+#: Table VI(b): 128-bit records.  (The 8-coupler's 2,081 LUTs are
+#: non-monotonic against the 4-coupler in the paper; we keep the paper's
+#: numbers verbatim.)
+MERGER_LUTS_128BIT = {1: 1_016, 2: 2_210, 4: 5_604, 8: 13_051, 16: 29_970, 32: 77_732}
+COUPLER_LUTS_128BIT = {2: 576, 4: 1_938, 8: 2_081, 16: 4_142, 32: 8_266}
+FIFO_LUTS_128BIT = 134
+
+_MEASURED_WIDTHS = (4, 16)  # record bytes of the two measured tables
+_MAX_TABLE_K = 32
+
+
+def _tables_for_width(record_bytes: int) -> tuple[dict, dict, float]:
+    """Merger/coupler/FIFO costs at ``record_bytes`` wide records.
+
+    Linear interpolation between the 4-byte and 16-byte measurements and
+    linear extrapolation outside them (clamped at the 4-byte floor), per
+    the linear-in-width CAS argument of §VI-F.
+    """
+    if record_bytes <= 0:
+        raise ConfigurationError(f"record width must be positive, got {record_bytes}")
+    low, high = _MEASURED_WIDTHS
+    fraction = (record_bytes - low) / (high - low)
+
+    def blend(a: float, b: float) -> float:
+        """Width-interpolated cost with a sane floor."""
+        value = a + fraction * (b - a)
+        return max(value, min(a, b) * 0.25)
+
+    mergers = {
+        k: blend(MERGER_LUTS_32BIT[k], MERGER_LUTS_128BIT[k])
+        for k in MERGER_LUTS_32BIT
+    }
+    couplers = {
+        k: blend(COUPLER_LUTS_32BIT[k], COUPLER_LUTS_128BIT[k])
+        for k in COUPLER_LUTS_32BIT
+    }
+    fifo = blend(FIFO_LUTS_32BIT, FIFO_LUTS_128BIT)
+    return mergers, couplers, fifo
+
+
+@dataclass(frozen=True)
+class ComponentLibrary:
+    """LUT/throughput oracle for mergers, couplers and FIFOs.
+
+    Parameters
+    ----------
+    record_bytes:
+        Record width ``r`` this library is instantiated for.
+    frequency_hz:
+        Clock frequency ``f`` (Table II(c)); the paper's designs run at
+        250 MHz.
+    """
+
+    record_bytes: int = 4
+    frequency_hz: float = 250e6
+    _mergers: dict = field(init=False, repr=False)
+    _couplers: dict = field(init=False, repr=False)
+    _fifo: float = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError(
+                f"frequency must be positive, got {self.frequency_hz}"
+            )
+        mergers, couplers, fifo = _tables_for_width(self.record_bytes)
+        object.__setattr__(self, "_mergers", mergers)
+        object.__setattr__(self, "_couplers", couplers)
+        object.__setattr__(self, "_fifo", fifo)
+
+    # ------------------------------------------------------------------
+    def merger_luts(self, k: int) -> float:
+        """``m_k``: LUTs of a k-merger (Table II(c))."""
+        self._check_k(k)
+        if k in self._mergers:
+            return self._mergers[k]
+        # Θ(k log k) extrapolation anchored at the widest measured merger.
+        anchor = self._mergers[_MAX_TABLE_K]
+        return anchor * (k * math.log2(2 * k)) / (
+            _MAX_TABLE_K * math.log2(2 * _MAX_TABLE_K)
+        )
+
+    def coupler_luts(self, k: int) -> float:
+        """``c_k``: LUTs of a k-coupler; a width-1 'coupler' is the plain
+        FIFO connecting two 1-mergers."""
+        self._check_k(k)
+        if k == 1:
+            return self._fifo
+        if k in self._couplers:
+            return self._couplers[k]
+        anchor = self._couplers[_MAX_TABLE_K]
+        return anchor * k / _MAX_TABLE_K  # couplers grow linearly in k
+
+    def fifo_luts(self) -> float:
+        """LUT cost of one stream FIFO."""
+        return self._fifo
+
+    def _check_k(self, k: int) -> None:
+        if not is_power_of_two(k):
+            raise ConfigurationError(f"element width must be a power of two, got {k}")
+
+    # ------------------------------------------------------------------
+    def element_throughput_bytes(self, k: int) -> float:
+        """Bytes/s through a k-element: ``k * r * f`` (Table VI Th-put)."""
+        self._check_k(k)
+        return k * self.record_bytes * self.frequency_hz
+
+    def amt_throughput_bytes(self, p: int) -> float:
+        """Peak AMT output rate ``p f r`` used throughout §III."""
+        return self.element_throughput_bytes(p)

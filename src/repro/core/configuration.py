@@ -1,0 +1,108 @@
+"""AMT configurations (Table III).
+
+A configuration fixes four knobs: the per-AMT throughput ``p`` and leaf
+count ``l`` (every AMT in a configuration shares them, §III-A), the
+unrolling amount ``λ_unrl`` (independent parallel AMTs, §III-A2) and the
+pipelining amount ``λ_pipe`` (AMTs chained so each merge stage runs on a
+different tree, §III-A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import is_power_of_two, log2_int
+
+
+@dataclass(frozen=True, order=True)
+class AmtConfig:
+    """One point in Bonsai's search space.
+
+    Parameters
+    ----------
+    p:
+        Records output per cycle by each merge tree (power of two).
+    leaves:
+        Input arrays each tree merges concurrently (power of two >= 2).
+    lambda_unroll:
+        Number of independent parallel AMT pipelines.
+    lambda_pipe:
+        Number of pipelined AMT stages per pipeline.
+    """
+
+    p: int
+    leaves: int
+    lambda_unroll: int = 1
+    lambda_pipe: int = 1
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.p):
+            raise ConfigurationError(f"p must be a power of two, got {self.p}")
+        if not is_power_of_two(self.leaves) or self.leaves < 2:
+            raise ConfigurationError(
+                f"leaf count must be a power of two >= 2, got {self.leaves}"
+            )
+        if self.lambda_unroll < 1:
+            raise ConfigurationError(
+                f"unroll factor must be >= 1, got {self.lambda_unroll}"
+            )
+        if self.lambda_pipe < 1:
+            raise ConfigurationError(
+                f"pipeline depth must be >= 1, got {self.lambda_pipe}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_amts(self) -> int:
+        """Trees instantiated on chip: ``λ_pipe * λ_unrl`` (§III-A4)."""
+        return self.lambda_unroll * self.lambda_pipe
+
+    @property
+    def depth(self) -> int:
+        """Merger levels per tree."""
+        return log2_int(self.leaves)
+
+    def merger_width_at(self, level: int) -> int:
+        """Merger size at tree level ``level`` (root = 0); §II."""
+        if not 0 <= level < self.depth:
+            raise ConfigurationError(
+                f"level {level} outside tree of depth {self.depth}"
+            )
+        return max(1, self.p >> level)
+
+    def merger_counts(self) -> dict[int, int]:
+        """Histogram {merger width: count} over one tree."""
+        counts: dict[int, int] = {}
+        for level in range(self.depth):
+            width = self.merger_width_at(level)
+            counts[width] = counts.get(width, 0) + (1 << level)
+        return counts
+
+    def coupler_counts(self) -> dict[int, int]:
+        """Histogram {coupler width: count} over one tree.
+
+        A coupler of width ``k`` sits on every edge whose parent merger is
+        twice as wide as its child; same-width (1-merger) edges are plain
+        FIFOs and are accounted separately.
+        """
+        counts: dict[int, int] = {}
+        for level in range(1, self.depth):
+            parent = self.merger_width_at(level - 1)
+            child = self.merger_width_at(level)
+            if parent == 2 * child:
+                counts[parent] = counts.get(parent, 0) + (1 << level)
+        return counts
+
+    def describe(self) -> str:
+        """Human-readable label, e.g. ``4x pipelined AMT(8, 64)``."""
+        base = f"AMT({self.p}, {self.leaves})"
+        parts = []
+        if self.lambda_unroll > 1:
+            parts.append(f"{self.lambda_unroll}x unrolled")
+        if self.lambda_pipe > 1:
+            parts.append(f"{self.lambda_pipe}x pipelined")
+        return f"{' '.join(parts)} {base}".strip()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()

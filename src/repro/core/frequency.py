@@ -1,0 +1,84 @@
+"""Routing-congestion frequency model (§VI-C1, optional extension).
+
+The paper's base model treats the clock ``f`` as a constant 250 MHz, but
+its implemented DRAM sorter deviates from the model's optimum because
+"designs with more leaves have lower frequency due to FPGA routing
+congestion" (§VI-C1 limits l to 64).  This optional model makes that
+effect first-class: frequency holds at the base rate up to a congestion
+threshold in leaves, then degrades geometrically per leaf doubling.
+
+The default degradation (0.7x per doubling past 64 leaves) is calibrated
+so the paper's implemented choice *emerges* from the optimizer: with the
+model active, AMT(32, 64) beats AMT(32, 128) and AMT(32, 256) for
+DRAM-scale sorts on the F1 — no hand-imposed ``leaves_cap`` needed.
+Pass a different degradation to explore other parts (the ablation bench
+sweeps it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import is_power_of_two
+
+
+@dataclass(frozen=True)
+class FrequencyModel:
+    """Achievable clock frequency as a function of the AMT shape.
+
+    Parameters
+    ----------
+    base_hz:
+        Frequency of uncongested designs (the paper's 250 MHz).
+    congestion_leaves:
+        Largest leaf count that still closes timing at ``base_hz``
+        (§VI-C1: 64 on the VU9P).
+    degradation_per_doubling:
+        Multiplicative frequency factor per leaf doubling past the
+        threshold.
+    p_congestion:
+        Largest merger width that still closes timing at ``base_hz``;
+        wider mergers (beyond the paper's synthesized p = 32) degrade by
+        the same factor per doubling.
+    """
+
+    base_hz: float = 250e6
+    congestion_leaves: int = 64
+    degradation_per_doubling: float = 0.7
+    p_congestion: int = 32
+
+    def __post_init__(self) -> None:
+        if self.base_hz <= 0:
+            raise ConfigurationError(f"base frequency must be positive, got {self.base_hz}")
+        if not is_power_of_two(self.congestion_leaves):
+            raise ConfigurationError(
+                f"congestion threshold must be a power of two, got "
+                f"{self.congestion_leaves}"
+            )
+        if not 0 < self.degradation_per_doubling <= 1:
+            raise ConfigurationError(
+                "degradation factor must be in (0, 1], got "
+                f"{self.degradation_per_doubling}"
+            )
+        if not is_power_of_two(self.p_congestion):
+            raise ConfigurationError(
+                f"p threshold must be a power of two, got {self.p_congestion}"
+            )
+
+    def frequency(self, p: int, leaves: int) -> float:
+        """Achievable clock for an AMT(p, leaves)."""
+        if not is_power_of_two(p) or not is_power_of_two(leaves):
+            raise ConfigurationError(
+                f"AMT shape must be powers of two, got p={p}, leaves={leaves}"
+            )
+        doublings = 0
+        if leaves > self.congestion_leaves:
+            doublings += (leaves // self.congestion_leaves).bit_length() - 1
+        if p > self.p_congestion:
+            doublings += (p // self.p_congestion).bit_length() - 1
+        return self.base_hz * self.degradation_per_doubling**doublings
+
+    def slowdown(self, p: int, leaves: int) -> float:
+        """Fraction of the base frequency lost to congestion."""
+        return 1.0 - self.frequency(p, leaves) / self.base_hz

@@ -1,0 +1,255 @@
+"""Bonsai: the AMT configuration optimizer (§III-C).
+
+"Bonsai is an optimization strategy that exhaustively prunes all AMT
+configurations that fit into on-chip resources and picks the one with
+either minimal sorting time (latency-optimal) or maximal throughput
+(throughput-optimal)."
+
+The search space enumerates ``p`` and ``l`` over powers of two,
+``λ_unrl`` over powers of two, and ``λ_pipe`` over small integers.
+Feasibility is Eq. 9 (LUT) and Eq. 10 (BRAM); throughput optimization
+additionally enforces the pipeline-capacity constraint Eq. 5.
+
+Ties in the objective are broken toward fewer LUTs, then less BRAM —
+which is exactly how the paper's reported optima fall out of the model:
+e.g. the throughput-optimal SSD phase-1 design is the 4-deep pipeline of
+AMT(8, 64), not AMT(32, 64) (same 8 GB/s I/O-bound throughput, fewer
+LUTs) and not a 2-deep pipeline (Eq. 5 capacity falls short of 8 GB).
+
+"Importantly, Bonsai can list all implementable AMT configurations in
+decreasing order of performance" — :meth:`Bonsai.rank_by_latency` and
+:meth:`Bonsai.rank_by_throughput` return that list.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, Literal
+
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import ArrayParams, HardwareParams, MergerArchParams
+from repro.core.performance import PerformanceModel
+from repro.core.resources import ResourceModel
+from repro.errors import ConfigurationError, NoFeasibleConfigError
+
+UnrollMode = Literal["partition", "address_range"]
+
+
+@dataclass(frozen=True)
+class RankedConfig:
+    """One feasible configuration with its predicted figures of merit."""
+
+    config: AmtConfig
+    latency_seconds: float
+    throughput_bytes: float
+    lut_usage: float
+    bram_bytes: int
+
+    def describe(self) -> str:
+        """One-line summary: config, latency, throughput, LUTs."""
+        return (
+            f"{self.config.describe()}: "
+            f"{self.latency_seconds:.3f} s, "
+            f"{self.throughput_bytes / 1e9:.2f} GB/s, "
+            f"{self.lut_usage:,.0f} LUTs"
+        )
+
+
+@dataclass
+class Bonsai:
+    """The optimizer: performance + resource models over a search space.
+
+    Parameters
+    ----------
+    hardware / arch:
+        Table II inputs.
+    presort_run:
+        Presorter run length available to designs (§VI-C); enters the
+        stage count and the Eq. 5 capacity bound.
+    p_max / leaves_max / unroll_max / pipe_max:
+        Search-space bounds.  ``p_max`` defaults to 32 — the widest
+        merger the paper built and timed at 250 MHz ("using even bigger
+        mergers is also possible", §I-A, but their frequency is
+        unvalidated); the other bounds comfortably cover every
+        configuration the paper discusses.
+    leaves_cap:
+        Optional hard cap on ``l`` modelling routing-congestion
+        frequency loss (§VI-C1 limits the implemented design to l = 64
+        "because designs with more leaves have lower frequency").
+    frequency_model:
+        Optional smooth alternative to ``leaves_cap``: a
+        :class:`~repro.core.frequency.FrequencyModel` that degrades each
+        configuration's clock past its congestion thresholds, letting
+        the implemented l = 64 choice *emerge* from the search.
+    """
+
+    hardware: HardwareParams
+    arch: MergerArchParams
+    presort_run: int = 16
+    p_max: int = 32
+    leaves_max: int = 4096
+    unroll_max: int = 64
+    pipe_max: int = 8
+    leaves_cap: int | None = None
+    frequency_model: object | None = None
+
+    performance: PerformanceModel = field(init=False)
+    resources: ResourceModel = field(init=False)
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("p_max", self.p_max),
+            ("leaves_max", self.leaves_max),
+            ("unroll_max", self.unroll_max),
+            ("pipe_max", self.pipe_max),
+        ):
+            if value < 1:
+                raise ConfigurationError(f"{label} must be >= 1, got {value}")
+        self.performance = PerformanceModel(
+            hardware=self.hardware,
+            arch=self.arch,
+            presort_run=self.presort_run,
+            frequency_model=self.frequency_model,
+        )
+        self.resources = ResourceModel(
+            hardware=self.hardware, library=self.arch.library
+        )
+
+    # ------------------------------------------------------------------
+    # search space
+    # ------------------------------------------------------------------
+    def _powers(self, start: int, limit: int) -> Iterator[int]:
+        value = start
+        while value <= limit:
+            yield value
+            value *= 2
+
+    def feasible_configs(self, include_pipelines: bool = False) -> Iterator[AmtConfig]:
+        """All configurations satisfying Eq. 9 and Eq. 10."""
+        leaves_limit = self.leaves_max
+        if self.leaves_cap is not None:
+            leaves_limit = min(leaves_limit, self.leaves_cap)
+        pipe_range = range(1, self.pipe_max + 1) if include_pipelines else (1,)
+        for p in self._powers(1, self.p_max):
+            for leaves in self._powers(2, leaves_limit):
+                # Cheap monotone pruning: if the single tree already
+                # violates a bound, wider λ only makes it worse.
+                base = AmtConfig(p=p, leaves=leaves)
+                if not self.resources.fits(base):
+                    continue
+                for lambda_pipe in pipe_range:
+                    for lambda_unroll in self._powers(1, self.unroll_max):
+                        config = AmtConfig(
+                            p=p,
+                            leaves=leaves,
+                            lambda_unroll=lambda_unroll,
+                            lambda_pipe=lambda_pipe,
+                        )
+                        if self.resources.fits(config):
+                            yield config
+
+    # ------------------------------------------------------------------
+    # latency optimization (§III-C, first program)
+    # ------------------------------------------------------------------
+    def _latency(self, config: AmtConfig, array: ArrayParams, mode: UnrollMode) -> float:
+        if mode == "address_range":
+            return self.performance.latency_unrolled_address_range(config, array)
+        return self.performance.latency_unrolled(config, array)
+
+    def rank_by_latency(
+        self,
+        array: ArrayParams,
+        unroll_mode: UnrollMode = "partition",
+        top: int | None = None,
+    ) -> list[RankedConfig]:
+        """All feasible configs in increasing sorting-time order.
+
+        Pipelining is excluded: "Pipelining is not used in the latency
+        optimization model, because it does not improve sorting time."
+        """
+        ranked = []
+        for config in self.feasible_configs(include_pipelines=False):
+            latency = self._latency(config, array, unroll_mode)
+            ranked.append(
+                RankedConfig(
+                    config=config,
+                    latency_seconds=latency,
+                    throughput_bytes=array.total_bytes / latency,
+                    lut_usage=self.resources.lut_usage(config),
+                    bram_bytes=self.resources.bram_bytes(config),
+                )
+            )
+        # Equal-latency ties prefer more leaves (robustness to larger N:
+        # "then builds as many leaves as can be implemented", §IV-A),
+        # then fewer LUTs (which settles p at the bandwidth-matching
+        # width rather than anything wider).
+        ranked.sort(
+            key=lambda r: (
+                r.latency_seconds,
+                -r.config.leaves,
+                r.lut_usage,
+                r.bram_bytes,
+            )
+        )
+        return ranked[:top] if top is not None else ranked
+
+    def latency_optimal(
+        self, array: ArrayParams, unroll_mode: UnrollMode = "partition"
+    ) -> RankedConfig:
+        """The minimum-sorting-time configuration (argmin of §III-C)."""
+        ranked = self.rank_by_latency(array, unroll_mode=unroll_mode, top=1)
+        if not ranked:
+            raise NoFeasibleConfigError(
+                "no AMT configuration fits the available on-chip resources"
+            )
+        return ranked[0]
+
+    # ------------------------------------------------------------------
+    # throughput optimization (§III-C, second program)
+    # ------------------------------------------------------------------
+    def rank_by_throughput(
+        self, array: ArrayParams, top: int | None = None
+    ) -> list[RankedConfig]:
+        """Feasible pipelined configs in decreasing throughput order.
+
+        Enforces the Eq. 5 capacity constraint
+        ``min(C_DRAM/(λ_pipe λ_unrl), l**λ_pipe) >= N``.
+        """
+        ranked = []
+        for config in self.feasible_configs(include_pipelines=True):
+            if not self.pipeline_can_sort(config, array):
+                continue
+            throughput = self.performance.throughput_combined(config)
+            ranked.append(
+                RankedConfig(
+                    config=config,
+                    latency_seconds=self.performance.latency_combined(config, array),
+                    throughput_bytes=throughput,
+                    lut_usage=self.resources.lut_usage(config),
+                    bram_bytes=self.resources.bram_bytes(config),
+                )
+            )
+        ranked.sort(key=lambda r: (-r.throughput_bytes, r.lut_usage, r.bram_bytes))
+        return ranked[:top] if top is not None else ranked
+
+    def throughput_optimal(self, array: ArrayParams) -> RankedConfig:
+        """The maximum-throughput configuration (argmax of §III-C)."""
+        ranked = self.rank_by_throughput(array, top=1)
+        if not ranked:
+            raise NoFeasibleConfigError(
+                "no pipelined AMT configuration can sort arrays of "
+                f"{array.total_bytes:,} bytes within resources and Eq. 5"
+            )
+        return ranked[0]
+
+    def pipeline_can_sort(self, config: AmtConfig, array: ArrayParams) -> bool:
+        """Eq. 5 capacity check with combined unrolling.
+
+        The DRAM term divides by all resident AMTs (every tree stores its
+        intermediate output on DRAM); the depth term is per pipeline.
+        """
+        dram_bound = self.hardware.c_dram / config.total_amts / self.arch.record_bytes
+        depth_bound = self.presort_run * float(config.leaves) ** config.lambda_pipe
+        per_pipeline_records = math.ceil(array.n_records / config.lambda_unroll)
+        return min(dram_bound, depth_bound) >= per_pipeline_records

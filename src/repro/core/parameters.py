@@ -1,0 +1,163 @@
+"""Bonsai input parameters (Table II).
+
+Three parameter groups feed the optimizer:
+
+* :class:`ArrayParams` — Table II(a): record count ``N`` and width ``r``.
+* :class:`HardwareParams` — Table II(b): off-chip bandwidth/capacity, I/O
+  bandwidth, on-chip memory, logic capacity and the read-batch size ``b``.
+* :class:`MergerArchParams` — Table II(c): merger frequency ``f`` and the
+  per-component LUT costs ``m_k`` / ``c_k`` (via the component library).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.components import ComponentLibrary
+from repro.errors import ConfigurationError
+from repro.memory.base import MemoryModel
+from repro.records.record import RecordFormat, U32
+from repro.units import GB, KiB, MiB
+
+
+@dataclass(frozen=True)
+class ArrayParams:
+    """Table II(a): the array being sorted."""
+
+    n_records: int
+    fmt: RecordFormat = U32
+
+    def __post_init__(self) -> None:
+        if self.n_records < 1:
+            raise ConfigurationError(
+                f"array must have at least one record, got {self.n_records}"
+            )
+
+    @property
+    def record_bytes(self) -> int:
+        """``r`` in the model's equations."""
+        return self.fmt.width_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """``N * r``."""
+        return self.n_records * self.record_bytes
+
+    @classmethod
+    def from_bytes(cls, total_bytes: int, fmt: RecordFormat = U32) -> "ArrayParams":
+        """Array sized in bytes, e.g. ``from_bytes(16 * GB)``."""
+        n_records = fmt.records_for(total_bytes)
+        return cls(n_records=n_records, fmt=fmt)
+
+
+@dataclass(frozen=True)
+class FpgaSpec:
+    """On-chip resource capacities of one FPGA part.
+
+    ``bram_effective_bytes`` is the on-chip buffer budget ``C_BRAM``
+    available to the data loader (Eq. 10).  It is deliberately smaller
+    than the part's raw BRAM bits: the 512-bit-wide leaf FIFOs map
+    inefficiently onto BRAM primitives and the loader/presorter keep
+    private buffers.  The default is calibrated so that, with the paper's
+    4 KiB batches, Eq. 10 caps the leaf count at 256 — exactly the limit
+    the paper reports for the VU9P (§IV-A: "the reason why l cannot be
+    made larger than 256 is that the data loader uses up the on-chip
+    memory").
+    """
+
+    name: str = "xcvu9p"
+    lut_capacity: int = 862_128          # Table IV "Available"
+    flipflop_capacity: int = 1_761_817   # Table IV "Available"
+    bram_blocks: int = 1_600             # Table IV "Available" (36 Kb blocks)
+    bram_effective_bytes: int = 1 * MiB
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("LUT capacity", self.lut_capacity),
+            ("flip-flop capacity", self.flipflop_capacity),
+            ("BRAM blocks", self.bram_blocks),
+            ("effective BRAM bytes", self.bram_effective_bytes),
+        ):
+            if value <= 0:
+                raise ConfigurationError(f"{label} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class HardwareParams:
+    """Table II(b): the hardware envelope Bonsai optimises for."""
+
+    beta_dram: float
+    beta_io: float
+    c_dram: int
+    c_bram: int
+    c_lut: int
+    batch_bytes: int = 4 * KiB
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("DRAM bandwidth", self.beta_dram),
+            ("I/O bandwidth", self.beta_io),
+            ("DRAM capacity", self.c_dram),
+            ("BRAM capacity", self.c_bram),
+            ("LUT capacity", self.c_lut),
+            ("batch size", self.batch_bytes),
+        ):
+            if value <= 0:
+                raise ConfigurationError(f"{label} must be positive, got {value}")
+        if not 1 * KiB // 2 <= self.batch_bytes <= 64 * KiB:
+            raise ConfigurationError(
+                f"batch size {self.batch_bytes} outside the sane 0.5-64 KiB "
+                "range (the paper uses 1-4 KB, §II)"
+            )
+
+    @classmethod
+    def from_platform(
+        cls,
+        memory: MemoryModel,
+        fpga: FpgaSpec,
+        io_bandwidth: float = 8 * GB,
+        batch_bytes: int = 4 * KiB,
+        use_measured_bandwidth: bool = True,
+    ) -> "HardwareParams":
+        """Assemble Table II(b) from a memory model and an FPGA spec."""
+        beta = memory.bandwidth if use_measured_bandwidth else memory.peak_bandwidth
+        return cls(
+            beta_dram=beta,
+            beta_io=io_bandwidth,
+            c_dram=memory.capacity_bytes,
+            c_bram=fpga.bram_effective_bytes,
+            c_lut=fpga.lut_capacity,
+            batch_bytes=batch_bytes,
+        )
+
+    def max_leaves(self) -> int:
+        """Largest power-of-two leaf count satisfying Eq. 10 at λ = 1."""
+        limit = self.c_bram // self.batch_bytes
+        if limit < 2:
+            raise ConfigurationError(
+                "on-chip memory cannot buffer even two leaves; decrease the "
+                f"batch size (b={self.batch_bytes}, C_BRAM={self.c_bram})"
+            )
+        return 1 << (limit.bit_length() - 1)
+
+
+@dataclass(frozen=True)
+class MergerArchParams:
+    """Table II(c): merger frequency and component costs."""
+
+    record_bytes: int = 4
+    frequency_hz: float = 250e6
+    library: ComponentLibrary = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "library",
+            ComponentLibrary(
+                record_bytes=self.record_bytes, frequency_hz=self.frequency_hz
+            ),
+        )
+
+    def amt_throughput_bytes(self, p: int) -> float:
+        """``p f r``."""
+        return self.library.amt_throughput_bytes(p)

@@ -1,0 +1,218 @@
+"""The Bonsai performance model (Equations 1-7, §III-A).
+
+Every public method corresponds to a numbered equation of the paper;
+deviations are called out where the paper's formulae contain typos:
+
+* Eq. 2's numerator is written ``N r ceil(log_l(N/λ))`` in the paper,
+  which would make unrolling a strict loss even when compute-bound.  The
+  physically consistent form — each AMT sorts its ``N/λ`` partition at
+  its ``β/λ`` bandwidth share — is ``(N/λ) r ceil(log_l(N/λ)) /
+  min(p f r, β/λ)``, which reduces to the expected ``N r S / β`` in the
+  bandwidth-bound regime (the data still crosses memory once per stage)
+  and exposes the genuine unrolling speed-up in the compute-bound regime
+  (the HBM case of §IV-B).  We implement the consistent form and verify
+  both regimes in tests.
+
+The optional presorter (§VI-C) shortens the first stage's input runs to
+``presort_run`` records, so the stage count becomes
+``ceil(log_l(N / presort_run))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.configuration import AmtConfig
+from repro.core.frequency import FrequencyModel
+from repro.core.parameters import ArrayParams, HardwareParams, MergerArchParams
+from repro.errors import ConfigurationError
+from repro.units import ceil_log, log2_int
+
+
+@dataclass(frozen=True)
+class PerformanceModel:
+    """Latency/throughput predictions for AMT configurations.
+
+    Parameters
+    ----------
+    hardware:
+        Table II(b) parameters.
+    arch:
+        Table II(c) parameters (frequency, record width, components).
+    presort_run:
+        Records per presorted run entering the first merge stage
+        (1 = no presorter; the paper's DRAM sorter uses 16).
+    frequency_model:
+        Optional routing-congestion model (§VI-C1): when set, each
+        configuration's throughput uses its own achievable clock instead
+        of the constant ``arch.frequency_hz``.
+    """
+
+    hardware: HardwareParams
+    arch: MergerArchParams
+    presort_run: int = 1
+    frequency_model: FrequencyModel | None = None
+
+    def __post_init__(self) -> None:
+        if self.presort_run < 1:
+            raise ConfigurationError(
+                f"presort run length must be >= 1, got {self.presort_run}"
+            )
+
+    # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
+    def effective_frequency(self, config: AmtConfig) -> float:
+        """The configuration's clock under the optional congestion model."""
+        if self.frequency_model is None:
+            return self.arch.frequency_hz
+        return self.frequency_model.frequency(config.p, config.leaves)
+
+    def amt_throughput(self, config: AmtConfig) -> float:
+        """``p f r``: one tree's peak output in bytes/s."""
+        base = self.arch.amt_throughput_bytes(config.p)
+        if self.frequency_model is None:
+            return base
+        return base * self.effective_frequency(config) / self.arch.frequency_hz
+
+    def stage_count(self, config: AmtConfig, n_records: int) -> int:
+        """Merge stages to sort ``n_records``: ``ceil(log_l(N / presort))``.
+
+        At least one stage always runs — even presorted data must pass
+        through the tree once to be concatenated into a single run.
+        """
+        if n_records < 1:
+            raise ConfigurationError(f"need at least one record, got {n_records}")
+        effective = max(1.0, n_records / self.presort_run)
+        return max(1, ceil_log(effective, config.leaves))
+
+    # ------------------------------------------------------------------
+    # Eq. 1: single-AMT latency
+    # ------------------------------------------------------------------
+    def latency_single(self, config: AmtConfig, array: ArrayParams) -> float:
+        """Eq. 1: ``N r ceil(log_l N) / min(p f r, β_DRAM)`` seconds."""
+        stages = self.stage_count(config, array.n_records)
+        rate = min(self.amt_throughput(config), self.hardware.beta_dram)
+        return array.total_bytes * stages / rate
+
+    # ------------------------------------------------------------------
+    # Eq. 2: unrolled latency (partitioned data)
+    # ------------------------------------------------------------------
+    def latency_unrolled(self, config: AmtConfig, array: ArrayParams) -> float:
+        """Eq. 2 (consistent form): λ AMTs sort disjoint partitions.
+
+        Each AMT handles ``N/λ`` records with a ``β/λ`` bandwidth share;
+        partitioning overlaps the first stage (§III-A2) and costs nothing.
+        """
+        lam = config.lambda_unroll
+        if lam == 1:
+            return self.latency_single(config, array)
+        per_amt_records = max(1, math.ceil(array.n_records / lam))
+        stages = self.stage_count(config, per_amt_records)
+        rate = min(self.amt_throughput(config), self.hardware.beta_dram / lam)
+        return per_amt_records * array.record_bytes * stages / rate
+
+    # ------------------------------------------------------------------
+    # §IV-B: unrolled latency, address-range variant
+    # ------------------------------------------------------------------
+    def latency_unrolled_address_range(
+        self, config: AmtConfig, array: ArrayParams
+    ) -> float:
+        """Address-range unrolling: no partitioning; final merges idle AMTs.
+
+        Each AMT first sorts a predefined address range, then the λ sorted
+        ranges are merged by progressively fewer AMTs (§IV-B: "half of the
+        AMTs are idled, and the remaining AMTs do one more merge stage").
+        Every active AMT keeps its ``β/λ`` bank share.
+        """
+        lam = config.lambda_unroll
+        if lam == 1:
+            return self.latency_single(config, array)
+        per_amt_rate = min(self.amt_throughput(config), self.hardware.beta_dram / lam)
+        per_amt_records = max(1, math.ceil(array.n_records / lam))
+        stages = self.stage_count(config, per_amt_records)
+        seconds = per_amt_records * array.record_bytes * stages / per_amt_rate
+        # Final merges: λ ranges shrink by a factor of `leaves` per extra
+        # stage; active AMTs = number of merge groups.
+        remaining = lam
+        while remaining > 1:
+            groups = max(1, math.ceil(remaining / config.leaves))
+            seconds += array.total_bytes / (groups * per_amt_rate)
+            remaining = groups
+        return seconds
+
+    # ------------------------------------------------------------------
+    # Eq. 3/4: pipelined throughput and latency
+    # ------------------------------------------------------------------
+    def pipeline_throughput(self, config: AmtConfig) -> float:
+        """Eq. 3: ``min(p f r, β_DRAM/λ_pipe, β_I/O)`` bytes/s."""
+        return min(
+            self.amt_throughput(config),
+            self.hardware.beta_dram / config.lambda_pipe,
+            self.hardware.beta_io,
+        )
+
+    def pipeline_latency(self, config: AmtConfig, array: ArrayParams) -> float:
+        """Eq. 4: ``N r λ_pipe / min(p f r, β_DRAM/λ_pipe, β_I/O)``."""
+        return (
+            array.total_bytes
+            * config.lambda_pipe
+            / self.pipeline_throughput(config)
+        )
+
+    # ------------------------------------------------------------------
+    # Eq. 5: pipeline capacity
+    # ------------------------------------------------------------------
+    def pipeline_capacity_records(self, config: AmtConfig) -> float:
+        """Eq. 5: largest N a λ_pipe pipeline can sort.
+
+        ``min(C_DRAM / λ_pipe, l**λ_pipe)`` — the DRAM bound is in
+        records here, and the merge-depth bound is scaled by the presort
+        run length ("this constraint can be mitigated by pre-sorting
+        small subsequences before the initial merge stage").
+        """
+        dram_bound = (
+            self.hardware.c_dram / config.lambda_pipe / self.arch.record_bytes
+        )
+        depth_bound = self.presort_run * float(config.leaves) ** config.lambda_pipe
+        return min(dram_bound, depth_bound)
+
+    # ------------------------------------------------------------------
+    # Eq. 6/7: combined pipelining + unrolling
+    # ------------------------------------------------------------------
+    def combined_rate(self, config: AmtConfig) -> float:
+        """Per-pipeline rate under combined unrolling+pipelining (Eq. 6/7's
+        min term): ``min(p f r, β_DRAM/(λ_pipe λ_unrl), β_I/O)``."""
+        return min(
+            self.amt_throughput(config),
+            self.hardware.beta_dram / config.total_amts,
+            self.hardware.beta_io,
+        )
+
+    def latency_combined(self, config: AmtConfig, array: ArrayParams) -> float:
+        """Eq. 6: sorting time of a λ_pipe-pipelined, λ_unrl-unrolled
+        configuration (each pipeline handles ``N/λ_unrl`` records)."""
+        per_pipeline_bytes = array.total_bytes / config.lambda_unroll
+        return per_pipeline_bytes * config.lambda_pipe / self.combined_rate(config)
+
+    def throughput_combined(self, config: AmtConfig) -> float:
+        """Eq. 7: aggregate sorted-data throughput in bytes/s."""
+        return config.lambda_unroll * self.combined_rate(config)
+
+    # ------------------------------------------------------------------
+    # I/O lower bound (Fig. 5's dashed line)
+    # ------------------------------------------------------------------
+    def io_lower_bound(self, array: ArrayParams) -> float:
+        """Time to stream the data through memory once (duplex pass)."""
+        return array.total_bytes / self.hardware.beta_dram
+
+    # ------------------------------------------------------------------
+    def records_per_second(self, config: AmtConfig) -> float:
+        """Convenience: steady-state records/s of one AMT."""
+        return self.amt_throughput(config) / self.arch.record_bytes
+
+    def stage_seconds(self, config: AmtConfig, array: ArrayParams) -> float:
+        """Time of one full merge stage: ``N r / min(p f r, β)``."""
+        rate = min(self.amt_throughput(config), self.hardware.beta_dram)
+        return array.total_bytes / rate

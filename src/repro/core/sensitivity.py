@@ -1,0 +1,118 @@
+"""Sensitivity analysis over the hardware envelope (§I's architects' lens).
+
+"Our general approach helps computer architects better understand what
+performance benefits future compute and memory technology may bring, as
+well as how these improvements can best be integrated with our merge
+tree sorter."  This module answers that question systematically: perturb
+each Table II parameter in turn, re-run the optimizer, and report how
+the optimal configuration and its sorting time move.
+
+The output distinguishes parameters the design is *bound* by (perturbing
+them moves the optimum) from those with slack (the optimum is
+insensitive) — the quantitative version of Table IV's observation that
+the FPGA "has additional resources available to leverage future
+improvements in DRAM bandwidth, which is the bottleneck".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.configuration import AmtConfig
+from repro.core.optimizer import Bonsai
+from repro.core.parameters import ArrayParams, HardwareParams, MergerArchParams
+from repro.errors import ConfigurationError
+
+#: The Table II(b) knobs the analysis perturbs.
+PERTURBABLE = ("beta_dram", "beta_io", "c_bram", "c_lut")
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Effect of scaling one parameter by one factor."""
+
+    parameter: str
+    factor: float
+    config: AmtConfig
+    latency_seconds: float
+    baseline_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Baseline time over perturbed time (>1 = improvement)."""
+        return self.baseline_seconds / self.latency_seconds
+
+    @property
+    def moved_optimum(self) -> bool:
+        """True when the perturbation changed the achievable latency."""
+        return self.factor != 1.0 and self.speedup != 1.0
+
+
+def _scaled_hardware(hardware: HardwareParams, parameter: str, factor: float) -> HardwareParams:
+    if parameter not in PERTURBABLE:
+        raise ConfigurationError(
+            f"unknown parameter {parameter!r}; perturbable: {PERTURBABLE}"
+        )
+    value = getattr(hardware, parameter)
+    scaled = value * factor
+    if parameter in ("c_bram", "c_lut", ):
+        scaled = max(1, int(scaled))
+    return replace(hardware, **{parameter: scaled})
+
+
+def analyze(
+    hardware: HardwareParams,
+    arch: MergerArchParams,
+    array: ArrayParams,
+    factors: tuple[float, ...] = (0.5, 2.0, 4.0),
+    presort_run: int = 16,
+) -> list[SensitivityEntry]:
+    """Perturb each parameter by each factor; re-optimise; report.
+
+    The unperturbed optimum is included once per parameter as the
+    ``factor = 1.0`` row for easy tabulation.
+    """
+    if not factors:
+        raise ConfigurationError("need at least one perturbation factor")
+    baseline = Bonsai(
+        hardware=hardware, arch=arch, presort_run=presort_run
+    ).latency_optimal(array)
+    entries: list[SensitivityEntry] = []
+    for parameter in PERTURBABLE:
+        entries.append(
+            SensitivityEntry(
+                parameter=parameter,
+                factor=1.0,
+                config=baseline.config,
+                latency_seconds=baseline.latency_seconds,
+                baseline_seconds=baseline.latency_seconds,
+            )
+        )
+        for factor in factors:
+            scaled = _scaled_hardware(hardware, parameter, factor)
+            best = Bonsai(
+                hardware=scaled, arch=arch, presort_run=presort_run
+            ).latency_optimal(array)
+            entries.append(
+                SensitivityEntry(
+                    parameter=parameter,
+                    factor=factor,
+                    config=best.config,
+                    latency_seconds=best.latency_seconds,
+                    baseline_seconds=baseline.latency_seconds,
+                )
+            )
+    return entries
+
+
+def binding_parameters(entries: list[SensitivityEntry], threshold: float = 1.05) -> list[str]:
+    """Parameters whose doubling speeds the sorter up by >= ``threshold``.
+
+    These are the bottlenecks; everything else has slack.
+    """
+    binding = []
+    for entry in entries:
+        if entry.factor == 2.0 and entry.speedup >= threshold:
+            if entry.parameter not in binding:
+                binding.append(entry.parameter)
+    return binding

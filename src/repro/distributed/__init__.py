@@ -1,0 +1,20 @@
+"""Distributed sorting on Bonsai nodes (§II-B extension).
+
+"Our design can also be used as a building block for a larger
+distributed sorting system" — this package models that system: a cluster
+of FPGA nodes, each running the single-node Bonsai sorter, connected by
+a network over which records are range-partitioned before (or merged
+after) the local sorts.  It exists to put Table I's per-node-normalised
+distributed rows (Tencent Sort, GPU clusters) on the same footing as a
+Bonsai cluster.
+
+* :mod:`repro.distributed.node` — one FPGA server node wrapping the
+  scalability model.
+* :mod:`repro.distributed.cluster` — the cluster: partition/exchange
+  phase over the network plus parallel node-local sorts.
+"""
+
+from repro.distributed.node import SortingNode
+from repro.distributed.cluster import Cluster, ClusterSortReport
+
+__all__ = ["SortingNode", "Cluster", "ClusterSortReport"]

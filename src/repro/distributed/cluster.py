@@ -1,0 +1,135 @@
+"""A cluster of Bonsai nodes sorting one giant dataset.
+
+The classic distributed sort plan (the shape GraySort entries use):
+
+1. **Partition/exchange**: records are range-partitioned by sampled
+   splitters and exchanged all-to-all, so node ``i`` ends up holding the
+   ``i``-th key range.  With balanced partitions each node sends and
+   receives ``N/n x (n-1)/n`` bytes over its NIC; the exchange streams
+   concurrently with reading input, so its time is NIC-bound.
+2. **Local sort**: every node sorts its range with the single-node
+   Bonsai sorter (DRAM or two-phase SSD regime as size dictates).
+   The global output is the concatenation of the nodes' sorted ranges.
+
+The figure of merit matches Table I's normalisation: "performance of
+distributed sorters multiplied by number of server nodes used", i.e.
+``elapsed x nodes / GB``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.distributed import ClusterResult
+from repro.distributed.node import SortingNode
+from repro.errors import ConfigurationError
+from repro.units import GB, ms_per_gb
+
+
+@dataclass(frozen=True)
+class ClusterSortReport:
+    """Outcome of one modeled cluster sort."""
+
+    total_bytes: int
+    nodes: int
+    exchange_seconds: float
+    local_sort_seconds: float
+    skew_factor: float
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Makespan: exchange overlaps input streaming; sorts run after."""
+        return self.exchange_seconds + self.local_sort_seconds
+
+    @property
+    def per_node_ms_per_gb(self) -> float:
+        """Table I's normalisation (elapsed x nodes, per GB)."""
+        return ms_per_gb(self.elapsed_seconds * self.nodes, self.total_bytes)
+
+    @property
+    def aggregate_gb_per_s(self) -> float:
+        """Whole-cluster sorted throughput."""
+        return self.total_bytes / GB / self.elapsed_seconds
+
+    def as_cluster_result(self, name: str = "bonsai-cluster") -> ClusterResult:
+        """Adapter to the published-results comparison type."""
+        return ClusterResult(
+            name=name,
+            total_bytes=self.total_bytes,
+            elapsed_seconds=self.elapsed_seconds,
+            nodes=self.nodes,
+            citation="this reproduction",
+        )
+
+
+@dataclass
+class Cluster:
+    """``n`` identical Bonsai nodes plus an all-to-all network.
+
+    Parameters
+    ----------
+    node:
+        The node template (hardware + NIC).
+    nodes:
+        Node count.
+    skew_factor:
+        Largest partition relative to the balanced share; 1.0 means the
+        splitters were perfect.  The makespan follows the slowest node,
+        so skew directly stretches both phases.
+    """
+
+    node: SortingNode = field(default_factory=SortingNode)
+    nodes: int = 16
+    skew_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError(f"cluster needs >= 1 node, got {self.nodes}")
+        if self.skew_factor < 1.0:
+            raise ConfigurationError(
+                f"skew factor is a max/mean ratio and must be >= 1, got "
+                f"{self.skew_factor}"
+            )
+
+    # ------------------------------------------------------------------
+    def partition_bytes(self, total_bytes: int) -> int:
+        """The slowest node's partition size."""
+        if total_bytes <= 0:
+            raise ConfigurationError(f"input size must be positive, got {total_bytes}")
+        balanced = -(-total_bytes // self.nodes)
+        return int(balanced * self.skew_factor)
+
+    def capacity_bytes(self) -> int:
+        """Largest dataset the cluster can sort (slowest node limited)."""
+        return int(self.node.capacity_bytes() / self.skew_factor) * self.nodes
+
+    def sort_report(self, total_bytes: int) -> ClusterSortReport:
+        """Model a full cluster sort of ``total_bytes``."""
+        partition = self.partition_bytes(total_bytes)
+        if partition > self.node.capacity_bytes():
+            raise ConfigurationError(
+                f"partition of {partition:,} bytes exceeds a node's "
+                f"{self.node.capacity_bytes():,}-byte capacity; add nodes"
+            )
+        if self.nodes == 1:
+            exchange = 0.0
+        else:
+            # Each node ships all but its own share and receives its range.
+            share_out = partition * (self.nodes - 1) / self.nodes
+            exchange = self.node.exchange_seconds(share_out, share_out)
+        local = self.node.local_sort_seconds(partition)
+        return ClusterSortReport(
+            total_bytes=total_bytes,
+            nodes=self.nodes,
+            exchange_seconds=exchange,
+            local_sort_seconds=local,
+            skew_factor=self.skew_factor,
+        )
+
+    # ------------------------------------------------------------------
+    def nodes_needed(self, total_bytes: int) -> int:
+        """Smallest node count whose capacity covers ``total_bytes``."""
+        per_node = int(self.node.capacity_bytes() / self.skew_factor)
+        if per_node <= 0:
+            raise ConfigurationError("node capacity too small under this skew")
+        return max(1, -(-total_bytes // per_node))

@@ -1,0 +1,54 @@
+"""A single FPGA sorting node.
+
+Wraps the single-node scalability model (DRAM regime below 64 GB, the
+two-phase SSD sorter above) together with the node's external network
+interface, which bounds how fast the node can take part in a cluster
+exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.scalability import ScalabilityModel
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@dataclass
+class SortingNode:
+    """One Bonsai server node in a cluster.
+
+    Parameters
+    ----------
+    sorter:
+        The node-local sorting model (defaults to the paper's F1 node).
+    network_bandwidth:
+        The node's NIC rate in bytes/s (duplex).  100 GbE = 12.5 GB/s is
+        typical of the sort-benchmark clusters Table I normalises.
+    """
+
+    sorter: ScalabilityModel = field(default_factory=ScalabilityModel)
+    network_bandwidth: float = 12.5 * GB
+
+    def __post_init__(self) -> None:
+        if self.network_bandwidth <= 0:
+            raise ConfigurationError(
+                f"network bandwidth must be positive, got {self.network_bandwidth}"
+            )
+
+    def local_sort_seconds(self, n_bytes: int) -> float:
+        """Time to sort a node-local partition."""
+        if n_bytes <= 0:
+            raise ConfigurationError(f"partition size must be positive, got {n_bytes}")
+        return self.sorter.point(n_bytes).seconds
+
+    def exchange_seconds(self, bytes_out: float, bytes_in: float) -> float:
+        """Time to send/receive an all-to-all exchange share (duplex NIC)."""
+        if bytes_out < 0 or bytes_in < 0:
+            raise ConfigurationError("exchange volumes must be non-negative")
+        return max(bytes_out, bytes_in) / self.network_bandwidth
+
+    def capacity_bytes(self) -> int:
+        """Largest partition the node can sort locally."""
+        return self.sorter.hierarchy.slow.capacity_bytes

@@ -1,0 +1,74 @@
+"""Result records produced by the execution engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memory.traffic import TrafficMeter
+from repro.units import gb_per_s, ms_per_gb
+
+
+@dataclass
+class SortOutcome:
+    """A completed sort: the data plus how long the model says it took.
+
+    Attributes
+    ----------
+    data:
+        The sorted keys.
+    seconds:
+        Modeled (or cycle-simulated) wall-clock time.
+    stages:
+        Merge stages executed (including unrolled/pipelined structure).
+    mode:
+        ``"model"`` (functional data path + analytic timing) or
+        ``"simulate"`` (cycle-level simulation timing).
+    traffic:
+        Byte traffic per device.
+    detail:
+        Free-form per-phase or per-stage annotations.
+    """
+
+    data: np.ndarray
+    seconds: float
+    stages: int
+    record_bytes: int
+    mode: str = "model"
+    traffic: TrafficMeter = field(default_factory=TrafficMeter)
+    detail: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ConfigurationError(f"negative sort time {self.seconds}")
+        if self.stages < 0:
+            raise ConfigurationError(f"negative stage count {self.stages}")
+
+    @property
+    def n_records(self) -> int:
+        """Number of sorted records."""
+        return int(len(self.data))
+
+    @property
+    def total_bytes(self) -> int:
+        """Sorted array footprint in bytes."""
+        return self.n_records * self.record_bytes
+
+    @property
+    def throughput_gb_per_s(self) -> float:
+        """Sorted GB per second."""
+        return gb_per_s(self.total_bytes, self.seconds) if self.seconds else float("inf")
+
+    @property
+    def latency_ms_per_gb(self) -> float:
+        """Table I's figure of merit."""
+        return ms_per_gb(self.seconds, self.total_bytes)
+
+    def is_sorted(self) -> bool:
+        """Verification helper used by tests and examples."""
+        if self.n_records < 2:
+            return True
+        values = np.asarray(self.data)
+        return bool(np.all(values[:-1] <= values[1:]))

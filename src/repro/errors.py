@@ -1,0 +1,51 @@
+"""Exception hierarchy for the Bonsai reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`BonsaiError`, so
+callers can catch a single base class.  Sub-classes mark the layer that
+produced the error (configuration validation, resource-model infeasibility,
+hardware-simulation protocol violations, memory-model violations).
+"""
+
+from __future__ import annotations
+
+
+class BonsaiError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(BonsaiError):
+    """An AMT configuration or model parameter is malformed.
+
+    Raised for non-power-of-two throughput or leaf counts, non-positive
+    bandwidths, record widths outside the supported range, and similar
+    parameter-validation failures.
+    """
+
+
+class InfeasibleConfigError(BonsaiError):
+    """A requested AMT configuration does not fit the available hardware.
+
+    Raised by the optimizer and resource models when a configuration
+    violates the LUT (Eq. 9), BRAM (Eq. 10) or pipeline-capacity (Eq. 5)
+    constraints of the target platform.
+    """
+
+
+class NoFeasibleConfigError(InfeasibleConfigError):
+    """The optimizer's search space contains no implementable configuration."""
+
+
+class SimulationError(BonsaiError):
+    """A hardware-simulation protocol was violated.
+
+    Examples: pushing into a full FIFO, reading a tuple of the wrong
+    width, or running a component after its stream has terminated.
+    """
+
+
+class MemoryModelError(BonsaiError):
+    """A memory-model invariant was violated (capacity overflow, bad batch)."""
+
+
+class WorkloadError(BonsaiError):
+    """A workload generator was asked for an impossible dataset."""

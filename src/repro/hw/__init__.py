@@ -1,0 +1,52 @@
+"""Cycle-level hardware simulator of the AMT microarchitecture (§II, §V).
+
+This package stands in for the paper's Verilog implementation.  Every
+component the paper describes is modelled as a synchronous unit with a
+``tick()`` method executed once per simulated clock cycle:
+
+* :mod:`repro.hw.terminal` — terminal-record markers and pad sentinels
+  implementing the zero-append/zero-filter flushing scheme (§V-B).
+* :mod:`repro.hw.fifo` — bounded FIFOs with stall semantics and
+  high-water statistics (the input buffers of §V-A).
+* :mod:`repro.hw.merger` — the k-merger: feedback register plus bitonic
+  half-merger, selecting inputs by head comparison (§I-A).
+* :mod:`repro.hw.coupler` — k-couplers concatenating adjacent half-width
+  tuples between tree levels (§II, Fig. 1).
+* :mod:`repro.hw.loader` — the data loader: round-robin batched reads
+  under a per-cycle bandwidth budget, double-buffered per leaf (§V-A).
+* :mod:`repro.hw.tree` — assembles mergers/couplers/FIFOs into an
+  AMT(p, l) and runs whole merge stages.
+* :mod:`repro.hw.bus` — 512-bit packer/unpacker with zero append/filter
+  (Fig. 7).
+* :mod:`repro.hw.clock` — the synchronous scheduler.
+* :mod:`repro.hw.probes` — statistics records for every component.
+"""
+
+from repro.hw.terminal import TERMINAL, SENTINEL_KEY, is_terminal
+from repro.hw.fifo import Fifo
+from repro.hw.merger import KMerger
+from repro.hw.coupler import Coupler
+from repro.hw.loader import DataLoader
+from repro.hw.tree import AmtTree, simulate_merge
+from repro.hw.bus import Packer, Unpacker, ZERO_TERMINAL_KEY
+from repro.hw.clock import Simulation
+from repro.hw.probes import MergerStats, LoaderStats, StageStats
+
+__all__ = [
+    "TERMINAL",
+    "SENTINEL_KEY",
+    "is_terminal",
+    "Fifo",
+    "KMerger",
+    "Coupler",
+    "DataLoader",
+    "AmtTree",
+    "simulate_merge",
+    "Packer",
+    "Unpacker",
+    "ZERO_TERMINAL_KEY",
+    "Simulation",
+    "MergerStats",
+    "LoaderStats",
+    "StageStats",
+]

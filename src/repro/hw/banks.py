@@ -1,0 +1,181 @@
+"""Cycle-level unrolled execution: λ AMTs on banked memory (§III-A2, §IV-B).
+
+The paper validates unrolling by running multiple AMTs concurrently,
+each saturating its own DRAM bank(s) (§VI-D).  This module simulates
+that arrangement: λ independent sorter units share one clock, each with
+a per-bank bandwidth budget, each sorting its own address-range
+partition through all of its merge stages.  The final cross-partition
+merges (the idling scheme of §IV-B) run afterwards through a shrunken
+tree on the aggregate bandwidth.
+
+Key observable: the makespan of the parallel phase equals the *slowest
+unit*, not the sum — which is precisely the linear-scaling claim the
+paper demonstrates on DRAM banks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hw.loader import DataLoader, OutputWriter, make_feeds
+from repro.hw.tree import AmtTree, simulate_merge
+
+
+@dataclass
+class _SorterUnit:
+    """One AMT sorting one partition through successive stages."""
+
+    p: int
+    leaves: int
+    record_bytes: int
+    bytes_per_cycle: float
+    batch_bytes: int
+    presort_run: int
+
+    runs: list[list[int]] = field(default_factory=list)
+    _parts: dict | None = field(default=None, repr=False)
+    done: bool = False
+    output: list[int] = field(default_factory=list)
+    busy_cycles: int = 0
+    stages_done: int = 0
+
+    def load(self, array: list[int]) -> None:
+        """Accept a partition, split into presorted runs."""
+        self.runs = [
+            sorted(array[start : start + self.presort_run])
+            for start in range(0, len(array), self.presort_run)
+        ] or [[]]
+        self.done = False
+
+    def tick(self, cycle: int = 0) -> None:
+        """Advance this unit's current merge stage by one cycle."""
+        if self.done:
+            return
+        if self._parts is None:
+            self._arm()
+        self.busy_cycles += 1
+        parts = self._parts
+        parts["writer"].tick(cycle)
+        for component in parts["tree"].components:
+            component.tick(cycle)
+        parts["loader"].tick(cycle)
+        if parts["writer"].done:
+            self.runs = parts["writer"].runs
+            self._parts = None
+            self.stages_done += 1
+            if len(self.runs) <= 1:
+                self.done = True
+                self.output = self.runs[0] if self.runs else []
+
+    def _arm(self) -> None:
+        leaves = self.leaves
+        if len(self.runs) < leaves:
+            shrunk = 1 << max(1, (max(2, len(self.runs)) - 1).bit_length())
+            leaves = min(leaves, shrunk)
+        tree = AmtTree(p=self.p, leaves=leaves)
+        batch_tuples = max(
+            1,
+            (max(tree.leaf_width, self.batch_bytes // self.record_bytes))
+            // tree.leaf_width,
+        )
+        for fifo in tree.leaf_fifos:
+            fifo.capacity = max(fifo.capacity, 2 * (2 * batch_tuples + 1))
+        n_groups = max(1, math.ceil(len(self.runs) / leaves))
+        loader = DataLoader(
+            feeds=make_feeds(tree.leaf_fifos, self.runs, leaves),
+            tuple_width=tree.leaf_width,
+            record_bytes=self.record_bytes,
+            read_bytes_per_cycle=self.bytes_per_cycle,
+            batch_bytes=self.batch_bytes,
+        )
+        writer = OutputWriter(
+            source=tree.root_fifo,
+            record_bytes=self.record_bytes,
+            write_bytes_per_cycle=self.bytes_per_cycle,
+            expected_runs=n_groups,
+        )
+        self._parts = {"tree": tree, "loader": loader, "writer": writer}
+
+
+@dataclass
+class UnrolledSimulation:
+    """λ address-range AMTs on per-bank budgets, plus the final merges.
+
+    Parameters
+    ----------
+    p / leaves / lambda_unroll:
+        Per-tree shape and the unroll factor.
+    total_bytes_per_cycle:
+        Aggregate memory budget; each unit gets a 1/λ share (its bank).
+    """
+
+    p: int = 8
+    leaves: int = 8
+    lambda_unroll: int = 4
+    record_bytes: int = 4
+    presort_run: int = 16
+    total_bytes_per_cycle: float = 128.0
+    batch_bytes: int = 512
+
+    units: list[_SorterUnit] = field(init=False)
+    parallel_cycles: int = field(init=False, default=0)
+    final_merge_cycles: int = field(init=False, default=0)
+    output: list[int] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.lambda_unroll < 2:
+            raise ConfigurationError("unrolled simulation needs lambda >= 2")
+        share = self.total_bytes_per_cycle / self.lambda_unroll
+        self.units = [
+            _SorterUnit(
+                p=self.p,
+                leaves=self.leaves,
+                record_bytes=self.record_bytes,
+                bytes_per_cycle=share,
+                batch_bytes=self.batch_bytes,
+                presort_run=self.presort_run,
+            )
+            for _ in range(self.lambda_unroll)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(self, array: list[int], max_cycles: int = 5_000_000) -> int:
+        """Sort ``array``; returns total cycles (parallel + final merges)."""
+        chunk = -(-len(array) // self.lambda_unroll)
+        for index, unit in enumerate(self.units):
+            unit.load(list(array[index * chunk : (index + 1) * chunk]))
+
+        cycle = 0
+        while not all(unit.done for unit in self.units):
+            if cycle >= max_cycles:
+                raise SimulationError(
+                    f"unrolled phase did not finish within {max_cycles} cycles"
+                )
+            for unit in self.units:
+                unit.tick(cycle)
+            cycle += 1
+        self.parallel_cycles = cycle
+
+        # Final merges: λ sorted ranges through a shrunken tree at the
+        # aggregate budget (only this phase idles units, §IV-B).
+        ranges = [unit.output for unit in self.units]
+        merged, stats = simulate_merge(
+            p=self.p,
+            leaves=self.leaves,
+            runs=ranges,
+            record_bytes=self.record_bytes,
+            read_bytes_per_cycle=self.total_bytes_per_cycle,
+            write_bytes_per_cycle=self.total_bytes_per_cycle,
+            batch_bytes=self.batch_bytes,
+            check_sorted_inputs=False,
+        )
+        self.final_merge_cycles = stats.cycles
+        self.output = merged[0]
+        return self.parallel_cycles + self.final_merge_cycles
+
+    # ------------------------------------------------------------------
+    def unit_busy_cycles(self) -> list[int]:
+        """Per-unit busy-cycle counts for balance checks."""
+        return [unit.busy_cycles for unit in self.units]

@@ -1,0 +1,123 @@
+"""512-bit bus packing and the zero append / zero filter (Fig. 7, §V-B).
+
+"To make full use of the external DRAM bandwidth, the communication
+between the sorting kernel and the DDR controller is always through a
+512-bit wide AXI-4 interface, regardless of the record width: the
+Unpacker will extract one record from the 512-bit FIFOs per cycle
+automatically once the record width is set by the user and the packer
+will concatenate the output of the merge tree into 512-bit wide data."
+
+On the memory side, run boundaries are encoded in-band: "The zero append
+will append a zero as a terminal record whenever an entire sorted
+subsequence is fed into an input buffer.  At the output of the merge
+tree, these terminal records are filtered out using a zero filter.
+Although we reserve zero for the terminal record, any other value may be
+used."  :class:`Unpacker` performs the zero append while decoding bus
+words into runs; :class:`Packer` performs the zero filter while encoding
+merged runs back into bus words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.records.record import RecordFormat
+
+#: The reserved terminal key (§V-B uses zero).
+ZERO_TERMINAL_KEY = 0
+
+BUS_BITS = 512
+BUS_BYTES = BUS_BITS // 8
+
+
+@dataclass
+class Unpacker:
+    """Decodes 512-bit bus words into per-run record streams.
+
+    The decoder treats the reserved terminal key as a run boundary and
+    therefore rejects genuine records carrying that key — the caller must
+    bias its key space, exactly as the hardware user must "reserve zero
+    for the terminal record".
+    """
+
+    fmt: RecordFormat
+    terminal_key: int = ZERO_TERMINAL_KEY
+
+    @property
+    def records_per_word(self) -> int:
+        """Record lanes per 512-bit bus word."""
+        return self.fmt.records_per_bus_word(BUS_BITS)
+
+    def decode(self, words: list[list[int]]) -> list[list[int]]:
+        """Split a stream of bus words into runs at terminal records.
+
+        ``words`` is a list of bus words, each a list of record keys
+        (padded words may carry ``None`` in unused lanes).
+        """
+        runs: list[list[int]] = []
+        current: list[int] = []
+        for word in words:
+            if len(word) > self.records_per_word:
+                raise SimulationError(
+                    f"bus word carries {len(word)} records; the 512-bit bus "
+                    f"fits {self.records_per_word} records of {self.fmt}"
+                )
+            for key in word:
+                if key is None:
+                    continue
+                if key == self.terminal_key:
+                    runs.append(current)
+                    current = []
+                    continue
+                current.append(key)
+        if current:
+            raise SimulationError(
+                "bus stream ended mid-run: final terminal record missing"
+            )
+        return runs
+
+
+@dataclass
+class Packer:
+    """Encodes merged runs back into 512-bit bus words.
+
+    Appends one terminal record after every run (the zero append on the
+    write path) and pads the final word's unused lanes with ``None``.
+    """
+
+    fmt: RecordFormat
+    terminal_key: int = ZERO_TERMINAL_KEY
+    words_emitted: int = field(init=False, default=0)
+
+    @property
+    def records_per_word(self) -> int:
+        """Record lanes per 512-bit bus word."""
+        return self.fmt.records_per_bus_word(BUS_BITS)
+
+    def encode(self, runs: list[list[int]]) -> list[list[int]]:
+        """Pack runs into bus words with in-band terminals."""
+        lanes: list[int] = []
+        for run in runs:
+            for key in run:
+                if key == self.terminal_key:
+                    raise SimulationError(
+                        f"record key {key} collides with the reserved terminal; "
+                        "bias the key space or choose another terminal value"
+                    )
+                lanes.append(key)
+            lanes.append(self.terminal_key)
+        words: list[list[int]] = []
+        for start in range(0, len(lanes), self.records_per_word):
+            word = lanes[start : start + self.records_per_word]
+            if len(word) < self.records_per_word:
+                word = word + [None] * (self.records_per_word - len(word))
+            words.append(word)
+        self.words_emitted += len(words)
+        return words
+
+    def roundtrip_check(self, runs: list[list[int]]) -> None:
+        """Assert encode->decode reproduces the runs (used in tests)."""
+        decoded = Unpacker(self.fmt, self.terminal_key).decode(self.encode(runs))
+        if decoded != [list(run) for run in runs]:
+            raise SimulationError("bus roundtrip mismatch")

@@ -1,0 +1,71 @@
+"""Synchronous clock scheduler.
+
+All components expose ``tick(cycle)`` and communicate exclusively through
+FIFOs.  Components are ticked in *root-to-leaf* order each cycle, so an
+item pushed in cycle ``c`` is observed by its consumer no earlier than
+cycle ``c + 1`` — the standard one-register-per-stage pipeline discipline.
+The resulting pipeline fill latency matches the datapath depth, and
+steady-state throughput is one tuple per component per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.errors import SimulationError
+
+
+class Component(Protocol):
+    """Anything with a per-cycle ``tick``."""
+
+    def tick(self, cycle: int) -> None:  # pragma: no cover - protocol
+        """Advance one clock cycle."""
+        ...
+
+
+@dataclass
+class Simulation:
+    """Runs a list of components until a completion predicate holds.
+
+    Parameters
+    ----------
+    components:
+        Tick order; producers of a FIFO should appear *after* its
+        consumer for one-cycle-per-stage semantics.
+    """
+
+    components: list = field(default_factory=list)
+    cycle: int = 0
+
+    def add(self, component: Component) -> None:
+        """Append a component at the end of the tick order."""
+        self.components.append(component)
+
+    def step(self) -> None:
+        """Advance the clock by one cycle."""
+        for component in self.components:
+            component.tick(self.cycle)
+        self.cycle += 1
+
+    def run_until(
+        self, done: Callable[[], bool], max_cycles: int = 10_000_000
+    ) -> int:
+        """Step until ``done()`` is true; returns the elapsed cycle count.
+
+        Raises
+        ------
+        SimulationError
+            When ``max_cycles`` elapse first — almost always a deadlock
+            in the component graph (a FIFO sized too small, or a
+            terminal that never arrived).
+        """
+        start = self.cycle
+        while not done():
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"simulation did not complete within {max_cycles} cycles; "
+                    "likely deadlock or missing terminal"
+                )
+            self.step()
+        return self.cycle - start

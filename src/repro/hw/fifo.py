@@ -1,0 +1,93 @@
+"""Bounded FIFOs with stall semantics (§V-A).
+
+"Each leaf has an input buffer that is implemented as a FIFO, which is as
+wide as the DRAM bus (512 bits) and can hold two full read batches."
+
+Capacity is measured in stream items (tuples or terminal markers).  A push
+into a full FIFO raises :class:`~repro.errors.SimulationError` — producers
+are expected to check :attr:`has_space` first, which is exactly the stall
+behaviour of the hardware handshake.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class Fifo:
+    """A bounded first-in-first-out queue between two components.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of items held (tuples or terminal markers).
+    name:
+        Label used in statistics and error messages.
+    """
+
+    capacity: int
+    name: str = "fifo"
+    _items: deque = field(default_factory=deque, repr=False)
+    #: statistics
+    pushes: int = 0
+    pops: int = 0
+    high_water: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise SimulationError(f"FIFO capacity must be >= 1, got {self.capacity}")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing is queued."""
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        """True when at capacity; a push now would raise."""
+        return len(self._items) >= self.capacity
+
+    @property
+    def has_space(self) -> bool:
+        """True when at least one more item fits."""
+        return len(self._items) < self.capacity
+
+    def free_slots(self) -> int:
+        """Number of additional items the FIFO can accept."""
+        return self.capacity - len(self._items)
+
+    def push(self, item: object) -> None:
+        """Enqueue one item; raises when full (producer missed a stall)."""
+        if self.is_full:
+            raise SimulationError(f"push into full FIFO {self.name!r}")
+        self._items.append(item)
+        self.pushes += 1
+        if len(self._items) > self.high_water:
+            self.high_water = len(self._items)
+
+    def peek(self) -> object:
+        """The oldest item without removing it; raises when empty."""
+        if not self._items:
+            raise SimulationError(f"peek into empty FIFO {self.name!r}")
+        return self._items[0]
+
+    def pop(self) -> object:
+        """Dequeue the oldest item; raises when empty."""
+        if not self._items:
+            raise SimulationError(f"pop from empty FIFO {self.name!r}")
+        self.pops += 1
+        return self._items.popleft()
+
+    def drain(self) -> list:
+        """Remove and return all items (used when tearing a stage down)."""
+        out = list(self._items)
+        self.pops += len(out)
+        self._items.clear()
+        return out

@@ -1,0 +1,308 @@
+"""The data loader (§V-A) and the symmetric output writer.
+
+"The data loader checks in a round-robin fashion if any input buffer has
+enough free space to hold a new read batch.  Whenever the data loader
+encounters an input buffer with sufficient free space, it performs a
+batched load into the buffer. [...] Due to batched and sequential
+reads/writes, the data loader allows the off-chip memory to operate at
+peak bandwidth."
+
+The loader owns one run queue per leaf.  Batches share a single memory
+port: one batch transfer is in flight at a time and takes
+``ceil(batch_bytes / read_bytes_per_cycle)`` cycles, so aggregate read
+bandwidth is capped exactly at the configured budget.  After the final
+batch of a run, a terminal marker follows the data into the leaf FIFO,
+and partial tail tuples are padded with max-key sentinels.
+
+The :class:`OutputWriter` drains the tree root under the write-bandwidth
+budget, splits the stream back into runs at terminal markers, and filters
+pad sentinels — the "zero filter" of Fig. 7.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.hw.fifo import Fifo
+from repro.hw.probes import LoaderStats
+from repro.hw.terminal import TERMINAL, SENTINEL_KEY, is_terminal
+
+
+@dataclass
+class _LeafFeed:
+    """Pending input of one leaf: a queue of runs, each a list of keys."""
+
+    fifo: Fifo
+    runs: list[list[int]]
+    run_index: int = 0
+    offset: int = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every run (and its terminal) has been issued."""
+        return self.run_index >= len(self.runs)
+
+
+@dataclass
+class DataLoader:
+    """Round-robin batched reader feeding the leaf FIFOs.
+
+    Parameters
+    ----------
+    feeds:
+        One :class:`_LeafFeed` per leaf, built via :func:`make_feeds`.
+    tuple_width:
+        Records per leaf tuple (the deepest mergers' k).
+    record_bytes:
+        Record width ``r``.
+    read_bytes_per_cycle:
+        Memory read budget per cycle (``beta_read / f``).
+    batch_bytes:
+        Read batch size ``b`` (Table II); 1-4 KB per the paper.
+    """
+
+    feeds: list[_LeafFeed]
+    tuple_width: int
+    record_bytes: int
+    read_bytes_per_cycle: float
+    batch_bytes: int
+    stats: LoaderStats = field(default_factory=LoaderStats)
+
+    _cursor: int = field(init=False, default=0)
+    _inflight_feed: _LeafFeed | None = field(init=False, default=None, repr=False)
+    _inflight_items: list = field(init=False, default_factory=list, repr=False)
+    _inflight_cycles_left: int = field(init=False, default=0)
+    #: per-feed skid buffers: transferred items awaiting FIFO space
+    _parked: dict = field(init=False, default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.tuple_width < 1:
+            raise SimulationError("tuple width must be >= 1")
+        if self.record_bytes < 1:
+            raise SimulationError("record width must be >= 1 byte")
+        if self.read_bytes_per_cycle <= 0:
+            raise SimulationError("read budget must be positive")
+        if self.batch_bytes < self.record_bytes:
+            raise SimulationError("batch must hold at least one record")
+
+    @property
+    def batch_records(self) -> int:
+        """Records per full batch."""
+        return max(self.tuple_width, self.batch_bytes // self.record_bytes)
+
+    @property
+    def done(self) -> bool:
+        """True once every leaf's runs (and terminals) are delivered."""
+        return (
+            self._inflight_feed is None
+            and not self._parked
+            and all(f.exhausted for f in self.feeds)
+        )
+
+    def tick(self, cycle: int = 0) -> None:
+        """Advance one cycle: progress the in-flight batch or start one.
+
+        Issuing a batch counts as its first transfer cycle, so a batch
+        needing ``c`` bandwidth-cycles is delivered exactly ``c`` ticks
+        after issue.  Parked items (already transferred, awaiting FIFO
+        space) drain opportunistically every cycle — the AXI skid-buffer
+        behaviour — so a full leaf FIFO never blocks other leaves.
+        """
+        self._flush_parked()
+        if self._inflight_feed is None:
+            feed = self._pick_feed()
+            if feed is None:
+                self.stats.cycles_idle += 1
+                return
+            self._start_batch(feed)
+        self._inflight_cycles_left -= 1
+        self.stats.cycles_bandwidth_limited += 1
+        if self._inflight_cycles_left <= 0:
+            self._deliver()
+
+    # ------------------------------------------------------------------
+    def _pick_feed(self) -> _LeafFeed | None:
+        """Round-robin scan for a leaf with pending data and buffer space.
+
+        "Enough free space to hold a new read batch" (§V-A) is measured
+        against the typical batch footprint; the rare batch carrying many
+        run terminals overflows into the skid buffer instead.
+        """
+        n_feeds = len(self.feeds)
+        batch_tuples = -(-self.batch_records // self.tuple_width)
+        for step in range(n_feeds):
+            index = (self._cursor + step) % n_feeds
+            feed = self.feeds[index]
+            if feed.exhausted or index in self._parked:
+                continue
+            if feed.fifo.free_slots() >= batch_tuples + 1:
+                self._cursor = (index + 1) % n_feeds
+                return feed
+        return None
+
+    def _start_batch(self, feed: _LeafFeed) -> None:
+        """Carve the next batch out of the feed's pending runs.
+
+        A leaf's runs occupy consecutive DRAM addresses, so one burst may
+        span several short runs; terminal markers are interleaved at run
+        boundaries (the zero-append of §V-B operates on the same stream).
+        """
+        items: list = []
+        taken = 0
+        while taken < self.batch_records and not feed.exhausted:
+            run = feed.runs[feed.run_index]
+            remaining = len(run) - feed.offset
+            take = min(self.batch_records - taken, remaining)
+            if take:
+                records = list(run[feed.offset : feed.offset + take])
+                feed.offset += take
+                taken += take
+                for start in range(0, len(records), self.tuple_width):
+                    chunk = records[start : start + self.tuple_width]
+                    if len(chunk) < self.tuple_width:
+                        chunk = chunk + [SENTINEL_KEY] * (
+                            self.tuple_width - len(chunk)
+                        )
+                    items.append(tuple(chunk))
+            if feed.offset >= len(run):
+                items.append(TERMINAL)
+                feed.run_index += 1
+                feed.offset = 0
+                self.stats.runs_fed += 1
+            else:
+                break  # batch quota hit mid-run
+        batch_size_bytes = max(taken, 1) * self.record_bytes
+        self._inflight_feed = feed
+        self._inflight_items = items
+        self._inflight_cycles_left = max(
+            1, math.ceil(batch_size_bytes / self.read_bytes_per_cycle)
+        )
+        self.stats.batches_issued += 1
+        self.stats.bytes_loaded += taken * self.record_bytes
+
+    def _deliver(self) -> None:
+        """Push the completed batch into its leaf FIFO; park any overflow."""
+        feed = self._inflight_feed
+        index = self.feeds.index(feed)
+        leftover = self._push_items(feed, self._inflight_items)
+        if leftover:
+            self._parked[index] = leftover
+        self._inflight_feed = None
+        self._inflight_items = []
+
+    def _flush_parked(self) -> None:
+        """Drain skid buffers into their FIFOs as space allows."""
+        for index in list(self._parked):
+            feed = self.feeds[index]
+            leftover = self._push_items(feed, self._parked[index])
+            if leftover:
+                self._parked[index] = leftover
+            else:
+                del self._parked[index]
+
+    @staticmethod
+    def _push_items(feed: _LeafFeed, items: list) -> list:
+        """Push items until the FIFO fills; return the remainder."""
+        position = 0
+        while position < len(items) and feed.fifo.has_space:
+            feed.fifo.push(items[position])
+            position += 1
+        return items[position:]
+
+
+def _bit_reverse(value: int, bits: int) -> int:
+    """Reverse the low ``bits`` bits of ``value``."""
+    out = 0
+    for _ in range(bits):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out
+
+
+def make_feeds(
+    leaf_fifos: Sequence[Fifo], runs: Sequence[Sequence[int]], n_leaves: int
+) -> list[_LeafFeed]:
+    """Distribute stage-input runs across leaves.
+
+    Output run ``j`` merges input runs ``[j * l, (j + 1) * l)`` — the
+    paper's recursive stage semantics (§II).  Within a group, run ``j``
+    feeds leaf ``bitrev(j)``: bit-reversed placement spreads a partial
+    final group evenly over both subtrees of every merger, so a stage
+    with fewer runs than leaves still keeps the root's two ports
+    balanced at full throughput (consecutive placement would starve one
+    subtree entirely and halve the stage rate).  Merging is commutative,
+    so the placement does not change the output.  Leaves short of a run
+    receive an empty run (terminal only).
+    """
+    if len(leaf_fifos) != n_leaves:
+        raise SimulationError(
+            f"expected {n_leaves} leaf FIFOs, got {len(leaf_fifos)}"
+        )
+    depth = max(0, n_leaves.bit_length() - 1)
+    if (1 << depth) != n_leaves:
+        raise SimulationError(f"leaf count must be a power of two, got {n_leaves}")
+    n_groups = max(1, -(-len(runs) // n_leaves))
+    feeds = []
+    for leaf in range(n_leaves):
+        position = _bit_reverse(leaf, depth)
+        leaf_runs: list[list[int]] = []
+        for group in range(n_groups):
+            index = group * n_leaves + position
+            leaf_runs.append(list(runs[index]) if index < len(runs) else [])
+        feeds.append(_LeafFeed(fifo=leaf_fifos[leaf], runs=leaf_runs))
+    return feeds
+
+
+@dataclass
+class OutputWriter:
+    """Drains the root FIFO under a write-bandwidth budget.
+
+    Accumulates whole output runs (split at terminals) with pad
+    sentinels removed, and tracks byte traffic for bandwidth accounting.
+    """
+
+    source: Fifo
+    record_bytes: int
+    write_bytes_per_cycle: float
+    expected_runs: int
+
+    runs: list[list[int]] = field(init=False, default_factory=list)
+    _current: list[int] = field(init=False, default_factory=list)
+    _credit: float = field(init=False, default=0.0)
+    bytes_written: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.write_bytes_per_cycle <= 0:
+            raise SimulationError("write budget must be positive")
+        if self.expected_runs < 1:
+            raise SimulationError("writer expects at least one output run")
+
+    @property
+    def done(self) -> bool:
+        """True once every expected output run has been collected."""
+        return len(self.runs) >= self.expected_runs
+
+    def tick(self, cycle: int = 0) -> None:
+        """Pop as many items as this cycle's write budget allows."""
+        self._credit = min(
+            self._credit + self.write_bytes_per_cycle,
+            4 * self.write_bytes_per_cycle,
+        )
+        while not self.source.is_empty:
+            head = self.source.peek()
+            if is_terminal(head):
+                self.source.pop()
+                self.runs.append(self._current)
+                self._current = []
+                continue
+            cost = len(head) * self.record_bytes
+            if self._credit < cost:
+                break
+            self._credit -= cost
+            self.source.pop()
+            kept = [key for key in head if key != SENTINEL_KEY]
+            self._current.extend(kept)
+            self.bytes_written += len(kept) * self.record_bytes

@@ -1,0 +1,219 @@
+"""Cycle-level AMT pipelining (§III-A3, Fig. 4).
+
+Chains two or more AMTs so that "each merge stage of the sorting
+procedure is executed on a different AMT": while array ``i`` is being
+merged by stage 2, array ``i+1`` occupies stage 1.  Each inter-stage hop
+goes through a DRAM bank, modelled as a run buffer with the bank's
+bandwidth on both sides.
+
+The simulation drives a queue of arrays through the pipeline and records
+when each array's sorted output completes, so tests can verify the
+paper's claim directly: after the pipeline fills, sorted arrays emerge
+at a constant cadence of one array per array-interval — the I/O bus
+never idles (§III-A3).
+
+Scale note: like the rest of :mod:`repro.hw`, this is for laptop-scale
+inputs; each stage's fan-in must cover the whole array
+(``presort_run * leaves**stage_count >= n_records``, Eq. 5's depth bound).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hw.clock import Simulation
+from repro.hw.fifo import Fifo
+from repro.hw.loader import DataLoader, OutputWriter, make_feeds
+from repro.hw.tree import AmtTree
+
+
+@dataclass
+class _StageJob:
+    """One array's passage through one pipeline stage."""
+
+    array_index: int
+    runs: list[list[int]]
+
+
+@dataclass
+class _PipelineStage:
+    """One AMT plus its private loader/writer, re-armed per array.
+
+    The hardware streams continuously; the simulator re-instantiates the
+    loader per array (state reset), which is equivalent because stages
+    hand whole sorted-run sets across DRAM banks anyway.
+    """
+
+    index: int
+    p: int
+    leaves: int
+    record_bytes: int
+    bytes_per_cycle: float
+    batch_bytes: int
+
+    queue: list[_StageJob] = field(default_factory=list)
+    _active: dict | None = field(default=None, repr=False)
+    completed: list[_StageJob] = field(default_factory=list)
+    busy_cycles: int = field(default=0)
+
+    def push(self, job: _StageJob) -> None:
+        """Enqueue an array's runs for this stage."""
+        self.queue.append(job)
+
+    def tick(self, cycle: int = 0) -> None:
+        """Advance the stage's active merge by one cycle."""
+        if self._active is None:
+            if not self.queue:
+                return
+            self._arm(self.queue.pop(0))
+        self.busy_cycles += 1
+        parts = self._active
+        parts["writer"].tick(cycle)
+        for component in parts["tree"].components:
+            component.tick(cycle)
+        parts["loader"].tick(cycle)
+        if parts["writer"].done:
+            self.completed.append(
+                _StageJob(array_index=parts["job"].array_index,
+                          runs=parts["writer"].runs)
+            )
+            self._active = None
+
+    def _arm(self, job: _StageJob) -> None:
+        leaves = self.leaves
+        if len(job.runs) < leaves:
+            shrunk = 1 << max(1, (max(2, len(job.runs)) - 1).bit_length())
+            leaves = min(leaves, shrunk)
+        tree = AmtTree(p=self.p, leaves=leaves)
+        batch_tuples = max(
+            1,
+            (max(tree.leaf_width, self.batch_bytes // self.record_bytes))
+            // tree.leaf_width,
+        )
+        for fifo in tree.leaf_fifos:
+            fifo.capacity = max(fifo.capacity, 2 * (2 * batch_tuples + 1))
+        n_groups = max(1, math.ceil(len(job.runs) / leaves))
+        loader = DataLoader(
+            feeds=make_feeds(tree.leaf_fifos, job.runs, leaves),
+            tuple_width=tree.leaf_width,
+            record_bytes=self.record_bytes,
+            read_bytes_per_cycle=self.bytes_per_cycle,
+            batch_bytes=self.batch_bytes,
+        )
+        writer = OutputWriter(
+            source=tree.root_fifo,
+            record_bytes=self.record_bytes,
+            write_bytes_per_cycle=self.bytes_per_cycle,
+            expected_runs=n_groups,
+        )
+        self._active = {"job": job, "tree": tree, "loader": loader, "writer": writer}
+
+    @property
+    def idle(self) -> bool:
+        """True when the stage has nothing armed or queued."""
+        return self._active is None and not self.queue
+
+
+@dataclass
+class PipelineSimulation:
+    """Drives a queue of arrays through λ_pipe chained AMT stages.
+
+    Parameters
+    ----------
+    p / leaves / lambda_pipe:
+        The pipeline's configuration (all stages share p and leaves,
+        §III-A).
+    presort_run:
+        Input arrays arrive as sorted runs of this length (the
+        presorter's output).
+    bank_bytes_per_cycle:
+        Per-stage DRAM-bank budget (§IV-C: "each AMT saturates the
+        bandwidth capacity of one bank").
+    """
+
+    p: int = 4
+    leaves: int = 4
+    lambda_pipe: int = 2
+    record_bytes: int = 4
+    presort_run: int = 16
+    bank_bytes_per_cycle: float = 64.0
+    batch_bytes: int = 512
+
+    stages: list[_PipelineStage] = field(init=False)
+    completion_cycles: dict[int, int] = field(init=False, default_factory=dict)
+    outputs: dict[int, list[int]] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.lambda_pipe < 2:
+            raise ConfigurationError("pipeline needs >= 2 stages")
+        self.stages = [
+            _PipelineStage(
+                index=i,
+                p=self.p,
+                leaves=self.leaves,
+                record_bytes=self.record_bytes,
+                bytes_per_cycle=self.bank_bytes_per_cycle,
+                batch_bytes=self.batch_bytes,
+            )
+            for i in range(self.lambda_pipe)
+        ]
+
+    # ------------------------------------------------------------------
+    def capacity_records(self) -> int:
+        """Eq. 5's depth bound for this pipeline."""
+        return self.presort_run * self.leaves**self.lambda_pipe
+
+    def run(self, arrays: list[list[int]], max_cycles: int = 5_000_000) -> int:
+        """Sort every array; returns total cycles.
+
+        Completion cycles per array land in :attr:`completion_cycles`;
+        sorted outputs in :attr:`outputs`.
+        """
+        for index, array in enumerate(arrays):
+            if len(array) > self.capacity_records():
+                raise ConfigurationError(
+                    f"array {index} exceeds the Eq. 5 pipeline capacity "
+                    f"({len(array)} > {self.capacity_records()})"
+                )
+            runs = [
+                sorted(array[start : start + self.presort_run])
+                for start in range(0, len(array), self.presort_run)
+            ] or [[]]
+            self.stages[0].push(_StageJob(array_index=index, runs=runs))
+
+        expected = len(arrays)
+        cycle = 0
+        while len(self.completion_cycles) < expected:
+            if cycle >= max_cycles:
+                raise SimulationError(
+                    f"pipeline did not finish within {max_cycles} cycles"
+                )
+            for stage in self.stages:
+                stage.tick(cycle)
+            self._advance(cycle)
+            cycle += 1
+        return cycle
+
+    def _advance(self, cycle: int) -> None:
+        """Hand completed stage outputs to the next stage / the output."""
+        for position, stage in enumerate(self.stages):
+            while stage.completed:
+                job = stage.completed.pop(0)
+                if position + 1 < len(self.stages):
+                    self.stages[position + 1].push(job)
+                else:
+                    if len(job.runs) != 1:
+                        raise SimulationError(
+                            f"array {job.array_index} left the pipeline in "
+                            f"{len(job.runs)} runs; pipeline too shallow"
+                        )
+                    self.completion_cycles[job.array_index] = cycle
+                    self.outputs[job.array_index] = job.runs[0]
+
+    # ------------------------------------------------------------------
+    def completion_intervals(self) -> list[int]:
+        """Cycles between consecutive array completions (the cadence)."""
+        ordered = [self.completion_cycles[i] for i in sorted(self.completion_cycles)]
+        return [b - a for a, b in zip(ordered, ordered[1:])]

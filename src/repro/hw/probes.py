@@ -1,0 +1,81 @@
+"""Statistics records for simulator components.
+
+The experiments section relies on three kinds of simulator observations:
+per-merger activity (validates the p-records-per-cycle claim), loader
+behaviour (validates that batching keeps memory at peak bandwidth, §V-A),
+and whole-stage summaries (cycles, records, stalls) that the model
+validation benches compare against Eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MergerStats:
+    """Activity counters of one k-merger."""
+
+    name: str = ""
+    k: int = 1
+    active_cycles: int = 0
+    prime_cycles: int = 0
+    flush_cycles: int = 0
+    stall_input: int = 0
+    stall_output: int = 0
+    idle_cycles: int = 0
+    runs_completed: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of all classified cycles."""
+        return (
+            self.active_cycles
+            + self.prime_cycles
+            + self.flush_cycles
+            + self.stall_input
+            + self.stall_output
+            + self.idle_cycles
+        )
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cycles spent producing output."""
+        total = self.total_cycles
+        return self.active_cycles / total if total else 0.0
+
+
+@dataclass
+class LoaderStats:
+    """Activity counters of the data loader."""
+
+    batches_issued: int = 0
+    bytes_loaded: int = 0
+    runs_fed: int = 0
+    cycles_bandwidth_limited: int = 0
+    cycles_idle: int = 0
+
+
+@dataclass
+class StageStats:
+    """Summary of one simulated merge stage."""
+
+    cycles: int = 0
+    records_in: int = 0
+    records_out: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    output_runs: int = 0
+    merger_stats: list[MergerStats] = field(default_factory=list)
+    loader_stats: LoaderStats = field(default_factory=LoaderStats)
+
+    def seconds_at(self, frequency_hz: float) -> float:
+        """Wall-clock stage time at a given clock frequency."""
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {frequency_hz}")
+        return self.cycles / frequency_hz
+
+    @property
+    def records_per_cycle(self) -> float:
+        """Achieved stage throughput in records per cycle."""
+        return self.records_out / self.cycles if self.cycles else 0.0

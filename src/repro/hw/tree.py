@@ -1,0 +1,261 @@
+"""AMT assembly and whole-stage simulation (§II, Fig. 1).
+
+"To implement a p and l AMT, we put a p-merger at the root of the AMT,
+two p/2-mergers as its children, then four p/4-mergers as their children,
+etc., until the binary tree has log2(l) levels and can thus merge l
+arrays.  In general, the tree nodes at the k-th level are p/2^k-mergers.
+If for a given level k, we have 2^k > p, we use 1-mergers."
+
+:class:`AmtTree` wires mergers, couplers and FIFOs into that shape;
+:func:`simulate_merge` drives one full merge stage — data loader at the
+leaves, output writer at the root — and returns the merged runs plus
+cycle-level statistics.  This is the reproduction's stand-in for running
+the Verilog design on the FPGA.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hw.clock import Simulation
+from repro.hw.coupler import Coupler
+from repro.hw.fifo import Fifo
+from repro.hw.loader import DataLoader, OutputWriter, make_feeds
+from repro.hw.merger import KMerger
+from repro.hw.probes import StageStats
+from repro.units import is_power_of_two, log2_int
+
+#: FIFO depth (in tuples) between internal tree levels; absorbs selection
+#: jitter without hiding genuine skew stalls.
+INTERNAL_FIFO_DEPTH = 8
+
+
+@dataclass
+class AmtTree:
+    """An adaptive merge tree AMT(p, l) as a connected component graph.
+
+    Attributes
+    ----------
+    leaf_fifos:
+        ``l`` input FIFOs expecting ``leaf_width``-record sorted tuples.
+    root_fifo:
+        Output FIFO producing ``p``-record sorted tuples.
+    components:
+        All mergers and couplers in root-to-leaf tick order.
+    """
+
+    p: int
+    leaves: int
+    leaf_fifo_depth: int = 8
+    name: str = "amt"
+
+    leaf_fifos: list[Fifo] = field(init=False, default_factory=list)
+    root_fifo: Fifo = field(init=False, repr=False, default=None)
+    components: list = field(init=False, default_factory=list)
+    mergers: list[KMerger] = field(init=False, default_factory=list)
+    couplers: list[Coupler] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.p):
+            raise ConfigurationError(f"throughput p must be a power of two, got {self.p}")
+        if not is_power_of_two(self.leaves) or self.leaves < 2:
+            raise ConfigurationError(
+                f"leaf count must be a power of two >= 2, got {self.leaves}"
+            )
+        self._build()
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of merger levels (log2 of the leaf count)."""
+        return log2_int(self.leaves)
+
+    def merger_width_at(self, level: int) -> int:
+        """Merger k at tree level ``level`` (root is level 0)."""
+        if not 0 <= level < self.depth:
+            raise ConfigurationError(
+                f"level {level} outside tree of depth {self.depth}"
+            )
+        return max(1, self.p >> level)
+
+    @property
+    def leaf_width(self) -> int:
+        """Records per leaf input tuple (the deepest mergers' k)."""
+        return self.merger_width_at(self.depth - 1)
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        """Create mergers level by level, inserting couplers where the
+        parent is wider than its children."""
+        self.root_fifo = Fifo(INTERNAL_FIFO_DEPTH, name=f"{self.name}.root")
+        # ``pending`` holds, per level, the FIFOs that feed each merger
+        # input port, ordered left to right.
+        pending: list[Fifo] = [self.root_fifo]
+        for level in range(self.depth):
+            width = self.merger_width_at(level)
+            child_width = (
+                self.merger_width_at(level + 1) if level + 1 < self.depth else None
+            )
+            next_pending: list[Fifo] = []
+            for index, out_fifo in enumerate(pending):
+                port_fifos = []
+                for side in ("a", "b"):
+                    label = f"{self.name}.L{level}.{index}.{side}"
+                    if level == self.depth - 1:
+                        port = Fifo(self.leaf_fifo_depth, name=f"{label}.leaf")
+                        self.leaf_fifos.append(port)
+                    elif child_width == width:
+                        # Child is the same width: direct FIFO connection.
+                        port = Fifo(INTERNAL_FIFO_DEPTH, name=label)
+                        next_pending.append(port)
+                    else:
+                        # Child is half width: couple two child tuples.
+                        port = Fifo(INTERNAL_FIFO_DEPTH, name=label)
+                        child_out = Fifo(
+                            INTERNAL_FIFO_DEPTH, name=f"{label}.precouple"
+                        )
+                        coupler = Coupler(
+                            k=width,
+                            input=child_out,
+                            output=port,
+                            name=f"{label}.coupler",
+                        )
+                        self.couplers.append(coupler)
+                        self.components.append(coupler)
+                        next_pending.append(child_out)
+                    port_fifos.append(port)
+                merger = KMerger(
+                    k=width,
+                    input_a=port_fifos[0],
+                    input_b=port_fifos[1],
+                    output=out_fifo,
+                    name=f"{self.name}.L{level}.{index}",
+                )
+                self.mergers.append(merger)
+                self.components.append(merger)
+            pending = next_pending
+        if len(self.leaf_fifos) != self.leaves:
+            raise SimulationError(
+                f"tree built {len(self.leaf_fifos)} leaves, expected {self.leaves}"
+            )
+
+    # ------------------------------------------------------------------
+    def pipeline_latency_cycles(self) -> int:
+        """Approximate fill latency: one cycle per component level plus
+        half-merger depths; negligible against stage lengths but reported
+        for completeness."""
+        total = 0
+        for level in range(self.depth):
+            width = self.merger_width_at(level)
+            total += 1 + (2 * max(1, math.ceil(math.log2(2 * width))) if width > 1 else 1)
+        return total
+
+
+def simulate_merge(
+    p: int,
+    leaves: int,
+    runs: Sequence[Sequence[int]],
+    record_bytes: int = 4,
+    read_bytes_per_cycle: float | None = None,
+    write_bytes_per_cycle: float | None = None,
+    batch_bytes: int = 1024,
+    max_cycles: int = 50_000_000,
+    check_sorted_inputs: bool = True,
+    auto_shrink: bool = True,
+) -> tuple[list[list[int]], StageStats]:
+    """Run one merge stage of AMT(p, l) over ``runs``.
+
+    Parameters
+    ----------
+    runs:
+        Sorted input runs; run ``j*l + i`` feeds leaf ``i`` in group ``j``.
+        Every group of ``l`` consecutive runs becomes one output run.
+    record_bytes:
+        Record width ``r``.
+    read_bytes_per_cycle / write_bytes_per_cycle:
+        Memory bandwidth budgets per cycle (``beta / f``); default is
+        unconstrained (slightly above tree demand), letting the tree run
+        at its natural ``p`` records/cycle.
+    batch_bytes:
+        Data-loader read batch size ``b`` (1-4 KB per §II).
+    auto_shrink:
+        When a stage has fewer runs than leaves, merge through the
+        equivalently-shaped shallower tree AMT(p, 2^ceil(log2(runs))).
+        This models how the hardware sustains full rate on late stages:
+        a sorted run is a valid stream of k-wide sorted tuples at *any*
+        tree level, so few long runs enter near the root through wide
+        ports instead of trickling record-by-record through 1-merger
+        leaves.  Eq. 1's per-stage rate assumes exactly this.
+
+    Returns
+    -------
+    (output_runs, stats):
+        Merged runs in group order, and cycle-level stage statistics.
+    """
+    if check_sorted_inputs:
+        for index, run in enumerate(runs):
+            for left, right in zip(run, run[1:]):
+                if right < left:
+                    raise ConfigurationError(
+                        f"input run {index} is not sorted at value {right!r}"
+                    )
+    if auto_shrink and len(runs) < leaves:
+        shrunk = 1 << max(1, (max(2, len(runs)) - 1).bit_length())
+        leaves = min(leaves, shrunk)
+    tree = AmtTree(p=p, leaves=leaves)
+    demand_bytes = tree.p * record_bytes
+    if read_bytes_per_cycle is None:
+        read_bytes_per_cycle = float(2 * demand_bytes)
+    if write_bytes_per_cycle is None:
+        write_bytes_per_cycle = float(2 * demand_bytes)
+
+    # Size leaf FIFOs to hold two full batches (§V-A).
+    batch_tuples = max(
+        1, (max(tree.leaf_width, batch_bytes // record_bytes)) // tree.leaf_width
+    )
+    for fifo in tree.leaf_fifos:
+        fifo.capacity = max(fifo.capacity, 2 * (batch_tuples + 1))
+
+    n_groups = max(1, math.ceil(len(runs) / leaves))
+    feeds = make_feeds(tree.leaf_fifos, runs, leaves)
+    loader = DataLoader(
+        feeds=feeds,
+        tuple_width=tree.leaf_width,
+        record_bytes=record_bytes,
+        read_bytes_per_cycle=read_bytes_per_cycle,
+        batch_bytes=batch_bytes,
+    )
+    writer = OutputWriter(
+        source=tree.root_fifo,
+        record_bytes=record_bytes,
+        write_bytes_per_cycle=write_bytes_per_cycle,
+        expected_runs=n_groups,
+    )
+    sim = Simulation()
+    sim.add(writer)
+    for component in tree.components:
+        sim.add(component)
+    sim.add(loader)
+
+    cycles = sim.run_until(lambda: writer.done, max_cycles=max_cycles)
+
+    records_in = sum(len(run) for run in runs)
+    records_out = sum(len(run) for run in writer.runs)
+    stats = StageStats(
+        cycles=cycles,
+        records_in=records_in,
+        records_out=records_out,
+        bytes_read=loader.stats.bytes_loaded,
+        bytes_written=writer.bytes_written,
+        output_runs=len(writer.runs),
+        merger_stats=[merger.stats for merger in tree.mergers],
+        loader_stats=loader.stats,
+    )
+    if records_out != records_in:
+        raise SimulationError(
+            f"record count mismatch: {records_in} in, {records_out} out"
+        )
+    return writer.runs, stats

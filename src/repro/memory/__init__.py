@@ -1,0 +1,32 @@
+"""Off-chip memory models.
+
+Bonsai treats memories as bandwidth/capacity envelopes (Table II:
+``beta_DRAM``, ``beta_I/O``, ``C_DRAM``) plus the batching behaviour the
+data loader exists to serve (reads must be batched into 1-4 KB chunks to
+reach peak bandwidth, §II).  This package models exactly those properties:
+
+* :mod:`repro.memory.base` — the common :class:`MemoryModel` envelope with
+  a batching-efficiency curve.
+* :mod:`repro.memory.dram` — multi-bank DDR DRAM (AWS F1: 4 x 8 GB/s).
+* :mod:`repro.memory.hbm` — high-bandwidth memory (32 banks, §IV-B).
+* :mod:`repro.memory.ssd` — SSD/flash behind an I/O bus (§IV-C).
+* :mod:`repro.memory.hierarchy` — the two-tier DRAM+SSD hierarchy.
+* :mod:`repro.memory.traffic` — byte-traffic accounting used to report
+  achieved bandwidth and bandwidth-efficiency (Fig. 12).
+"""
+
+from repro.memory.base import MemoryModel
+from repro.memory.dram import DdrDram
+from repro.memory.hbm import Hbm
+from repro.memory.ssd import Ssd
+from repro.memory.hierarchy import TwoTierHierarchy
+from repro.memory.traffic import TrafficMeter
+
+__all__ = [
+    "MemoryModel",
+    "DdrDram",
+    "Hbm",
+    "Ssd",
+    "TwoTierHierarchy",
+    "TrafficMeter",
+]

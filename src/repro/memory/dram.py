@@ -1,0 +1,76 @@
+"""DDR DRAM model.
+
+The AWS EC2 F1.2xlarge DRAM the paper targets: "a 64 GB DDR DRAM that has
+4 banks, each with 8 GB/s concurrent read and write bandwidth and a
+capacity of 16 GB" (§VI-A), with a measured rate of roughly 29 GB/s
+against the 32 GB/s spec (§IV-A footnote).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MemoryModelError
+from repro.memory.base import MemoryModel
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class DdrDram(MemoryModel):
+    """Multi-bank DDR DRAM.
+
+    Defaults model the F1 instance; construct with other values for
+    bandwidth sweeps (Fig. 5) or throttled experiments (§VI-E throttles
+    DRAM to 8 GB/s to stand in for SSD flash).
+    """
+
+    name: str = "DDR4"
+    capacity_bytes: int = 64 * GB
+    peak_bandwidth: float = 32 * GB
+    duplex: bool = True
+    banks: int = 4
+    measured_bandwidth: float | None = 29 * GB
+
+    def bank(self) -> MemoryModel:
+        """Envelope of a single bank (used by pipelined configurations).
+
+        Each AMT in a pipeline saturates one bank (§IV-C), so pipelined
+        timing divides capacity and bandwidth per bank.
+        """
+        measured = (
+            self.measured_bandwidth / self.banks
+            if self.measured_bandwidth is not None
+            else None
+        )
+        return MemoryModel(
+            name=f"{self.name}-bank",
+            capacity_bytes=self.capacity_bytes // self.banks,
+            peak_bandwidth=self.per_bank_bandwidth,
+            duplex=self.duplex,
+            banks=1,
+            batch_overhead_bytes=self.batch_overhead_bytes,
+            measured_bandwidth=measured,
+        )
+
+    def throttled(self, bandwidth: float) -> "DdrDram":
+        """A copy whose bandwidth is capped, as in the paper's SSD emulation.
+
+        §VI-E: "We throttled the DRAM throughput to that of modern SSD
+        Flash (8 GB/s)".
+        """
+        if bandwidth <= 0:
+            raise MemoryModelError(f"throttle bandwidth must be positive, got {bandwidth}")
+        if bandwidth > self.peak_bandwidth:
+            raise MemoryModelError(
+                "throttling cannot raise bandwidth above peak "
+                f"({bandwidth} > {self.peak_bandwidth})"
+            )
+        return DdrDram(
+            name=f"{self.name}@{bandwidth / GB:g}GB/s",
+            capacity_bytes=self.capacity_bytes,
+            peak_bandwidth=bandwidth,
+            duplex=self.duplex,
+            banks=self.banks,
+            batch_overhead_bytes=self.batch_overhead_bytes,
+            measured_bandwidth=None,
+        )

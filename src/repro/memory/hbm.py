@@ -1,0 +1,32 @@
+"""High-bandwidth memory model (§IV-B, §VI-D).
+
+"Intel and Xilinx announced a release of a high-bandwidth memory (HBM) for
+FPGAs that is expected to achieve up to 512 GB/s bandwidth and has a
+capacity of up to 16 GB."  The Alveo U50 tile the paper discusses
+"incorporates 32 DDR4 memory banks, with each bank providing up to 8 GB/s
+read/write bandwidth" (§VI-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.base import MemoryModel
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class Hbm(MemoryModel):
+    """32-bank HBM tile as on the Xilinx Alveo U50."""
+
+    name: str = "HBM2"
+    capacity_bytes: int = 16 * GB
+    peak_bandwidth: float = 256 * GB
+    duplex: bool = True
+    banks: int = 32
+    measured_bandwidth: float | None = None
+
+    @classmethod
+    def projected_512(cls) -> "Hbm":
+        """The 512 GB/s projection the paper's §IV-B analysis uses."""
+        return cls(name="HBM2-512", peak_bandwidth=512 * GB)

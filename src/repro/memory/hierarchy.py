@@ -1,0 +1,54 @@
+"""Two-tier memory hierarchy (DRAM + SSD) for terabyte-scale sorting.
+
+"The key insight for such two-level hierarchies is that the sorting
+procedure should be divided into two distinct phases, with each phase
+using a different AMT configuration" (§IV-C).  The hierarchy object
+answers the questions the SSD planner asks: what fits where, what each
+tier's pass costs, and where a given input must initially live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryModelError
+from repro.memory.base import MemoryModel
+from repro.memory.dram import DdrDram
+from repro.memory.ssd import Ssd
+
+
+@dataclass(frozen=True)
+class TwoTierHierarchy:
+    """A fast small tier (DRAM) backed by a large slow tier (SSD)."""
+
+    fast: MemoryModel = field(default_factory=DdrDram)
+    slow: MemoryModel = field(default_factory=Ssd)
+
+    def __post_init__(self) -> None:
+        if self.fast.capacity_bytes >= self.slow.capacity_bytes:
+            raise MemoryModelError(
+                "two-tier hierarchy expects the slow tier to be larger: "
+                f"{self.fast.name} {self.fast.capacity_bytes} >= "
+                f"{self.slow.name} {self.slow.capacity_bytes}"
+            )
+
+    @property
+    def io_bandwidth(self) -> float:
+        """``beta_I/O``: the bus feeding data between tiers and to the host."""
+        return self.slow.bandwidth
+
+    def home_tier(self, n_bytes: float) -> MemoryModel:
+        """The tier where an input array initially resides."""
+        if self.fast.fits(n_bytes):
+            return self.fast
+        if self.slow.fits(n_bytes):
+            return self.slow
+        raise MemoryModelError(
+            f"{n_bytes:.3g}-byte array exceeds even the slow tier "
+            f"({self.slow.name}, {self.slow.capacity_bytes:.3g} bytes); "
+            "raise the capacity or model an external/distributed store"
+        )
+
+    def requires_two_phase(self, n_bytes: float) -> bool:
+        """True when the input cannot be sorted entirely inside DRAM."""
+        return not self.fast.fits(n_bytes)

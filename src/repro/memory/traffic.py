@@ -1,0 +1,72 @@
+"""Byte-traffic accounting.
+
+Bandwidth-efficiency — "the ratio of the throughput of the sorter to the
+available bandwidth of off-chip memory" (§VI-C2) — needs an accurate count
+of how many bytes actually moved.  Both the cycle simulator and the timed
+engine report their traffic through a :class:`TrafficMeter`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryModelError
+
+
+@dataclass
+class TrafficMeter:
+    """Accumulates read/write byte counts per device."""
+
+    reads: dict[str, int] = field(default_factory=dict)
+    writes: dict[str, int] = field(default_factory=dict)
+
+    def record_read(self, device: str, n_bytes: int) -> None:
+        """Account ``n_bytes`` read from ``device``."""
+        self._check(n_bytes)
+        self.reads[device] = self.reads.get(device, 0) + n_bytes
+
+    def record_write(self, device: str, n_bytes: int) -> None:
+        """Account ``n_bytes`` written to ``device``."""
+        self._check(n_bytes)
+        self.writes[device] = self.writes.get(device, 0) + n_bytes
+
+    @staticmethod
+    def _check(n_bytes: int) -> None:
+        if n_bytes < 0:
+            raise MemoryModelError(f"traffic bytes must be >= 0, got {n_bytes}")
+
+    def bytes_read(self, device: str | None = None) -> int:
+        """Total bytes read, optionally restricted to one device."""
+        if device is not None:
+            return self.reads.get(device, 0)
+        return sum(self.reads.values())
+
+    def bytes_written(self, device: str | None = None) -> int:
+        """Total bytes written, optionally restricted to one device."""
+        if device is not None:
+            return self.writes.get(device, 0)
+        return sum(self.writes.values())
+
+    def total_bytes(self, device: str | None = None) -> int:
+        """Reads plus writes."""
+        return self.bytes_read(device) + self.bytes_written(device)
+
+    def achieved_bandwidth(self, elapsed_seconds: float, device: str | None = None) -> float:
+        """Average duplex bandwidth over an interval (max of directions).
+
+        For duplex memories the paper quotes per-direction rates, so we
+        report the larger of the two directions' average rates.
+        """
+        if elapsed_seconds <= 0:
+            raise MemoryModelError(
+                f"elapsed time must be positive, got {elapsed_seconds}"
+            )
+        per_direction = max(self.bytes_read(device), self.bytes_written(device))
+        return per_direction / elapsed_seconds
+
+    def merge(self, other: "TrafficMeter") -> None:
+        """Fold another meter's counts into this one."""
+        for device, count in other.reads.items():
+            self.record_read(device, count)
+        for device, count in other.writes.items():
+            self.record_write(device, count)

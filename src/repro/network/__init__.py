@@ -1,0 +1,38 @@
+"""Sorting-network substrate.
+
+Hardware mergers are built from bitonic half-mergers (§I-A); this package
+models those networks at the combinational level:
+
+* :mod:`repro.network.compare_exchange` — compare-and-exchange elements and
+  generic staged networks with size/depth accounting.
+* :mod:`repro.network.bitonic` — bitonic sorting networks (Batcher).
+* :mod:`repro.network.halfmerger` — the 2k-record bitonic half-merger that
+  merges two sorted k-tuples per cycle with latency ``log k``.
+* :mod:`repro.network.presorter` — the 16-record bitonic presorter that
+  removes one merge stage (§VI-C, Table IV).
+* :mod:`repro.network.costs` — operation/latency cost accounting used by the
+  resource model's asymptotic checks.
+"""
+
+from repro.network.compare_exchange import CompareExchange, Network, NetworkStage
+from repro.network.bitonic import (
+    bitonic_sort_network,
+    bitonic_merge_network,
+    apply_network,
+)
+from repro.network.halfmerger import BitonicHalfMerger
+from repro.network.presorter import Presorter
+from repro.network.costs import network_costs, NetworkCosts
+
+__all__ = [
+    "CompareExchange",
+    "Network",
+    "NetworkStage",
+    "bitonic_sort_network",
+    "bitonic_merge_network",
+    "apply_network",
+    "BitonicHalfMerger",
+    "Presorter",
+    "network_costs",
+    "NetworkCosts",
+]

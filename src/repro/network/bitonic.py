@@ -1,0 +1,97 @@
+"""Bitonic sorting and merging networks (Batcher 1968).
+
+The merge tree's datapath is built from bitonic half-mergers; this module
+constructs the underlying networks as explicit :class:`~repro.network
+.compare_exchange.Network` objects so their size and depth can be audited
+against the paper's ``k log k`` / ``log k`` claims (§I-A).
+
+Constructions follow Batcher's recursive definition specialised to
+power-of-two widths (the only widths hardware mergers use).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.network.compare_exchange import Network, stages_from_pairs
+from repro.units import is_power_of_two, log2_int
+
+
+@lru_cache(maxsize=None)
+def bitonic_merge_network(width: int) -> Network:
+    """Network that sorts any *bitonic* sequence of ``width`` records.
+
+    A bitonic sequence first increases then decreases (or is a cyclic
+    rotation of such).  The network has ``log2(width)`` stages of
+    ``width / 2`` compare-exchange elements each — the "log k steps, k
+    compare-and-exchange operations" structure the paper describes.
+    """
+    if not is_power_of_two(width):
+        raise ConfigurationError(f"bitonic networks need power-of-two width, got {width}")
+    stage_pairs = []
+    gap = width // 2
+    while gap >= 1:
+        pairs = []
+        for start in range(0, width, 2 * gap):
+            for offset in range(gap):
+                pairs.append((start + offset, start + offset + gap))
+        stage_pairs.append(pairs)
+        gap //= 2
+    return stages_from_pairs(width, stage_pairs)
+
+
+@lru_cache(maxsize=None)
+def bitonic_sort_network(width: int) -> Network:
+    """Full bitonic sorting network for arbitrary input of ``width`` records.
+
+    Used by the presorter (§VI-C).  Depth is ``log k (log k + 1) / 2``
+    stages; size is ``k/2`` elements per stage.
+    """
+    if not is_power_of_two(width):
+        raise ConfigurationError(f"bitonic networks need power-of-two width, got {width}")
+    stage_pairs: list[list[tuple[int, int]]] = []
+    levels = log2_int(width)
+    for level in range(1, levels + 1):
+        block = 1 << level
+        # First stage of each level: the "reversal" comparisons that turn
+        # adjacent sorted runs into a bitonic sequence.
+        pairs = []
+        for start in range(0, width, block):
+            for offset in range(block // 2):
+                pairs.append((start + offset, start + block - 1 - offset))
+        stage_pairs.append(pairs)
+        # Remaining stages: standard bitonic merge within each block.
+        gap = block // 4
+        while gap >= 1:
+            pairs = []
+            for start in range(0, width, 2 * gap):
+                for offset in range(gap):
+                    pairs.append((start + offset, start + offset + gap))
+            stage_pairs.append(pairs)
+            gap //= 2
+    return stages_from_pairs(width, stage_pairs)
+
+
+def apply_network(network: Network, values: Sequence) -> list:
+    """Convenience wrapper: run ``network`` on ``values`` and return a list."""
+    return network.apply(values)
+
+
+def merge_sorted_pair(left: Sequence, right: Sequence) -> list:
+    """Merge two sorted k-sequences through a 2k bitonic merge network.
+
+    The hardware feeds the second sequence reversed, turning the
+    concatenation into a bitonic sequence the merge network can sort.
+    This is the combinational core of the half-merger.
+    """
+    if len(left) != len(right):
+        raise ConfigurationError(
+            f"half-merger inputs must have equal width, got {len(left)} and "
+            f"{len(right)}"
+        )
+    width = 2 * len(left)
+    network = bitonic_merge_network(width)
+    bitonic_input = list(left) + list(reversed(list(right)))
+    return network.apply(bitonic_input)

@@ -1,0 +1,124 @@
+"""Compare-and-exchange elements and staged combinational networks.
+
+A sorting/merging network is a sequence of *stages*; each stage is a set of
+:class:`CompareExchange` elements operating on disjoint wire pairs, so all
+elements of a stage execute in the same clock cycle when pipelined.  The
+paper's resource argument (§I-A: a 2k-record half-merger has ``log k``
+steps of ``k`` compare-and-exchange operations, hence ``k log k`` logic and
+latency ``log k``) maps directly onto :attr:`Network.size` and
+:attr:`Network.depth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CompareExchange:
+    """A single compare-and-exchange element between wires ``low`` and ``high``.
+
+    After the element fires, the smaller record is on wire ``low`` and the
+    larger on wire ``high`` (ascending order).
+    """
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < 0:
+            raise ConfigurationError("wire indices must be non-negative")
+        if self.low == self.high:
+            raise ConfigurationError(
+                f"compare-exchange wires must differ, got {self.low} twice"
+            )
+        if self.low > self.high:
+            # Normalise so `low < high`; ascending networks only.
+            low, high = self.high, self.low
+            object.__setattr__(self, "low", low)
+            object.__setattr__(self, "high", high)
+
+
+@dataclass(frozen=True)
+class NetworkStage:
+    """One clock cycle's worth of parallel compare-exchange elements."""
+
+    elements: tuple[CompareExchange, ...]
+
+    def __post_init__(self) -> None:
+        touched: set[int] = set()
+        for element in self.elements:
+            if element.low in touched or element.high in touched:
+                raise ConfigurationError(
+                    "stage elements must touch disjoint wires; wire "
+                    f"{element.low if element.low in touched else element.high} "
+                    "is used twice"
+                )
+            touched.add(element.low)
+            touched.add(element.high)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+
+@dataclass(frozen=True)
+class Network:
+    """A staged combinational network over ``width`` wires."""
+
+    width: int
+    stages: tuple[NetworkStage, ...]
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ConfigurationError(f"network width must be positive, got {self.width}")
+        for stage in self.stages:
+            for element in stage.elements:
+                if element.high >= self.width:
+                    raise ConfigurationError(
+                        f"element touches wire {element.high} outside width "
+                        f"{self.width}"
+                    )
+
+    @property
+    def depth(self) -> int:
+        """Pipeline latency in cycles (number of stages)."""
+        return len(self.stages)
+
+    @property
+    def size(self) -> int:
+        """Total number of compare-and-exchange elements (logic cost)."""
+        return sum(len(stage) for stage in self.stages)
+
+    def apply(self, values: Sequence) -> list:
+        """Run the network on a list of comparable values.
+
+        Returns a new list; the input is not modified.  Comparison uses
+        ``<`` only, so any totally ordered record type works.
+        """
+        if len(values) != self.width:
+            raise ConfigurationError(
+                f"network of width {self.width} applied to {len(values)} values"
+            )
+        wires = list(values)
+        for stage in self.stages:
+            for element in stage.elements:
+                low_value = wires[element.low]
+                high_value = wires[element.high]
+                if high_value < low_value:
+                    wires[element.low] = high_value
+                    wires[element.high] = low_value
+        return wires
+
+
+def stages_from_pairs(
+    width: int, stage_pairs: Iterable[Iterable[tuple[int, int]]]
+) -> Network:
+    """Build a :class:`Network` from an iterable of stages of wire pairs."""
+    stages = tuple(
+        NetworkStage(tuple(CompareExchange(low, high) for low, high in pairs))
+        for pairs in stage_pairs
+    )
+    return Network(width=width, stages=stages)

@@ -1,0 +1,66 @@
+"""Cost accounting for combinational networks.
+
+Provides the asymptotic-sanity layer between the constructed networks and
+the resource model: the paper argues the logic of a 2k-merger is dominated
+by its two bitonic half-mergers and is therefore Theta(k log k) (§I-A).
+These helpers expose exact element counts so tests can verify the claim
+numerically, and so ablation benches can compare "paper Table VI LUTs"
+against "pure CAS-count scaling".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.bitonic import bitonic_merge_network, bitonic_sort_network
+from repro.network.compare_exchange import Network
+
+
+@dataclass(frozen=True)
+class NetworkCosts:
+    """Size/depth summary of a combinational network."""
+
+    width: int
+    size: int
+    depth: int
+
+    @property
+    def elements_per_stage(self) -> float:
+        """Average compare-exchange elements per pipeline stage."""
+        return self.size / self.depth if self.depth else 0.0
+
+
+def network_costs(network: Network) -> NetworkCosts:
+    """Summarise an already-built network."""
+    return NetworkCosts(width=network.width, size=network.size, depth=network.depth)
+
+
+def merge_network_costs(width: int) -> NetworkCosts:
+    """Costs of the bitonic merge network of ``width`` records."""
+    return network_costs(bitonic_merge_network(width))
+
+
+def sort_network_costs(width: int) -> NetworkCosts:
+    """Costs of the full bitonic sorting network of ``width`` records."""
+    return network_costs(bitonic_sort_network(width))
+
+
+def merger_cas_count(k: int) -> int:
+    """Compare-and-exchange elements in a k-merger datapath.
+
+    A k-merger pipelines two 2k-record bitonic half-mergers (§I-A), so its
+    CAS count is twice the 2k merge network's.  Used only for asymptotic
+    checks and LUT-per-CAS ablations; the resource model proper uses the
+    paper's measured Table VI numbers.
+    """
+    if k == 1:
+        # A 1-merger is a plain two-input compare-and-select element.
+        return 1
+    return 2 * merge_network_costs(2 * k).size
+
+
+def merger_latency_cycles(k: int) -> int:
+    """Pipeline latency of a k-merger in cycles (two half-mergers deep)."""
+    if k == 1:
+        return 1
+    return 2 * merge_network_costs(2 * k).depth

@@ -1,0 +1,86 @@
+"""The 2k-record bitonic half-merger (§I-A).
+
+"A 2k-record bitonic half-merger is a fully-pipelined network that merges
+two k-record sorted arrays per cycle.  The network is made up of log k
+steps.  In each step, k compare-and-exchange operations are executed in
+parallel. Thus, the bitonic half-merger merges with latency log k and
+requires k log k logic units."
+
+Note the counts: a *half*-merger of 2k records uses the ``log(2k) - 1``…
+``log k``-stage tail of the bitonic merge network, because the k-merger
+feeding it guarantees its input is already pairwise interleaved.  We model
+the half-merger as the full 2k bitonic merge network but report the
+paper's cost accounting (``k log k`` elements over ``log k`` stages) via
+:attr:`BitonicHalfMerger.paper_size` / :attr:`paper_depth`, and the exact
+constructed network's counts via :attr:`size` / :attr:`depth`.  Both are
+exercised in tests; the resource model uses measured component LUTs from
+the paper's Table VI, not these counts, so the distinction only matters
+for asymptotic sanity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.network.bitonic import bitonic_merge_network
+from repro.network.compare_exchange import Network
+from repro.units import is_power_of_two, log2_int
+
+
+@dataclass
+class BitonicHalfMerger:
+    """Merges two sorted ``k``-record tuples into one sorted ``2k`` tuple.
+
+    The object is stateless between calls; pipelining (one result per
+    cycle, latency ``depth``) is accounted for by the cycle-level merger
+    model in :mod:`repro.hw.merger`.
+    """
+
+    k: int
+    _network: Network = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.k):
+            raise ConfigurationError(f"half-merger k must be a power of two, got {self.k}")
+        self._network = bitonic_merge_network(2 * self.k)
+
+    @property
+    def width(self) -> int:
+        """Total records processed per invocation (2k)."""
+        return 2 * self.k
+
+    @property
+    def depth(self) -> int:
+        """Constructed network latency in cycles (= log2(2k))."""
+        return self._network.depth
+
+    @property
+    def size(self) -> int:
+        """Constructed network compare-exchange count (= k * log2(2k))."""
+        return self._network.size
+
+    @property
+    def paper_depth(self) -> int:
+        """Latency quoted by the paper: ``log k`` (for k > 1, else 1)."""
+        return max(1, log2_int(self.k))
+
+    @property
+    def paper_size(self) -> int:
+        """Logic units quoted by the paper: ``k log k`` (for k > 1, else 1)."""
+        return max(1, self.k * log2_int(self.k)) if self.k > 1 else 1
+
+    def merge(self, left: Sequence, right: Sequence) -> list:
+        """Merge two sorted k-tuples; returns a sorted 2k list.
+
+        ``right`` is reversed internally so the concatenation is bitonic.
+        Raises :class:`ConfigurationError` for mis-sized inputs.
+        """
+        if len(left) != self.k or len(right) != self.k:
+            raise ConfigurationError(
+                f"{self.k}-half-merger fed tuples of size {len(left)} and "
+                f"{len(right)}"
+            )
+        bitonic_input = list(left) + list(reversed(list(right)))
+        return self._network.apply(bitonic_input)

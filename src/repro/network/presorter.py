@@ -1,0 +1,79 @@
+"""The bitonic presorter (§VI-C, Table IV).
+
+"We use a 16-record bitonic network to presort the data into 16-record
+subsequences before the first merge stage.  This reduces the total number
+of stages by one, and the total execution time by 10-20%."
+
+The presorter is a fully pipelined bitonic sorting network that consumes
+one ``run_length``-record tuple per cycle and emits it sorted.  It sits
+between the unpacker and the first merge stage (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.network.bitonic import bitonic_sort_network
+from repro.network.compare_exchange import Network
+from repro.units import is_power_of_two
+
+#: Run length used by the paper's DRAM sorter.
+DEFAULT_RUN_LENGTH = 16
+
+
+@dataclass
+class Presorter:
+    """Sorts fixed-length record tuples with a bitonic network.
+
+    Parameters
+    ----------
+    run_length:
+        Records per presorted run; must be a power of two.  The paper's
+        implementation uses 16.
+    """
+
+    run_length: int = DEFAULT_RUN_LENGTH
+    _network: Network = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.run_length):
+            raise ConfigurationError(
+                f"presorter run length must be a power of two, got {self.run_length}"
+            )
+        self._network = bitonic_sort_network(self.run_length)
+
+    @property
+    def depth(self) -> int:
+        """Pipeline latency in cycles."""
+        return self._network.depth
+
+    @property
+    def size(self) -> int:
+        """Compare-exchange element count."""
+        return self._network.size
+
+    def sort_run(self, run: Sequence) -> list:
+        """Sort one tuple of exactly ``run_length`` records."""
+        if len(run) != self.run_length:
+            raise ConfigurationError(
+                f"presorter of width {self.run_length} fed {len(run)} records"
+            )
+        return self._network.apply(run)
+
+    def presort(self, records: Iterable) -> Iterator[list]:
+        """Stream records through the presorter, yielding sorted runs.
+
+        The trailing partial run (when the input length is not a multiple
+        of ``run_length``) is sorted as-is without padding, mirroring the
+        data loader's handling of array tails.
+        """
+        buffer: list = []
+        for record in records:
+            buffer.append(record)
+            if len(buffer) == self.run_length:
+                yield self.sort_run(buffer)
+                buffer = []
+        if buffer:
+            yield sorted(buffer)

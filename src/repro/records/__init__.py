@@ -1,0 +1,67 @@
+"""Record formats and workload generation.
+
+This package provides the data substrate of the reproduction:
+
+* :mod:`repro.records.record` — fixed-width record formats (the paper
+  evaluates 32-bit integers and 100-byte gensort records packed into
+  16-byte key/value pairs).
+* :mod:`repro.records.workloads` — deterministic workload generators
+  (uniform random, sorted, reverse, nearly-sorted, duplicate-heavy, zipf).
+* :mod:`repro.records.gensort` — a gensort-compatible 100-byte record
+  generator following Jim Gray's sort-benchmark layout.
+* :mod:`repro.records.keyhash` — the paper's hash of the 90-byte value to
+  a 6-byte index so wide records fit a 16-byte merge path (§VI-A).
+"""
+
+from repro.records.record import (
+    RecordFormat,
+    U32,
+    U64,
+    U128,
+    GENSORT_PACKED,
+    key_dtype_for,
+)
+from repro.records.workloads import (
+    WorkloadSpec,
+    generate,
+    uniform_random,
+    sorted_ascending,
+    sorted_descending,
+    nearly_sorted,
+    duplicate_heavy,
+    zipfian,
+    runs_of_sorted,
+)
+from repro.records.gensort import GensortRecord, generate_gensort, pack_records
+from repro.records.keyhash import fnv1a_hash, hash_value_to_index
+from repro.records.files import read_records, record_count, write_records
+from repro.records.valsort import SortSummary, summarize, validate_sort
+
+__all__ = [
+    "RecordFormat",
+    "U32",
+    "U64",
+    "U128",
+    "GENSORT_PACKED",
+    "key_dtype_for",
+    "WorkloadSpec",
+    "generate",
+    "uniform_random",
+    "sorted_ascending",
+    "sorted_descending",
+    "nearly_sorted",
+    "duplicate_heavy",
+    "zipfian",
+    "runs_of_sorted",
+    "GensortRecord",
+    "generate_gensort",
+    "pack_records",
+    "fnv1a_hash",
+    "hash_value_to_index",
+    "read_records",
+    "record_count",
+    "write_records",
+    "SortSummary",
+    "summarize",
+    "validate_sort",
+]

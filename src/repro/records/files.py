@@ -1,0 +1,60 @@
+"""Binary record files: the on-disk interface of a real deployment.
+
+The paper's system ingests arrays over PCIe from host memory or SSD
+files; a downstream user of this library has the same need, so records
+can be written to and memory-mapped from flat little-endian binary
+files.  The layout is the simplest possible: ``n`` fixed-width keys,
+no header — compatible with ``numpy.fromfile`` and with piping between
+tools.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.records.record import RecordFormat, U32, key_dtype_for
+
+
+def write_records(
+    path: str | pathlib.Path, keys: np.ndarray, fmt: RecordFormat = U32
+) -> int:
+    """Write a key array as a flat little-endian binary file.
+
+    Returns the number of bytes written.
+    """
+    keys = np.asarray(keys)
+    dtype = key_dtype_for(fmt).newbyteorder("<")
+    data = keys.astype(dtype, copy=False)
+    path = pathlib.Path(path)
+    data.tofile(path)
+    return path.stat().st_size
+
+
+def read_records(
+    path: str | pathlib.Path, fmt: RecordFormat = U32, mmap: bool = False
+) -> np.ndarray:
+    """Read a flat binary record file (optionally memory-mapped)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise WorkloadError(f"record file not found: {path}")
+    dtype = key_dtype_for(fmt).newbyteorder("<")
+    size = path.stat().st_size
+    if size % dtype.itemsize:
+        raise WorkloadError(
+            f"{path} holds {size} bytes, not a multiple of the "
+            f"{dtype.itemsize}-byte record key"
+        )
+    if mmap:
+        return np.memmap(path, dtype=dtype, mode="r")
+    return np.fromfile(path, dtype=dtype)
+
+
+def record_count(path: str | pathlib.Path, fmt: RecordFormat = U32) -> int:
+    """Number of records in a file without reading it."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise WorkloadError(f"record file not found: {path}")
+    return path.stat().st_size // key_dtype_for(fmt).itemsize

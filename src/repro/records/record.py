@@ -1,0 +1,145 @@
+"""Fixed-width record formats.
+
+The AMT architecture treats a record as an opaque fixed-width item whose
+ordering is defined by an unsigned key prefix (§II: "any key and value width
+up to 512 bits").  A :class:`RecordFormat` captures the key width and value
+width in bytes; everything downstream (mergers, memory traffic, performance
+equations) only needs the total record width ``r`` and, for functional
+sorting, the key width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Paper limit: records up to 512 bits wide (§II).
+MAX_RECORD_BITS = 512
+
+
+@dataclass(frozen=True)
+class RecordFormat:
+    """A fixed-width record with an unsigned integer sort key.
+
+    Parameters
+    ----------
+    key_bytes:
+        Width of the sort key in bytes.  Keys sort as unsigned
+        big-endian integers, matching gensort's memcmp ordering.
+    value_bytes:
+        Width of the non-key payload in bytes (zero for pure-key records).
+    name:
+        Human-readable format name used in reports.
+    """
+
+    key_bytes: int
+    value_bytes: int = 0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.key_bytes <= 0:
+            raise ConfigurationError(
+                f"key width must be positive, got {self.key_bytes}"
+            )
+        if self.value_bytes < 0:
+            raise ConfigurationError(
+                f"value width must be non-negative, got {self.value_bytes}"
+            )
+        if self.width_bits > MAX_RECORD_BITS:
+            raise ConfigurationError(
+                f"record width {self.width_bits} bits exceeds the paper's "
+                f"{MAX_RECORD_BITS}-bit datapath limit"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", f"u{self.width_bits}")
+
+    @property
+    def width_bytes(self) -> int:
+        """Total record width ``r`` in bytes (Table II)."""
+        return self.key_bytes + self.value_bytes
+
+    @property
+    def width_bits(self) -> int:
+        """Total record width in bits."""
+        return 8 * (self.key_bytes + self.value_bytes)
+
+    @property
+    def key_bits(self) -> int:
+        """Sort-key width in bits."""
+        return 8 * self.key_bytes
+
+    @property
+    def max_key(self) -> int:
+        """Largest representable key value."""
+        return (1 << self.key_bits) - 1
+
+    def records_per_bus_word(self, bus_bits: int = 512) -> int:
+        """How many records fit in one memory-bus word (§V, Fig. 7).
+
+        The AWS F1 AXI interface is 512 bits wide; the packer/unpacker
+        translate between bus words and records.
+        """
+        if bus_bits % 8:
+            raise ConfigurationError(f"bus width must be whole bytes, got {bus_bits}")
+        per_word = bus_bits // self.width_bits
+        if per_word < 1:
+            raise ConfigurationError(
+                f"record of {self.width_bits} bits does not fit a "
+                f"{bus_bits}-bit bus word"
+            )
+        return per_word
+
+    def bytes_for(self, n_records: int) -> int:
+        """Array footprint of ``n_records`` records."""
+        if n_records < 0:
+            raise ConfigurationError(f"record count must be >= 0, got {n_records}")
+        return n_records * self.width_bytes
+
+    def records_for(self, n_bytes: int) -> int:
+        """Number of whole records that fit in ``n_bytes``."""
+        if n_bytes < 0:
+            raise ConfigurationError(f"byte count must be >= 0, got {n_bytes}")
+        return n_bytes // self.width_bytes
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def key_dtype_for(fmt: RecordFormat) -> np.dtype:
+    """Smallest numpy unsigned dtype that can hold this format's keys.
+
+    Keys wider than 64 bits cannot be held in a single numpy integer; the
+    gensort path hashes them down to a 16-byte packed record whose sort key
+    is 64 bits or less, so this helper rejects wider keys explicitly.
+    """
+    if fmt.key_bits <= 8:
+        return np.dtype(np.uint8)
+    if fmt.key_bits <= 16:
+        return np.dtype(np.uint16)
+    if fmt.key_bits <= 32:
+        return np.dtype(np.uint32)
+    if fmt.key_bits <= 64:
+        return np.dtype(np.uint64)
+    raise ConfigurationError(
+        f"keys wider than 64 bits ({fmt.key_bits} requested) must be hashed "
+        "or compared bit-serially; see repro.records.keyhash"
+    )
+
+
+#: 32-bit integer records — the paper's primary benchmark format (§VI-A).
+U32 = RecordFormat(key_bytes=4, value_bytes=0, name="u32")
+
+#: 64-bit integer records.
+U64 = RecordFormat(key_bytes=8, value_bytes=0, name="u64")
+
+#: 128-bit records — Table VI's wide-record building blocks.
+U128 = RecordFormat(key_bytes=8, value_bytes=8, name="u128")
+
+#: Gensort records after the paper's packing: 10-byte key + 6-byte hashed
+#: index = 16 bytes (§VI-A).  The key is truncated to its 8 high bytes for
+#: numpy comparisons; ties are broken by the remaining bytes in the packed
+#: representation (see :mod:`repro.records.gensort`).
+GENSORT_PACKED = RecordFormat(key_bytes=10, value_bytes=6, name="gensort16")

@@ -1,0 +1,154 @@
+"""Unit helpers shared by every layer of the reproduction.
+
+The paper mixes decimal and binary byte units; we standardise on **decimal**
+units (1 GB = 10**9 bytes) for bandwidths and paper-comparable array sizes,
+because the sort-benchmark community (gensort / Jim Gray's benchmark, which
+the paper follows) quotes decimal GB.  Binary units are provided for on-chip
+quantities (BRAM capacity is naturally a KiB-scale figure).
+
+All module-level constants are plain integers/floats so they can be used in
+arithmetic without wrapper objects.
+"""
+
+from __future__ import annotations
+
+# --- decimal byte units (used for array sizes and bandwidths) -------------
+KB = 10**3
+MB = 10**6
+GB = 10**9
+TB = 10**12
+PB = 10**15
+
+# --- binary byte units (used for on-chip memories and batch sizes) --------
+KiB = 2**10
+MiB = 2**20
+GiB = 2**30
+TiB = 2**40
+
+# --- frequency -------------------------------------------------------------
+KHZ = 10**3
+MHZ = 10**6
+GHZ = 10**9
+
+#: The paper's achieved merge-tree clock frequency on the AWS F1 VU9P part.
+DEFAULT_FREQUENCY_HZ = 250 * MHZ
+
+# --- time ------------------------------------------------------------------
+MS = 1e-3
+US = 1e-6
+NS = 1e-9
+
+
+def gb(n_bytes: float) -> float:
+    """Convert a byte count into decimal gigabytes."""
+    return n_bytes / GB
+
+
+def ms(seconds: float) -> float:
+    """Convert seconds into milliseconds."""
+    return seconds / MS
+
+
+def ms_per_gb(seconds: float, n_bytes: float) -> float:
+    """Sorting time normalised the way the paper's Table I reports it.
+
+    Parameters
+    ----------
+    seconds:
+        Total sorting time in seconds.
+    n_bytes:
+        Size of the sorted array in bytes.
+    """
+    if n_bytes <= 0:
+        raise ValueError(f"array size must be positive, got {n_bytes}")
+    return ms(seconds) / gb(n_bytes)
+
+
+def gb_per_s(n_bytes: float, seconds: float) -> float:
+    """Throughput in decimal GB/s."""
+    if seconds <= 0:
+        raise ValueError(f"duration must be positive, got {seconds}")
+    return gb(n_bytes) / seconds
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable decimal byte count, e.g. ``format_bytes(4e9) == '4 GB'``.
+
+    Chooses the largest decimal unit that keeps the mantissa >= 1 and trims
+    trailing zeros, matching the style of the paper's tables.
+    """
+    if n_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {n_bytes}")
+    for unit, name in ((PB, "PB"), (TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
+        if n_bytes >= unit:
+            value = n_bytes / unit
+            text = f"{value:.2f}".rstrip("0").rstrip(".")
+            return f"{text} {name}"
+    return f"{int(n_bytes)} B"
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration (``512 s``, ``172 ms``, ``3.2 us``)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds >= 1:
+        text = f"{seconds:.2f}".rstrip("0").rstrip(".")
+        return f"{text} s"
+    if seconds >= MS:
+        return f"{seconds / MS:.1f} ms"
+    if seconds >= US:
+        return f"{seconds / US:.1f} us"
+    return f"{seconds / NS:.1f} ns"
+
+
+def is_power_of_two(value: int) -> bool:
+    """True when ``value`` is a positive integral power of two."""
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Exact integer log2; raises for non-powers-of-two.
+
+    Used for tree depths and stage counts where a fractional answer would
+    indicate a configuration bug rather than a quantity to round.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a power of two, got {value!r}")
+    return value.bit_length() - 1
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)
+
+
+def ceil_log(value: float, base: float) -> int:
+    """``ceil(log_base(value))`` computed without floating-point drift.
+
+    The paper's stage-count expression ``ceil(log_l N)`` is extremely
+    sensitive at exact powers (N = l**k must give exactly k, not k+1), so
+    we compute it by repeated multiplication in exact integer arithmetic
+    when both arguments are integral, falling back to floats otherwise.
+    """
+    if value <= 0:
+        raise ValueError(f"value must be positive, got {value}")
+    if base <= 1:
+        raise ValueError(f"base must exceed 1, got {base}")
+    if value <= 1:
+        return 0
+    if float(value).is_integer() and float(base).is_integer():
+        target = int(value)
+        ibase = int(base)
+        stages = 0
+        reach = 1
+        while reach < target:
+            reach *= ibase
+            stages += 1
+        return stages
+    import math
+
+    return math.ceil(math.log(value) / math.log(base) - 1e-12)

@@ -1,0 +1,55 @@
+"""Bandwidth-efficiency analysis (Fig. 12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bandwidth_efficiency import (
+    bandwidth_efficiency,
+    bonsai_efficiency,
+    bonsai_sort_throughput,
+    efficiency_comparison,
+)
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestDefinition:
+    def test_paper_example(self):
+        # §VI-C2: 7.19 GB/s over 32 GB/s = 0.225.
+        assert bandwidth_efficiency(7.19 * GB, 32 * GB) == pytest.approx(0.225, abs=0.001)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_efficiency(-1, GB)
+        with pytest.raises(ConfigurationError):
+            bandwidth_efficiency(GB, 0)
+
+
+class TestBonsaiThroughput:
+    def test_16gb_at_8gbs(self):
+        # 4 stages at 8 GB/s -> 2 GB/s sorted.
+        assert bonsai_sort_throughput(16 * GB, 8 * GB) == pytest.approx(2 * GB)
+
+    def test_efficiency_independent_of_bandwidth_when_matched(self):
+        # With p saturating beta, efficiency = 1/stages either way.
+        assert bonsai_efficiency(16 * GB, 8 * GB) == pytest.approx(0.25)
+        assert bonsai_efficiency(16 * GB, 32 * GB) == pytest.approx(0.25)
+
+
+class TestComparison:
+    def test_contains_all_bars(self):
+        names = [entry.name for entry in efficiency_comparison()]
+        assert names == ["PARADIS", "HRS", "SampleSort", "Bonsai 8", "Bonsai 32"]
+
+    def test_bonsai_leads_by_3x(self):
+        # The paper's headline: 3.3x better than any other sorter.
+        entries = {entry.name: entry.efficiency for entry in efficiency_comparison()}
+        best_other = max(
+            value for name, value in entries.items() if not name.startswith("Bonsai")
+        )
+        assert entries["Bonsai 8"] / best_other > 3.0
+
+    def test_efficiencies_in_unit_range(self):
+        for entry in efficiency_comparison():
+            assert 0 < entry.efficiency < 1

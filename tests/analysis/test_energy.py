@@ -1,0 +1,63 @@
+"""Energy estimation from data movement (§VI-C2 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.energy import (
+    EnergyModel,
+    baseline_energy_per_gb,
+    bonsai_energy_per_gb,
+)
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestEnergyModel:
+    def test_movement_dominates_compute(self):
+        model = EnergyModel()
+        total = model.sort_energy_joules(16 * GB, dram_passes=5)
+        compute_only = EnergyModel(dram_j_per_byte=0, flash_j_per_byte=0)
+        compute = compute_only.sort_energy_joules(16 * GB, dram_passes=5)
+        assert compute < 0.05 * total  # §VI-C2's premise
+
+    def test_linear_in_passes(self):
+        model = EnergyModel(compare_j=0)
+        one = model.sort_energy_joules(GB, dram_passes=1)
+        five = model.sort_energy_joules(GB, dram_passes=5)
+        assert five == pytest.approx(5 * one)
+
+    def test_flash_more_expensive(self):
+        model = EnergyModel(compare_j=0)
+        dram = model.sort_energy_joules(GB, dram_passes=1)
+        flash = model.sort_energy_joules(GB, dram_passes=0, flash_passes=1)
+        assert flash > 3 * dram
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(dram_j_per_byte=-1)
+        with pytest.raises(ConfigurationError):
+            EnergyModel().sort_energy_joules(-1, dram_passes=1)
+
+
+class TestComparisons:
+    def test_bonsai_beats_radix_style_movement(self):
+        # LSD radix over 32-bit keys: 4 digit passes = 8 bytes moved per
+        # byte; Bonsai's 5-stage merge moves 10 — but PARADIS-era radix
+        # on its platform re-reads payloads per pass too, and the real
+        # content of Fig. 12 is throughput per bandwidth.  Energy-wise
+        # the two are comparable; Bonsai's win grows with fewer stages.
+        bonsai_4stage = bonsai_energy_per_gb(64 * GB, stages=4)
+        radix = baseline_energy_per_gb(64 * GB, bytes_moved_per_byte_sorted=8)
+        assert bonsai_4stage == pytest.approx(radix, rel=0.06)
+
+    def test_energy_tracks_bandwidth_efficiency(self):
+        # Fewer passes = proportionally less energy: the paper's
+        # "bandwidth-efficiency is directly related to energy" claim.
+        five = bonsai_energy_per_gb(16 * GB, stages=5)
+        four = bonsai_energy_per_gb(16 * GB, stages=4)
+        assert four / five == pytest.approx(4 / 5, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            baseline_energy_per_gb(GB, bytes_moved_per_byte_sorted=-1)

@@ -1,0 +1,75 @@
+"""Consolidated report builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import EXPECTED_SECTIONS, build_report, collect_status
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def partial_results(tmp_path):
+    (tmp_path / "table1_cross_platform.txt").write_text("table one body\n")
+    (tmp_path / "fig13_scalability.txt").write_text("fig thirteen body\n")
+    return tmp_path
+
+
+class TestStatus:
+    def test_detects_present_and_missing(self, partial_results):
+        status = collect_status(partial_results)
+        assert "table1_cross_platform" in status.present
+        assert "fig13_scalability" in status.present
+        assert "table5_ssd_breakdown" in status.missing
+        assert not status.complete
+
+    def test_empty_dir_all_missing(self, tmp_path):
+        status = collect_status(tmp_path)
+        assert len(status.missing) == len(EXPECTED_SECTIONS)
+
+
+class TestBuild:
+    def test_includes_bodies_and_titles(self, partial_results):
+        report = build_report(partial_results)
+        assert "# Bonsai reproduction report" in report
+        assert "table one body" in report
+        assert "Table I" in report
+        assert "Missing" in report
+
+    def test_writes_output_file(self, partial_results, tmp_path):
+        target = tmp_path / "REPORT.md"
+        build_report(partial_results, target)
+        assert target.exists()
+        assert "fig thirteen body" in target.read_text()
+
+    def test_empty_results_raise(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="no benchmark results"):
+            build_report(tmp_path)
+
+    def test_sections_follow_paper_order(self, partial_results):
+        report = build_report(partial_results)
+        assert report.index("Table I") < report.index("Fig. 13")
+
+
+class TestCliIntegration:
+    def test_report_command(self, partial_results, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "REPORT.md"
+        code = main([
+            "report", "--results", str(partial_results), "--output", str(target)
+        ])
+        assert code == 0
+        assert target.exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out and "missing sections" in out
+
+    def test_report_command_no_results(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "report", "--results", str(tmp_path / "none"),
+            "--output", str(tmp_path / "r.md"),
+        ])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,85 @@
+"""Roofline classification (§III-A1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.roofline import balanced_p, classify, unroll_for_bandwidth
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import MergerArchParams
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def f1():
+    return presets.aws_f1()
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return MergerArchParams()
+
+
+class TestClassify:
+    def test_small_p_is_compute_bound(self, f1, arch):
+        point = classify(AmtConfig(p=4, leaves=64), f1.hardware, arch)
+        assert point.bound == "compute"
+        assert point.achievable_bytes == pytest.approx(4 * GB)
+
+    def test_p32_is_balanced_on_f1(self, f1, arch):
+        # §IV-A: p = 32 "matches the peak bandwidth of DRAM".
+        point = classify(AmtConfig(p=32, leaves=64), f1.hardware, arch)
+        assert point.bound == "balanced"
+        assert point.headroom == pytest.approx(0.0, abs=1e-9)
+
+    def test_throttled_memory_makes_bandwidth_bound(self, arch):
+        platform = presets.ssd_as_memory()
+        point = classify(AmtConfig(p=32, leaves=64), platform.hardware, arch)
+        assert point.bound == "bandwidth"
+        assert point.achievable_bytes == pytest.approx(8 * GB)
+
+    def test_unrolling_shares_bandwidth(self, f1, arch):
+        point = classify(
+            AmtConfig(p=32, leaves=8, lambda_unroll=4), f1.hardware, arch
+        )
+        assert point.memory_bytes == pytest.approx(8 * GB)
+        assert point.bound == "bandwidth"
+
+    def test_headroom_fraction(self, f1, arch):
+        point = classify(AmtConfig(p=8, leaves=64), f1.hardware, arch)
+        # 8 GB/s datapath under a 32 GB/s roof: 75% of memory unused.
+        assert point.headroom == pytest.approx(0.75)
+
+
+class TestBalancedP:
+    def test_f1_needs_p32(self, f1, arch):
+        assert balanced_p(f1.hardware, arch) == 32
+
+    def test_ssd_needs_p8(self, arch):
+        assert balanced_p(presets.ssd_as_memory().hardware, arch) == 8
+
+    def test_wide_records_need_smaller_p(self, f1):
+        wide = MergerArchParams(record_bytes=16)
+        assert balanced_p(f1.hardware, wide) == 8
+
+    def test_absurd_bandwidth_rejected(self, arch):
+        from repro.core.parameters import HardwareParams
+
+        hardware = HardwareParams(
+            beta_dram=1e30, beta_io=8 * GB, c_dram=64 * GB,
+            c_bram=2**20, c_lut=10**6,
+        )
+        with pytest.raises(ConfigurationError):
+            balanced_p(hardware, arch)
+
+
+class TestUnrollForBandwidth:
+    def test_hbm_needs_16x(self, arch):
+        # §IV-B: 512 GB/s over a 32 GB/s datapath -> 16 trees.
+        platform = presets.alveo_u50()
+        assert unroll_for_bandwidth(platform.hardware, arch) == 16
+
+    def test_f1_needs_no_unrolling(self, f1, arch):
+        assert unroll_for_bandwidth(f1.hardware, arch) == 1

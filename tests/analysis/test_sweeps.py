@@ -1,0 +1,39 @@
+"""Bandwidth and size sweeps (Figs. 5, 11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweeps import bandwidth_sweep, size_sweep
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestBandwidthSweep:
+    def test_monotone_improvement(self):
+        points = bandwidth_sweep([4 * GB, 16 * GB, 64 * GB, 256 * GB])
+        seconds = [point["seconds"] for point in points]
+        assert seconds == sorted(seconds, reverse=True)
+
+    def test_configs_adapt_to_bandwidth(self):
+        # Fig. 5's point: a different optimum per beta.
+        points = bandwidth_sweep([2 * GB, 32 * GB])
+        assert points[0]["config"].p < points[1]["config"].p
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            bandwidth_sweep([])
+
+
+class TestSizeSweep:
+    def test_flat_regions_and_steps(self):
+        points = size_sweep([GB, 4 * GB, 8 * GB, 32 * GB])
+        per_gb = [point["ms_per_gb"] for point in points]
+        # 4-32 GB flat at the implemented sorter's 172 ms/GB.
+        assert per_gb[1] == pytest.approx(172.4, abs=0.5)
+        assert per_gb[1] == per_gb[2] == per_gb[3]
+        assert per_gb[0] < per_gb[1]  # 1 GB needs one fewer stage
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            size_sweep([])

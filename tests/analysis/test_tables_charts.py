@@ -1,0 +1,86 @@
+"""Table/chart rendering utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.charts import ascii_bar_chart, ascii_line_chart
+from repro.analysis.tables import render_table, rows_to_csv
+from repro.errors import ConfigurationError
+
+
+class TestRenderTable:
+    def test_alignment_and_dashes(self):
+        text = render_table(
+            ("sorter", "4 GB", "8 GB"),
+            [("PARADIS", 436, None), ("Bonsai", 172, 172)],
+        )
+        lines = text.splitlines()
+        assert "sorter" in lines[0]
+        assert "-" in text  # the None cell
+        assert "436" in text and "172" in text
+
+    def test_title(self):
+        text = render_table(("a",), [(1,)], title="Table I")
+        assert text.startswith("Table I\n")
+
+    def test_float_formatting(self):
+        text = render_table(("x",), [(1.234567,)], precision=2)
+        assert "1.23" in text
+
+    def test_integral_floats_printed_as_ints(self):
+        assert "172\n" in render_table(("x",), [(172.0,)])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            render_table(("a", "b"), [(1,)])
+
+    def test_rejects_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            render_table((), [])
+
+    def test_empty_rows_ok(self):
+        text = render_table(("a", "b"), [])
+        assert "a" in text
+
+
+class TestCsv:
+    def test_roundtrip_shape(self):
+        csv = rows_to_csv(("a", "b"), [(1, None), (2, 3)])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,"
+        assert lines[2] == "2,3"
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        text = ascii_bar_chart(["x", "y"], [1.0, 2.0], width=10)
+        rows = text.splitlines()
+        assert rows[0].count("#") < rows[1].count("#")
+
+    def test_zero_values(self):
+        text = ascii_bar_chart(["x"], [0.0])
+        assert "0" in text
+
+    def test_empty(self):
+        assert "(empty)" in ascii_bar_chart([], [], title="t")
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bar_chart(["x"], [1.0, 2.0])
+
+
+class TestLineChart:
+    def test_renders_series(self):
+        text = ascii_line_chart(
+            [1, 2, 4, 8],
+            {"bonsai": [172, 172, 250, 375], "other": [400, None, 500, 600]},
+            log_x=True,
+        )
+        assert "legend" in text
+        assert "*" in text and "o" in text
+
+    def test_empty_inputs(self):
+        assert "(empty)" in ascii_line_chart([], {}, title="t")
+        assert "(no data)" in ascii_line_chart([1], {"s": [None]})

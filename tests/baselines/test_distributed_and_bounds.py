@@ -1,0 +1,81 @@
+"""Distributed normalisation and I/O lower bounds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.distributed import (
+    CLUSTER_RESULTS,
+    ClusterResult,
+    per_node_penalty,
+)
+from repro.baselines.lower_bounds import (
+    aggarwal_vitter_passes,
+    io_lower_bound_seconds,
+    lower_bound_ms_per_gb,
+)
+from repro.errors import ConfigurationError
+from repro.units import GB, MiB, TB
+
+
+class TestClusterNormalisation:
+    def test_per_node_arithmetic(self):
+        result = ClusterResult(name="x", total_bytes=100 * GB,
+                               elapsed_seconds=10, nodes=10)
+        assert result.aggregate_gb_per_s == pytest.approx(10.0)
+        assert result.per_node_gb_per_s == pytest.approx(1.0)
+        assert result.per_node_ms_per_gb == pytest.approx(1000.0)
+
+    def test_tencent_row_matches_table_i(self):
+        # Table I: CPU distributed at 100 TB = 466 ms/GB per node.
+        result = CLUSTER_RESULTS["tencent-100tb"]
+        assert result.per_node_ms_per_gb == pytest.approx(506, rel=0.1)
+
+    def test_penalty_vs_bonsai(self):
+        # Paper: "2x better per-node latency than any distributed
+        # terabyte-scale sorting implementation".
+        result = CLUSTER_RESULTS["gpu-cluster-2tb"]
+        assert per_node_penalty(result, 250.0) > 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClusterResult(name="bad", total_bytes=0, elapsed_seconds=1, nodes=1)
+        with pytest.raises(ConfigurationError):
+            per_node_penalty(CLUSTER_RESULTS["tencent-100tb"], 0)
+
+
+class TestIoLowerBound:
+    def test_duplex_single_pass(self):
+        assert io_lower_bound_seconds(32 * GB, 32 * GB) == pytest.approx(1.0)
+
+    def test_half_duplex_double(self):
+        assert io_lower_bound_seconds(32 * GB, 32 * GB, duplex=False) == pytest.approx(2.0)
+
+    def test_ms_per_gb_form(self):
+        assert lower_bound_ms_per_gb(32 * GB) == pytest.approx(1000 / 32)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            io_lower_bound_seconds(-1, GB)
+        with pytest.raises(ConfigurationError):
+            io_lower_bound_seconds(GB, 0)
+
+
+class TestAggarwalVitter:
+    def test_fits_in_memory_one_pass(self):
+        assert aggarwal_vitter_passes(1 * GB, 2 * GB, MiB) == 1
+
+    def test_one_merge_level(self):
+        # N/M = 16 runs, fan-in M/B = 1024: one merge pass.
+        assert aggarwal_vitter_passes(16 * GB, 1 * GB, 1 * MiB) == 2
+
+    def test_terabyte_case(self):
+        # 1 TB over 64 GB DRAM with 4 KiB blocks: fan-in huge, 2 passes —
+        # exactly the structure Bonsai's two-phase sorter achieves.
+        assert aggarwal_vitter_passes(1 * TB, 64 * GB, 4096) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            aggarwal_vitter_passes(0, GB, MiB)
+        with pytest.raises(ConfigurationError):
+            aggarwal_vitter_passes(GB, MiB, 2 * MiB)

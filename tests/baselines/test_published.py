@@ -1,0 +1,88 @@
+"""Published Table I numbers and interpolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.published import (
+    BONSAI_TABLE_I_MS_PER_GB,
+    PUBLISHED_SORTERS,
+    PublishedSorter,
+    TABLE_I_SIZES_GB,
+    best_published_at,
+    table_i_ms_per_gb,
+)
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestTableIVerbatim:
+    def test_column_count(self):
+        assert len(TABLE_I_SIZES_GB) == 9
+
+    def test_paradis_row(self):
+        row = PUBLISHED_SORTERS["paradis"].ms_per_gb
+        assert row[:5] == (436, 436, 395, 388, 363)
+        assert row[5:] == (None,) * 4
+
+    def test_samplesort_cliff(self):
+        # The 3x collapse past 16 GB the paper calls out (§I).
+        row = PUBLISHED_SORTERS["samplesort"].ms_per_gb
+        assert row[3] / row[2] == pytest.approx(2.92, abs=0.02)
+
+    def test_terabyte_sort_row(self):
+        row = PUBLISHED_SORTERS["terabyte-sort"].ms_per_gb
+        assert row[4] == 3_401
+        assert row[8] == 6_210
+
+    def test_bonsai_row(self):
+        assert BONSAI_TABLE_I_MS_PER_GB == (172, 172, 172, 172, 172, 250, 250, 250, 375)
+
+    def test_all_rows_present(self):
+        rows = table_i_ms_per_gb()
+        assert "Bonsai (paper)" in rows
+        assert len(rows) == len(PUBLISHED_SORTERS) + 1
+
+
+class TestInterpolation:
+    def test_exact_column(self):
+        assert PUBLISHED_SORTERS["hrs"].at_size_gb(16) == 208
+
+    def test_between_columns(self):
+        # HRS: 224 at 32 GB, 260 at 64 GB -> 242 at 48 GB.
+        assert PUBLISHED_SORTERS["hrs"].at_size_gb(48) == pytest.approx(242.0)
+
+    def test_outside_range_is_none(self):
+        assert PUBLISHED_SORTERS["paradis"].at_size_gb(128) is None
+        assert PUBLISHED_SORTERS["terabyte-sort"].at_size_gb(4) is None
+
+    def test_throughput(self):
+        assert PUBLISHED_SORTERS["hrs"].throughput_gb_per_s(16) == pytest.approx(
+            1000 / 208
+        )
+
+    def test_bandwidth_efficiency(self):
+        spec = PUBLISHED_SORTERS["paradis"]
+        eff = spec.bandwidth_efficiency(16)
+        assert eff == pytest.approx((1000 / 395) * GB / (68 * GB))
+
+    def test_validation_rejects_short_rows(self):
+        with pytest.raises(ConfigurationError):
+            PublishedSorter(name="x", platform="y", ms_per_gb=(1, 2, 3))
+
+
+class TestBestPublished:
+    def test_best_at_16gb_is_hrs(self):
+        name, ms = best_published_at(16)
+        assert name == "HRS"
+        assert ms == 208
+
+    def test_best_at_100tb_is_tencent(self):
+        name, _ = best_published_at(102_400)
+        assert "Tencent" in name
+
+    def test_bonsai_beats_best_everywhere(self):
+        # Table I's headline: Bonsai leads every column.
+        for size, bonsai_ms in zip(TABLE_I_SIZES_GB, BONSAI_TABLE_I_MS_PER_GB):
+            name, best_ms = best_published_at(size)
+            assert bonsai_ms < best_ms, f"at {size} GB vs {name}"

@@ -1,0 +1,168 @@
+"""Functional baseline sorters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.hrs import HybridRadixSorter, lsd_radix_sort
+from repro.baselines.paradis import ParadisSorter
+from repro.baselines.samplesort import SampleSorter
+from repro.baselines.terabyte_sort import TerabyteSorter
+from repro.errors import ConfigurationError
+from repro.records.workloads import (
+    duplicate_heavy,
+    sorted_ascending,
+    sorted_descending,
+    uniform_random,
+    zipfian,
+)
+
+ALL_SORTERS = [ParadisSorter, HybridRadixSorter, SampleSorter, TerabyteSorter]
+
+
+@pytest.mark.parametrize("sorter_cls", ALL_SORTERS)
+class TestFunctionalCorrectness:
+    def test_uniform(self, sorter_cls):
+        data = uniform_random(20_000, seed=1)
+        assert np.array_equal(sorter_cls().sort(data), np.sort(data))
+
+    def test_reverse_sorted(self, sorter_cls):
+        data = sorted_descending(5_000, seed=2)
+        assert np.array_equal(sorter_cls().sort(data), np.sort(data))
+
+    def test_already_sorted(self, sorter_cls):
+        data = sorted_ascending(5_000, seed=3)
+        assert np.array_equal(sorter_cls().sort(data), data)
+
+    def test_duplicates(self, sorter_cls):
+        data = duplicate_heavy(5_000, seed=4, distinct=3)
+        assert np.array_equal(sorter_cls().sort(data), np.sort(data))
+
+    def test_skewed(self, sorter_cls):
+        data = zipfian(5_000, seed=5)
+        assert np.array_equal(sorter_cls().sort(data), np.sort(data))
+
+    def test_empty(self, sorter_cls):
+        data = np.array([], dtype=np.uint32)
+        assert sorter_cls().sort(data).size == 0
+
+    def test_single(self, sorter_cls):
+        data = np.array([7], dtype=np.uint32)
+        assert sorter_cls().sort(data).tolist() == [7]
+
+    def test_input_unmodified(self, sorter_cls):
+        data = uniform_random(1_000, seed=6)
+        copy = data.copy()
+        sorter_cls().sort(data)
+        assert np.array_equal(data, copy)
+
+
+class TestParadisSpecifics:
+    def test_rejects_signed_keys(self):
+        with pytest.raises(ConfigurationError):
+            ParadisSorter().sort(np.array([1, 2], dtype=np.int32))
+
+    def test_uint64_keys(self):
+        data = uniform_random(2_000, seed=7).astype(np.uint64) << np.uint64(30)
+        assert np.array_equal(ParadisSorter().sort(data), np.sort(data))
+
+    def test_small_cutoff_path(self):
+        data = uniform_random(32, seed=8)
+        assert np.array_equal(ParadisSorter(small_cutoff=64).sort(data), np.sort(data))
+
+    def test_radix_passes(self):
+        assert ParadisSorter().radix_passes(4) == 4
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_property(self, seed):
+        data = uniform_random(500, seed=seed)
+        assert np.array_equal(ParadisSorter().sort(data), np.sort(data))
+
+
+class TestHrsSpecifics:
+    def test_lsd_radix_sort(self):
+        data = uniform_random(5_000, seed=9)
+        assert np.array_equal(lsd_radix_sort(data), np.sort(data))
+
+    def test_lsd_rejects_signed(self):
+        with pytest.raises(ConfigurationError):
+            lsd_radix_sort(np.array([1], dtype=np.int32))
+
+    def test_chunk_count(self):
+        sorter = HybridRadixSorter()
+        assert sorter.chunk_count(2e9) == 1
+        assert sorter.chunk_count(32e9) == 16
+
+    def test_cpu_merge_dominates_past_gpu_memory(self):
+        # §I: "for 32 GB arrays, GPU-based sorters spend the majority of
+        # their compute time on the CPU".
+        sorter = HybridRadixSorter()
+        assert not sorter.cpu_merge_dominates(4e9)
+        assert sorter.cpu_merge_dominates(32e9)
+
+    def test_multi_chunk_path(self):
+        sorter = HybridRadixSorter(scale_chunk_records=1_000)
+        data = uniform_random(5_500, seed=10)
+        assert np.array_equal(sorter.sort(data), np.sort(data))
+
+
+class TestSampleSortSpecifics:
+    def test_splitters_sorted(self):
+        sorter = SampleSorter()
+        data = uniform_random(50_000, seed=11)
+        splitters = sorter.choose_splitters(data)
+        assert len(splitters) == sorter.buckets - 1
+        assert np.all(np.diff(splitters.astype(np.int64)) >= 0)
+
+    def test_bucket_skew_near_one_for_uniform(self):
+        data = uniform_random(100_000, seed=12)
+        assert SampleSorter().bucket_skew(data) < 3.0
+
+    def test_bucket_skew_large_for_duplicates(self):
+        # Host-side bucketing degrades on skew — the structural weakness
+        # behind SampleSort's cliff.
+        data = duplicate_heavy(100_000, seed=13, distinct=2)
+        assert SampleSorter().bucket_skew(data) > 10.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SampleSorter(buckets=1)
+        with pytest.raises(ConfigurationError):
+            SampleSorter(oversample=0)
+
+
+class TestTerabyteSortSpecifics:
+    def test_merge_passes(self):
+        sorter = TerabyteSorter(initial_run_records=4096, fanin=16)
+        # 1e12/4 records -> 61,035,157 runs -> log_16 = 7 passes.
+        assert sorter.merge_passes(1e12) == 7
+
+    def test_structural_model_slower_than_bonsai_scale(self):
+        # ~17x worse than Bonsai's 250 ms/GB at 1 TB (paper: 17.3x).
+        sorter = TerabyteSorter()
+        seconds = sorter.modeled_seconds_from_structure(1e12)
+        ms_per_gb = seconds * 1e3 / 1e3
+        assert ms_per_gb > 4 * 250
+
+
+class TestCostModels:
+    def test_modeled_seconds_inside_range(self):
+        seconds = ParadisSorter().modeled_seconds(16e9)
+        assert seconds == pytest.approx(0.395 * 16)
+
+    def test_modeled_seconds_outside_range(self):
+        assert ParadisSorter().modeled_seconds(512e9) is None
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ConfigurationError):
+            ParadisSorter().modeled_seconds(0)
+
+    def test_check_sorted_guard(self):
+        sorter = ParadisSorter()
+        with pytest.raises(ConfigurationError, match="unsorted"):
+            sorter.check_sorted(np.array([1, 2]), np.array([2, 1]))
+        with pytest.raises(ConfigurationError, match="record count"):
+            sorter.check_sorted(np.array([1, 2]), np.array([1]))

@@ -1,0 +1,78 @@
+"""AMT configurations (Table III)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import AmtConfig
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_rejects_non_power_p(self):
+        with pytest.raises(ConfigurationError):
+            AmtConfig(p=3, leaves=4)
+
+    def test_rejects_single_leaf(self):
+        with pytest.raises(ConfigurationError):
+            AmtConfig(p=4, leaves=1)
+
+    def test_rejects_zero_lambdas(self):
+        with pytest.raises(ConfigurationError):
+            AmtConfig(p=4, leaves=4, lambda_unroll=0)
+        with pytest.raises(ConfigurationError):
+            AmtConfig(p=4, leaves=4, lambda_pipe=0)
+
+
+class TestGeometry:
+    def test_total_amts(self):
+        config = AmtConfig(p=8, leaves=64, lambda_unroll=3, lambda_pipe=4)
+        assert config.total_amts == 12
+
+    def test_depth(self):
+        assert AmtConfig(p=8, leaves=64).depth == 6
+
+    def test_merger_widths_fig1(self):
+        # Fig. 1: AMT(4, 16) levels are 4, 2, 1, 1.
+        config = AmtConfig(p=4, leaves=16)
+        assert [config.merger_width_at(level) for level in range(4)] == [4, 2, 1, 1]
+
+    def test_merger_counts_fig1(self):
+        assert AmtConfig(p=4, leaves=16).merger_counts() == {4: 1, 2: 2, 1: 12}
+
+    def test_coupler_counts_fig1(self):
+        # Couplers on the 4<-2 and 2<-1 boundaries: 2 + 4.
+        assert AmtConfig(p=4, leaves=16).coupler_counts() == {4: 2, 2: 4}
+
+    def test_no_couplers_in_unit_tree(self):
+        assert AmtConfig(p=1, leaves=16).coupler_counts() == {}
+
+    def test_wide_tree_all_couplers(self):
+        counts = AmtConfig(p=32, leaves=8).coupler_counts()
+        assert counts == {32: 2, 16: 4}
+
+    def test_merger_width_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AmtConfig(p=4, leaves=4).merger_width_at(2)
+
+
+class TestDescribe:
+    def test_plain(self):
+        assert AmtConfig(p=32, leaves=256).describe() == "AMT(32, 256)"
+
+    def test_unrolled(self):
+        config = AmtConfig(p=32, leaves=2, lambda_unroll=16)
+        assert config.describe() == "16x unrolled AMT(32, 2)"
+
+    def test_pipelined(self):
+        config = AmtConfig(p=8, leaves=64, lambda_pipe=4)
+        assert config.describe() == "4x pipelined AMT(8, 64)"
+
+    def test_combined(self):
+        config = AmtConfig(p=8, leaves=64, lambda_unroll=2, lambda_pipe=4)
+        assert "2x unrolled" in config.describe()
+        assert "4x pipelined" in config.describe()
+
+    def test_ordering_is_total(self):
+        configs = [AmtConfig(p=8, leaves=64), AmtConfig(p=4, leaves=64)]
+        assert sorted(configs)[0].p == 4

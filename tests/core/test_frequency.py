@@ -1,0 +1,100 @@
+"""Routing-congestion frequency model (§VI-C1 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.frequency import FrequencyModel
+from repro.core.optimizer import Bonsai
+from repro.core.parameters import ArrayParams, MergerArchParams
+from repro.core.performance import PerformanceModel
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class TestFrequency:
+    def test_base_rate_below_threshold(self):
+        model = FrequencyModel()
+        assert model.frequency(32, 64) == 250e6
+        assert model.frequency(1, 2) == 250e6
+
+    def test_degrades_per_leaf_doubling(self):
+        model = FrequencyModel(degradation_per_doubling=0.8)
+        assert model.frequency(32, 128) == pytest.approx(200e6)
+        assert model.frequency(32, 256) == pytest.approx(160e6)
+
+    def test_degrades_for_wide_mergers(self):
+        model = FrequencyModel(degradation_per_doubling=0.8)
+        assert model.frequency(64, 64) == pytest.approx(200e6)
+
+    def test_degradations_compound(self):
+        model = FrequencyModel(degradation_per_doubling=0.5)
+        assert model.frequency(64, 128) == pytest.approx(250e6 * 0.25)
+
+    def test_slowdown(self):
+        model = FrequencyModel(degradation_per_doubling=0.8)
+        assert model.slowdown(32, 64) == 0.0
+        assert model.slowdown(32, 128) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FrequencyModel(base_hz=0)
+        with pytest.raises(ConfigurationError):
+            FrequencyModel(congestion_leaves=48)
+        with pytest.raises(ConfigurationError):
+            FrequencyModel(degradation_per_doubling=0.0)
+        with pytest.raises(ConfigurationError):
+            FrequencyModel().frequency(3, 64)
+
+
+class TestPerformanceIntegration:
+    def test_throughput_scales_with_frequency(self):
+        platform = presets.aws_f1()
+        arch = MergerArchParams()
+        model = PerformanceModel(
+            hardware=platform.hardware,
+            arch=arch,
+            frequency_model=FrequencyModel(degradation_per_doubling=0.8),
+        )
+        base = PerformanceModel(hardware=platform.hardware, arch=arch)
+        congested = AmtConfig(p=32, leaves=256)
+        assert model.amt_throughput(congested) == pytest.approx(
+            base.amt_throughput(congested) * 0.64
+        )
+        clean = AmtConfig(p=32, leaves=64)
+        assert model.amt_throughput(clean) == base.amt_throughput(clean)
+
+    def test_no_model_means_constant_frequency(self):
+        platform = presets.aws_f1()
+        model = PerformanceModel(hardware=platform.hardware, arch=MergerArchParams())
+        assert model.effective_frequency(AmtConfig(p=32, leaves=1024)) == 250e6
+
+
+class TestImplementedDesignEmerges:
+    """§VI-C1: with congestion modeled, the paper's implemented AMT(32, 64)
+    becomes the true optimum — no hand-imposed leaf cap required."""
+
+    @pytest.mark.parametrize("size_gb", [4, 16, 64])
+    def test_amt_32_64_is_optimal(self, size_gb):
+        platform = presets.aws_f1_measured()
+        bonsai = Bonsai(
+            hardware=platform.hardware,
+            arch=MergerArchParams(),
+            frequency_model=FrequencyModel(),
+            unroll_max=1,
+        )
+        best = bonsai.latency_optimal(ArrayParams.from_bytes(size_gb * GB))
+        assert best.config == AmtConfig(p=32, leaves=64)
+
+    def test_reproduces_table_i_rate(self):
+        platform = presets.aws_f1_measured()
+        bonsai = Bonsai(
+            hardware=platform.hardware,
+            arch=MergerArchParams(),
+            frequency_model=FrequencyModel(),
+            unroll_max=1,
+        )
+        best = bonsai.latency_optimal(ArrayParams.from_bytes(16 * GB))
+        assert best.latency_seconds * 1e3 / 16 == pytest.approx(172.4, abs=0.5)

@@ -1,0 +1,92 @@
+"""Hypothesis-driven invariants of the planning and scalability models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parameters import ArrayParams
+from repro.core.scalability import ScalabilityModel
+from repro.core.ssd_planner import SsdSortPlan
+from repro.memory.dram import DdrDram
+from repro.memory.hierarchy import TwoTierHierarchy
+from repro.memory.ssd import Ssd
+from repro.units import GB, TB
+
+
+def big_plan() -> SsdSortPlan:
+    return SsdSortPlan(
+        hierarchy=TwoTierHierarchy(fast=DdrDram(), slow=Ssd(capacity_bytes=10**18))
+    )
+
+
+class TestSsdPlannerProperties:
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_total_time_monotone_in_size(self, size_gb):
+        plan = big_plan()
+        small = plan.plan(ArrayParams.from_bytes(size_gb * GB)).total_seconds
+        large = plan.plan(ArrayParams.from_bytes(2 * size_gb * GB)).total_seconds
+        assert large >= small
+
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=60, deadline=None)
+    def test_stage_count_matches_capacity(self, size_gb):
+        plan = big_plan()
+        stages = plan.phase_two_stages(size_gb * GB)
+        assert plan.max_capacity_bytes(stages) >= size_gb * GB
+        if stages > 1:
+            assert plan.max_capacity_bytes(stages - 1) < size_gb * GB
+
+    @given(st.integers(1, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_phase_one_never_beats_io_line_rate(self, size_gb):
+        plan = big_plan()
+        breakdown = plan.plan(ArrayParams.from_bytes(size_gb * GB))
+        line_rate_seconds = size_gb * GB / plan.io_bandwidth
+        assert breakdown.phase_one_seconds >= line_rate_seconds - 1e-9
+
+    @given(st.integers(1, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_percentages_sum_to_hundred(self, size_gb):
+        breakdown = big_plan().plan(ArrayParams.from_bytes(size_gb * GB))
+        total = sum(pct for _, _, pct in breakdown.rows())
+        assert total == pytest.approx(100.0)
+
+
+class TestScalabilityProperties:
+    @given(st.integers(0, 20))
+    @settings(max_examples=21, deadline=None)
+    def test_seconds_monotone_across_doublings(self, exponent):
+        model = ScalabilityModel()
+        size = (GB // 2) << exponent
+        small = model.point(size).seconds
+        large = model.point(2 * size).seconds
+        assert large >= small
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=21, deadline=None)
+    def test_per_gb_latency_never_decreases_with_scale_much(self, exponent):
+        # The staircase only steps up (modulo the sub-1% reprogramming
+        # amortisation *within* the SSD regime).
+        model = ScalabilityModel()
+        size = (GB // 2) << exponent
+        small = model.point(size)
+        large = model.point(2 * size)
+        assert large.latency_ms_per_gb >= 0.93 * small.latency_ms_per_gb
+
+    @given(st.integers(0, 21))
+    @settings(max_examples=22, deadline=None)
+    def test_regime_assignment(self, exponent):
+        model = ScalabilityModel()
+        size = (GB // 2) << exponent
+        point = model.point(size)
+        if size <= 64 * GB:
+            assert point.regime == "dram"
+        else:
+            assert point.regime == "ssd"
+
+    def test_dram_stages_monotone(self):
+        model = ScalabilityModel()
+        stages = [model.dram_stages((GB // 2) << k) for k in range(8)]
+        assert stages == sorted(stages)

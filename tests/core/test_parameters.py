@@ -1,0 +1,103 @@
+"""Table II parameter groups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parameters import (
+    ArrayParams,
+    FpgaSpec,
+    HardwareParams,
+    MergerArchParams,
+)
+from repro.errors import ConfigurationError
+from repro.memory.dram import DdrDram
+from repro.records.record import U128, U32
+from repro.units import GB, KiB, MiB
+
+
+class TestArrayParams:
+    def test_total_bytes(self):
+        array = ArrayParams(n_records=1000, fmt=U32)
+        assert array.record_bytes == 4
+        assert array.total_bytes == 4000
+
+    def test_from_bytes(self):
+        array = ArrayParams.from_bytes(16 * GB)
+        assert array.n_records == 4 * 10**9
+
+    def test_from_bytes_wide_records(self):
+        array = ArrayParams.from_bytes(16 * GB, fmt=U128)
+        assert array.n_records == 10**9
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ArrayParams(n_records=0)
+
+
+class TestFpgaSpec:
+    def test_vu9p_defaults_match_table_iv(self):
+        spec = FpgaSpec()
+        assert spec.lut_capacity == 862_128
+        assert spec.flipflop_capacity == 1_761_817
+        assert spec.bram_blocks == 1_600
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            FpgaSpec(lut_capacity=0)
+
+
+class TestHardwareParams:
+    def test_from_platform(self):
+        hardware = HardwareParams.from_platform(DdrDram(), FpgaSpec())
+        assert hardware.beta_dram == 29 * GB  # measured by default
+        assert hardware.c_dram == 64 * GB
+        assert hardware.c_lut == 862_128
+
+    def test_from_platform_peak(self):
+        hardware = HardwareParams.from_platform(
+            DdrDram(), FpgaSpec(), use_measured_bandwidth=False
+        )
+        assert hardware.beta_dram == 32 * GB
+
+    def test_max_leaves_matches_paper_cap(self):
+        # §IV-A: with 4 KiB batches, l cannot exceed 256.
+        hardware = HardwareParams.from_platform(DdrDram(), FpgaSpec())
+        assert hardware.max_leaves() == 256
+
+    def test_max_leaves_scales_with_batch(self):
+        hardware = HardwareParams.from_platform(
+            DdrDram(), FpgaSpec(), batch_bytes=2 * KiB
+        )
+        assert hardware.max_leaves() == 512
+
+    def test_max_leaves_rejects_hopeless_budget(self):
+        hardware = HardwareParams.from_platform(
+            DdrDram(), FpgaSpec(bram_effective_bytes=4 * KiB), batch_bytes=4 * KiB
+        )
+        with pytest.raises(ConfigurationError):
+            hardware.max_leaves()
+
+    def test_rejects_silly_batches(self):
+        with pytest.raises(ConfigurationError):
+            HardwareParams(
+                beta_dram=GB, beta_io=GB, c_dram=GB, c_bram=MiB,
+                c_lut=10**6, batch_bytes=128 * KiB,
+            )
+
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ConfigurationError):
+            HardwareParams(beta_dram=0, beta_io=GB, c_dram=GB, c_bram=MiB, c_lut=1)
+
+
+class TestMergerArchParams:
+    def test_default_frequency(self):
+        assert MergerArchParams().frequency_hz == 250e6
+
+    def test_throughput(self):
+        arch = MergerArchParams(record_bytes=4)
+        assert arch.amt_throughput_bytes(32) == pytest.approx(32 * GB)
+
+    def test_library_matches_width(self):
+        arch = MergerArchParams(record_bytes=16)
+        assert arch.library.merger_luts(32) == 77_732

@@ -1,0 +1,259 @@
+"""The performance model, Eqs. 1-7 (§III-A)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import ArrayParams, HardwareParams, MergerArchParams
+from repro.core.performance import PerformanceModel
+from repro.errors import ConfigurationError
+from repro.units import GB, KiB, MiB
+
+
+def make_model(
+    beta_dram=32 * GB, beta_io=8 * GB, presort_run=1, record_bytes=4
+) -> PerformanceModel:
+    hardware = HardwareParams(
+        beta_dram=beta_dram,
+        beta_io=beta_io,
+        c_dram=64 * GB,
+        c_bram=1 * MiB,
+        c_lut=862_128,
+        batch_bytes=4 * KiB,
+    )
+    return PerformanceModel(
+        hardware=hardware,
+        arch=MergerArchParams(record_bytes=record_bytes),
+        presort_run=presort_run,
+    )
+
+
+class TestStageCount:
+    def test_exact_power(self):
+        model = make_model()
+        config = AmtConfig(p=4, leaves=64)
+        assert model.stage_count(config, 64**3) == 3
+
+    def test_one_extra_record_adds_stage(self):
+        model = make_model()
+        config = AmtConfig(p=4, leaves=64)
+        assert model.stage_count(config, 64**3 + 1) == 4
+
+    def test_presort_removes_a_stage(self):
+        # §VI-C: the 16-record presorter "reduces the total number of
+        # stages by one".
+        no_presort = make_model(presort_run=1)
+        with_presort = make_model(presort_run=16)
+        config = AmtConfig(p=32, leaves=64)
+        n_records = 16 * 64**3  # raw: ceil(log_64) = 4; presorted: 3
+        assert no_presort.stage_count(config, n_records) == 4
+        assert with_presort.stage_count(config, n_records) == 3
+
+    def test_minimum_one_stage(self):
+        model = make_model(presort_run=16)
+        assert model.stage_count(AmtConfig(p=4, leaves=64), 8) == 1
+
+    def test_rejects_zero_records(self):
+        with pytest.raises(ConfigurationError):
+            make_model().stage_count(AmtConfig(p=4, leaves=4), 0)
+
+    def test_rejects_bad_presort(self):
+        with pytest.raises(ConfigurationError):
+            make_model(presort_run=0)
+
+
+class TestEq1LatencySingle:
+    def test_compute_bound(self):
+        # p f r = 4 GB/s << 32 GB/s DRAM: compute bound.
+        model = make_model()
+        config = AmtConfig(p=4, leaves=64)
+        array = ArrayParams.from_bytes(4 * GB)
+        stages = model.stage_count(config, array.n_records)
+        expected = 4 * GB * stages / (4 * GB)
+        assert model.latency_single(config, array) == pytest.approx(expected)
+
+    def test_bandwidth_bound(self):
+        # p f r = 32 GB/s caps at beta = 8 GB/s.
+        model = make_model(beta_dram=8 * GB)
+        config = AmtConfig(p=32, leaves=64)
+        array = ArrayParams.from_bytes(8 * GB)
+        stages = model.stage_count(config, array.n_records)
+        assert model.latency_single(config, array) == pytest.approx(
+            8 * GB * stages / (8 * GB)
+        )
+
+    def test_paper_dram_number(self):
+        # §VI-C1 arithmetic: AMT(32, 64) + presort 16 at 29 GB/s sorts
+        # 4 GB of 32-bit records in 5 stages -> 172 ms/GB.
+        model = make_model(beta_dram=29 * GB, presort_run=16)
+        config = AmtConfig(p=32, leaves=64)
+        array = ArrayParams.from_bytes(4 * GB)
+        seconds = model.latency_single(config, array)
+        assert seconds / 4 == pytest.approx(0.1724, rel=1e-3)
+
+    def test_more_leaves_never_slower(self):
+        model = make_model(presort_run=16)
+        array = ArrayParams.from_bytes(16 * GB)
+        narrow = model.latency_single(AmtConfig(p=32, leaves=64), array)
+        wide = model.latency_single(AmtConfig(p=32, leaves=256), array)
+        assert wide <= narrow
+
+    def test_higher_p_never_slower(self):
+        model = make_model(presort_run=16)
+        array = ArrayParams.from_bytes(16 * GB)
+        slow = model.latency_single(AmtConfig(p=8, leaves=64), array)
+        fast = model.latency_single(AmtConfig(p=32, leaves=64), array)
+        assert fast <= slow
+
+    def test_p_beyond_bandwidth_no_gain(self):
+        # §VI-B2: "Once DRAM bandwidth is saturated, increasing p does
+        # not decrease sorting time."
+        model = make_model(beta_dram=8 * GB, presort_run=16)
+        array = ArrayParams.from_bytes(16 * GB)
+        at_8 = model.latency_single(AmtConfig(p=8, leaves=64), array)
+        at_32 = model.latency_single(AmtConfig(p=32, leaves=64), array)
+        assert at_32 == pytest.approx(at_8)
+
+
+class TestEq2Unrolled:
+    def test_lambda_one_equals_single(self):
+        model = make_model()
+        config = AmtConfig(p=8, leaves=64)
+        array = ArrayParams.from_bytes(8 * GB)
+        assert model.latency_unrolled(config, array) == pytest.approx(
+            model.latency_single(config, array)
+        )
+
+    def test_bandwidth_bound_unrolling_is_neutral(self):
+        # Bandwidth-bound: the data still crosses memory once per stage,
+        # so unrolling cannot help (beyond a possible stage-count drop).
+        model = make_model(beta_dram=8 * GB, presort_run=16)
+        array = ArrayParams.from_bytes(8 * GB)
+        single = model.latency_unrolled(AmtConfig(p=32, leaves=64), array)
+        unrolled = model.latency_unrolled(
+            AmtConfig(p=32, leaves=64, lambda_unroll=4), array
+        )
+        assert unrolled >= single * 0.75  # stage-count drop at most
+
+    def test_compute_bound_unrolling_speeds_up(self):
+        # The HBM regime (§IV-B): beta >> p f r, unrolling scales.
+        model = make_model(beta_dram=512 * GB, presort_run=16)
+        array = ArrayParams.from_bytes(16 * GB)
+        single = model.latency_unrolled(AmtConfig(p=32, leaves=4), array)
+        unrolled = model.latency_unrolled(
+            AmtConfig(p=32, leaves=4, lambda_unroll=16), array
+        )
+        assert unrolled < single / 8
+
+    def test_address_range_adds_final_merges(self):
+        model = make_model(beta_dram=512 * GB, presort_run=16)
+        array = ArrayParams.from_bytes(16 * GB)
+        config = AmtConfig(p=32, leaves=2, lambda_unroll=16)
+        partitioned = model.latency_unrolled(config, array)
+        address = model.latency_unrolled_address_range(config, array)
+        assert address > partitioned
+
+    def test_address_range_lambda_one_equals_single(self):
+        model = make_model()
+        config = AmtConfig(p=8, leaves=64)
+        array = ArrayParams.from_bytes(8 * GB)
+        assert model.latency_unrolled_address_range(config, array) == pytest.approx(
+            model.latency_single(config, array)
+        )
+
+
+class TestEq34Pipeline:
+    def test_throughput_io_bound(self):
+        # §IV-C: min(p f r, beta/lambda, beta_io) = 8 GB/s for the
+        # 4-pipe AMT(8, 64) on the F1.
+        model = make_model(beta_dram=32 * GB, beta_io=8 * GB)
+        config = AmtConfig(p=8, leaves=64, lambda_pipe=4)
+        assert model.pipeline_throughput(config) == pytest.approx(8 * GB)
+
+    def test_throughput_dram_bound(self):
+        model = make_model(beta_dram=16 * GB, beta_io=64 * GB)
+        config = AmtConfig(p=32, leaves=64, lambda_pipe=4)
+        assert model.pipeline_throughput(config) == pytest.approx(4 * GB)
+
+    def test_latency_eq4(self):
+        model = make_model()
+        config = AmtConfig(p=8, leaves=64, lambda_pipe=4)
+        array = ArrayParams.from_bytes(8 * GB)
+        assert model.pipeline_latency(config, array) == pytest.approx(
+            8 * GB * 4 / (8 * GB)
+        )
+
+
+class TestEq5Capacity:
+    def test_depth_bound(self):
+        model = make_model(presort_run=256)
+        config = AmtConfig(p=8, leaves=64, lambda_pipe=4)
+        # §IV-C: 64^4 * 256 presorted records.
+        assert model.pipeline_capacity_records(config) == pytest.approx(
+            min(64 * GB / 4 / 4, 256 * 64.0**4)
+        )
+
+    def test_dram_bound(self):
+        model = make_model(presort_run=256)
+        config = AmtConfig(p=8, leaves=256, lambda_pipe=4)
+        # 256^4 * 256 >> C_DRAM/4 records: DRAM-bound.
+        assert model.pipeline_capacity_records(config) == pytest.approx(
+            64 * GB / 4 / 4
+        )
+
+    def test_paper_8gb_limit(self):
+        # "The greatest amount of data we can sort with this pipeline is
+        # 8 GB" (records: 2e9 at 4 bytes).
+        model = make_model(presort_run=256)
+        config = AmtConfig(p=8, leaves=64, lambda_pipe=4)
+        capacity = model.pipeline_capacity_records(config)
+        assert capacity >= 2e9
+        assert capacity < 2e9 * 3  # and not wildly more
+
+
+class TestEq67Combined:
+    def test_throughput_scales_with_unroll(self):
+        model = make_model(beta_dram=32 * GB, beta_io=64 * GB)
+        base = AmtConfig(p=8, leaves=64, lambda_pipe=2)
+        doubled = AmtConfig(p=8, leaves=64, lambda_pipe=2, lambda_unroll=2)
+        assert model.throughput_combined(doubled) == pytest.approx(
+            2 * min(8 * GB, 32 * GB / 4, 64 * GB)
+        )
+        assert model.throughput_combined(doubled) >= model.throughput_combined(base)
+
+    def test_latency_eq6(self):
+        model = make_model(beta_dram=32 * GB, beta_io=64 * GB)
+        config = AmtConfig(p=8, leaves=64, lambda_pipe=2, lambda_unroll=2)
+        array = ArrayParams.from_bytes(8 * GB)
+        rate = model.combined_rate(config)
+        assert model.latency_combined(config, array) == pytest.approx(
+            (8 * GB / 2) * 2 / rate
+        )
+
+    @given(
+        st.sampled_from([1, 2, 4, 8]),
+        st.sampled_from([1, 2, 4]),
+        st.sampled_from([8, 16, 32]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_throughput_never_exceeds_io_times_unroll(self, lam_u, lam_p, p):
+        model = make_model()
+        config = AmtConfig(p=p, leaves=64, lambda_unroll=lam_u, lambda_pipe=lam_p)
+        assert model.throughput_combined(config) <= lam_u * model.hardware.beta_io + 1e-6
+
+
+class TestIoLowerBound:
+    def test_one_pass(self):
+        model = make_model()
+        assert model.io_lower_bound(ArrayParams.from_bytes(32 * GB)) == pytest.approx(1.0)
+
+    def test_latency_never_beats_lower_bound(self):
+        model = make_model(presort_run=16)
+        array = ArrayParams.from_bytes(16 * GB)
+        bound = model.io_lower_bound(array)
+        for p in (1, 4, 32):
+            for leaves in (4, 64, 1024):
+                config = AmtConfig(p=p, leaves=leaves)
+                assert model.latency_single(config, array) >= bound - 1e-9

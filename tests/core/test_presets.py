@@ -1,0 +1,53 @@
+"""Platform presets (§IV)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import presets
+from repro.units import GB
+
+
+class TestAwsF1:
+    def test_peak_envelope(self):
+        platform = presets.aws_f1()
+        assert platform.hardware.beta_dram == 32 * GB
+        assert platform.hardware.c_dram == 64 * GB
+        assert platform.hardware.c_lut == 862_128
+
+    def test_measured_envelope(self):
+        platform = presets.aws_f1_measured()
+        assert platform.hardware.beta_dram == 29 * GB
+
+    def test_bonsai_factory(self):
+        bonsai = presets.aws_f1().bonsai(presort_run=32, leaves_cap=64)
+        assert bonsai.presort_run == 32
+        assert bonsai.leaves_cap == 64
+
+
+class TestAlveoU50:
+    def test_projected_bandwidth(self):
+        assert presets.alveo_u50().hardware.beta_dram == 512 * GB
+
+    def test_current_bandwidth(self):
+        assert presets.alveo_u50(projected=False).hardware.beta_dram == 256 * GB
+
+
+class TestSsdPresets:
+    def test_ssd_node_io(self):
+        platform = presets.ssd_node()
+        assert platform.io_bandwidth == 8 * GB
+        assert platform.hardware.beta_dram == 32 * GB  # DRAM still DRAM
+
+    def test_ssd_as_memory_beta_is_io(self):
+        platform = presets.ssd_as_memory()
+        assert platform.hardware.beta_dram == 8 * GB
+
+
+class TestCustomDram:
+    def test_bandwidth_applied(self):
+        platform = presets.custom_dram(100 * GB)
+        assert platform.hardware.beta_dram == 100 * GB
+
+    def test_name_encodes_bandwidth(self):
+        assert "128" in presets.custom_dram(128 * GB).name

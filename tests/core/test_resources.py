@@ -1,0 +1,116 @@
+"""The resource model, Eqs. 8-10 (§III-B) and Table IV calibration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import FpgaSpec, HardwareParams, MergerArchParams
+from repro.core.resources import ResourceModel
+from repro.errors import InfeasibleConfigError
+from repro.memory.dram import DdrDram
+
+
+@pytest.fixture
+def model() -> ResourceModel:
+    hardware = HardwareParams.from_platform(DdrDram(), FpgaSpec())
+    return ResourceModel(hardware=hardware, library=MergerArchParams().library)
+
+
+class TestEq8:
+    def test_manual_small_tree(self, model):
+        # AMT(4, 4): level 0 one 4-merger + 2 couplers, level 1 two
+        # 2-mergers + 4 couplers.
+        expected = (1_555 + 2 * 273) + 2 * (622 + 2 * 142)
+        assert model.lut_eq8(4, 4) == pytest.approx(expected)
+
+    def test_implemented_dram_sorter(self, model):
+        # The paper's implemented AMT(32, 64) merge tree measured
+        # 102,158 LUTs (Table IV); Eq. 8 predicts within the paper's 5%.
+        predicted = model.lut_eq8(32, 64)
+        assert predicted == pytest.approx(102_158, rel=0.05)
+
+    def test_one_merger_levels_use_fifo_cost(self, model):
+        # Levels below p use 1-mergers with FIFO interconnect.
+        expected = 2 * (300 + 2 * 50)
+        assert model.lut_eq8(1, 4) == pytest.approx(300 + 2 * 50 + expected)
+
+    def test_monotone_in_p_and_leaves(self, model):
+        assert model.lut_eq8(8, 64) < model.lut_eq8(16, 64)
+        assert model.lut_eq8(8, 64) < model.lut_eq8(8, 128)
+
+
+class TestStructural:
+    def test_close_to_eq8(self, model):
+        # Fig. 10: model vs "synthesis" within 5% for all p<=32, l<=256.
+        for p in (1, 2, 4, 8, 16, 32):
+            for leaves in (4, 16, 64, 256):
+                eq8 = model.lut_eq8(p, leaves)
+                structural = model.structural_tree_luts(AmtConfig(p=p, leaves=leaves))
+                assert structural == pytest.approx(eq8, rel=0.12)
+
+    def test_structural_never_exceeds_eq8(self, model):
+        # Eq. 8 over-counts couplers (two per merger everywhere), so the
+        # structural enumeration sits at or below it.
+        for p in (2, 8, 32):
+            for leaves in (16, 128):
+                config = AmtConfig(p=p, leaves=leaves)
+                assert model.structural_tree_luts(config) <= model.lut_eq8(p, leaves)
+
+
+class TestBreakdown:
+    def test_matches_table_iv_shape(self, model):
+        # Table IV: implemented sorter is AMT(32, 64) with presorter.
+        breakdown = model.breakdown(AmtConfig(p=32, leaves=64))
+        assert breakdown.loader_luts == pytest.approx(110_102, rel=0.01)
+        assert breakdown.presorter_luts == pytest.approx(75_412, rel=0.01)
+        assert breakdown.tree_luts == pytest.approx(102_158, rel=0.10)
+        assert breakdown.total_luts == pytest.approx(287_672, rel=0.10)
+        assert breakdown.loader_bram_blocks == pytest.approx(960, rel=0.01)
+
+    def test_ff_breakdown(self, model):
+        breakdown = model.breakdown(AmtConfig(p=32, leaves=64))
+        assert breakdown.loader_ffs == pytest.approx(604_550, rel=0.01)
+        assert breakdown.total_ffs == pytest.approx(768_906, rel=0.10)
+
+    def test_presort_optional(self, model):
+        with_presort = model.breakdown(AmtConfig(p=32, leaves=64), presort=True)
+        without = model.breakdown(AmtConfig(p=32, leaves=64), presort=False)
+        assert without.presorter_luts == 0
+        assert without.total_luts < with_presort.total_luts
+
+    def test_scales_with_amt_count(self, model):
+        single = model.breakdown(AmtConfig(p=8, leaves=64))
+        quad = model.breakdown(AmtConfig(p=8, leaves=64, lambda_pipe=4))
+        assert quad.total_luts == pytest.approx(4 * single.total_luts)
+
+
+class TestEq9Eq10:
+    def test_lambda_multiplies_usage(self, model):
+        base = AmtConfig(p=8, leaves=64)
+        quad = AmtConfig(p=8, leaves=64, lambda_unroll=2, lambda_pipe=2)
+        assert model.lut_usage(quad) == pytest.approx(4 * model.lut_usage(base))
+        assert model.bram_bytes(quad) == 4 * model.bram_bytes(base)
+
+    def test_bram_formula(self, model):
+        # Eq. 10: b * l bytes per AMT.
+        config = AmtConfig(p=8, leaves=64)
+        assert model.bram_bytes(config) == 4096 * 64
+
+    def test_paper_leaf_cap(self, model):
+        # §IV-A: l = 256 fits, l = 512 exhausts the loader's BRAM budget.
+        assert model.fits(AmtConfig(p=32, leaves=256))
+        assert not model.fits_bram(AmtConfig(p=32, leaves=512))
+
+    def test_lut_infeasible_when_huge(self, model):
+        config = AmtConfig(p=32, leaves=256, lambda_unroll=8)
+        assert not model.fits_lut(config)
+
+    def test_check_names_violated_bound(self, model):
+        with pytest.raises(InfeasibleConfigError, match="Eq. 10"):
+            model.check(AmtConfig(p=32, leaves=512))
+        with pytest.raises(InfeasibleConfigError, match="Eq. 9"):
+            model.check(AmtConfig(p=32, leaves=256, lambda_unroll=32))
+
+    def test_check_passes_feasible(self, model):
+        model.check(AmtConfig(p=32, leaves=64))  # must not raise

@@ -1,0 +1,101 @@
+"""The scalability model (Fig. 13, Table I's Bonsai row)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scalability import ScalabilityModel
+from repro.errors import ConfigurationError
+from repro.units import GB, TB
+
+
+@pytest.fixture
+def model() -> ScalabilityModel:
+    return ScalabilityModel()
+
+
+class TestTableIBonsaiRow:
+    """Table I: 172 ms/GB for 4-64 GB, 250 for 128 GB-2 TB, 375 at 100 TB."""
+
+    @pytest.mark.parametrize("size_gb", [4, 8, 16, 32, 64])
+    def test_dram_regime_172(self, model, size_gb):
+        point = model.point(size_gb * GB)
+        assert point.regime == "dram"
+        assert point.latency_ms_per_gb == pytest.approx(172.4, abs=0.5)
+
+    @pytest.mark.parametrize("size_gb", [128, 512, 2048])
+    def test_ssd_regime_250(self, model, size_gb):
+        point = model.point(size_gb * GB)
+        assert point.regime == "ssd"
+        # The paper's idealised 250 ms/GB plus the honest reprogramming
+        # share (4.3 s over the input), which Table I/Fig. 13 neglect.
+        expected = 250.0 + 4300.0 / size_gb
+        assert point.latency_ms_per_gb == pytest.approx(expected, rel=0.001)
+
+    def test_100tb_375(self, model):
+        point = model.point(100 * TB)
+        assert point.stages == 2
+        assert point.latency_ms_per_gb == pytest.approx(375.0, rel=0.01)
+
+
+class TestFig13Breakpoints:
+    def test_paper_sizes_span(self):
+        sizes = ScalabilityModel.paper_sizes()
+        assert sizes[0] == GB // 2
+        assert sizes[-1] == (GB // 2) << 21  # ~1 PB, Fig. 13's right edge
+        assert all(b == 2 * a for a, b in zip(sizes, sizes[1:]))
+
+    def test_four_breakpoint_causes(self, model):
+        jumps = model.breakpoints(ScalabilityModel.paper_sizes())
+        causes = [jump["cause"] for jump in jumps]
+        assert causes[0] == "extra stage"
+        assert causes[1] == "switch to SSD sorter"
+        assert "extra stage in second phase" in causes
+
+    def test_breakpoint_positions(self, model):
+        jumps = model.breakpoints(ScalabilityModel.paper_sizes())
+        positions = [jump["at_bytes"] for jump in jumps]
+        assert positions[0] == 2 * GB          # extra DRAM stage
+        assert positions[1] == 128 * GB        # past 64 GB DRAM
+        # Fig. 13's "extra stage in second phase" arrow: first power-of-
+        # two size past 256 x 64 GB = 16 TB single-pass capacity.
+        assert (32 * 2**40 in positions) or (32 * 10**12 in positions) or any(
+            16 * TB < at <= 64 * TB for at in positions
+        )
+
+    def test_extra_stage_factor_near_1_25(self, model):
+        # 4 -> 5 DRAM stages: x1.25 (the paper rounds this to 1.33x).
+        jumps = model.breakpoints(ScalabilityModel.paper_sizes())
+        assert jumps[0]["factor"] == pytest.approx(1.25, abs=0.01)
+
+    def test_phase_two_extra_stage_factor_1_5(self, model):
+        # 250 -> 375 ms/GB: x1.5, matching the paper's annotation.
+        jumps = model.breakpoints(ScalabilityModel.paper_sizes())
+        second_phase = [
+            j for j in jumps if j["cause"] == "extra stage in second phase"
+        ]
+        assert second_phase
+        assert second_phase[0]["factor"] == pytest.approx(1.5, rel=0.02)
+
+
+class TestDramRegime:
+    def test_sub_2gb_four_stages(self, model):
+        assert model.dram_stages(1 * GB) == 4
+        assert model.dram_stages(2 * GB) == 5
+
+    def test_point_rejects_nonpositive(self, model):
+        with pytest.raises(ConfigurationError):
+            model.point(0)
+
+    def test_curve_matches_points(self, model):
+        sizes = [GB, 4 * GB, 128 * GB]
+        curve = model.curve(sizes)
+        assert [p.total_bytes for p in curve] == sizes
+        for point in curve:
+            assert point.seconds == model.point(point.total_bytes).seconds
+
+    def test_throughput_property(self, model):
+        point = model.point(4 * GB)
+        assert point.throughput_bytes == pytest.approx(
+            4 * GB / point.seconds
+        )

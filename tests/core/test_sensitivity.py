@@ -1,0 +1,85 @@
+"""Sensitivity analysis of the hardware envelope."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import presets
+from repro.core.parameters import ArrayParams, MergerArchParams
+from repro.core.sensitivity import (
+    PERTURBABLE,
+    analyze,
+    binding_parameters,
+)
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def entries():
+    platform = presets.aws_f1()
+    return analyze(
+        hardware=platform.hardware,
+        arch=MergerArchParams(),
+        array=ArrayParams.from_bytes(64 * GB),
+    )
+
+
+class TestAnalyze:
+    def test_covers_all_parameters_and_factors(self, entries):
+        parameters = {entry.parameter for entry in entries}
+        assert parameters == set(PERTURBABLE)
+        per_parameter = [e for e in entries if e.parameter == "beta_dram"]
+        assert sorted(e.factor for e in per_parameter) == [0.5, 1.0, 2.0, 4.0]
+
+    def test_baseline_rows_have_unit_speedup(self, entries):
+        for entry in entries:
+            if entry.factor == 1.0:
+                assert entry.speedup == pytest.approx(1.0)
+
+    def test_dram_bandwidth_is_the_bottleneck(self, entries):
+        # Table IV's observation, quantified: doubling beta_DRAM speeds
+        # the DRAM sorter up; doubling LUT/BRAM barely moves it.
+        binding = binding_parameters(entries)
+        assert "beta_dram" in binding
+        assert "c_lut" not in binding
+
+    def test_halving_bandwidth_hurts(self, entries):
+        halved = next(
+            e for e in entries if e.parameter == "beta_dram" and e.factor == 0.5
+        )
+        assert halved.speedup < 0.6  # roughly 2x slower
+
+    def test_quadrupling_bandwidth_reshapes_config(self, entries):
+        fast = next(
+            e for e in entries if e.parameter == "beta_dram" and e.factor == 4.0
+        )
+        # 128 GB/s memory cannot be used by a single p<=32 tree: the
+        # optimum unrolls.
+        assert fast.config.lambda_unroll > 1
+
+    def test_bram_growth_adds_leaves(self):
+        platform = presets.aws_f1()
+        entries = analyze(
+            hardware=platform.hardware,
+            arch=MergerArchParams(),
+            array=ArrayParams.from_bytes(64 * GB),
+            factors=(4.0,),
+        )
+        grown = next(
+            e for e in entries if e.parameter == "c_bram" and e.factor == 4.0
+        )
+        baseline = next(
+            e for e in entries if e.parameter == "c_bram" and e.factor == 1.0
+        )
+        assert grown.config.leaves >= baseline.config.leaves
+
+    def test_validation(self):
+        platform = presets.aws_f1()
+        with pytest.raises(ConfigurationError):
+            analyze(
+                hardware=platform.hardware,
+                arch=MergerArchParams(),
+                array=ArrayParams.from_bytes(GB),
+                factors=(),
+            )

@@ -1,0 +1,107 @@
+"""Two-phase SSD planning (§IV-C, Table V)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import ArrayParams
+from repro.core.ssd_planner import SsdSortPlan
+from repro.errors import ConfigurationError, MemoryModelError
+from repro.memory.dram import DdrDram
+from repro.memory.hierarchy import TwoTierHierarchy
+from repro.memory.ssd import Ssd
+from repro.units import GB, TB
+
+
+class TestDefaults:
+    def test_paper_configs(self):
+        plan = SsdSortPlan()
+        assert plan.phase_one_config == AmtConfig(p=8, leaves=64, lambda_pipe=4)
+        assert plan.phase_two_config == AmtConfig(p=8, leaves=256)
+
+    def test_default_run_size_is_8gb(self):
+        assert SsdSortPlan().run_bytes == 8 * GB
+
+    def test_run_size_respects_dram(self):
+        hierarchy = TwoTierHierarchy(fast=DdrDram(capacity_bytes=16 * GB), slow=Ssd())
+        plan = SsdSortPlan(hierarchy=hierarchy)
+        assert plan.run_bytes == 4 * GB  # C_DRAM / lambda_pipe
+
+    def test_rejects_run_larger_than_dram(self):
+        with pytest.raises(ConfigurationError):
+            SsdSortPlan(run_bytes=128 * GB)
+
+    def test_rejects_nonpositive_run(self):
+        with pytest.raises(ConfigurationError):
+            SsdSortPlan(run_bytes=0)
+
+
+class TestTableV:
+    """Table V: sorting "2 TB" (256 x 8 GB) takes 256 + 4.3 + 256 s."""
+
+    def test_exact_breakdown(self):
+        plan = SsdSortPlan()
+        breakdown = plan.plan(ArrayParams.from_bytes(2048 * GB))
+        assert breakdown.phase_one_seconds == pytest.approx(256.0)
+        assert breakdown.reprogram_seconds == pytest.approx(4.3)
+        assert breakdown.phase_two_seconds == pytest.approx(256.0)
+        assert breakdown.total_seconds == pytest.approx(516.3)
+        assert breakdown.phase_two_stages == 1
+
+    def test_percentages(self):
+        breakdown = SsdSortPlan().plan(ArrayParams.from_bytes(2048 * GB))
+        rows = dict((name, pct) for name, _, pct in breakdown.rows())
+        assert rows["Phase One"] == pytest.approx(49.6, abs=0.1)
+        assert rows["Reprogramming"] == pytest.approx(0.8, abs=0.1)
+        assert rows["Phase Two"] == pytest.approx(49.6, abs=0.1)
+
+    def test_phase_one_saturates_io(self):
+        # §VI-E: "The pipeline effectively saturates I/O bandwidth of 8 GB/s."
+        assert SsdSortPlan().phase_one_throughput() == pytest.approx(8 * GB)
+
+
+class TestStageArithmetic:
+    def test_one_round_trip_up_to_2tb(self):
+        plan = SsdSortPlan()
+        assert plan.phase_two_stages(2048 * GB) == 1
+        assert plan.max_capacity_bytes(stages=1) == 256 * 8 * GB
+
+    def test_second_trip_extends_to_512tb(self):
+        # §IV-C: "we can sort up to 512 TB ... with one more merge stage".
+        plan = SsdSortPlan()
+        assert plan.max_capacity_bytes(stages=2) == 256 * 2048 * GB
+        big_hierarchy = TwoTierHierarchy(
+            fast=DdrDram(), slow=Ssd(capacity_bytes=10**18)
+        )
+        big_plan = SsdSortPlan(hierarchy=big_hierarchy)
+        assert big_plan.phase_two_stages(100 * TB) == 2
+
+    def test_max_capacity_rejects_zero_stages(self):
+        with pytest.raises(ConfigurationError):
+            SsdSortPlan().max_capacity_bytes(stages=0)
+
+    def test_overflow_raises(self):
+        with pytest.raises(MemoryModelError):
+            SsdSortPlan().plan(ArrayParams.from_bytes(100 * TB))
+
+
+class TestThroughputScaling:
+    def test_2tb_rate_is_4gbs(self):
+        # §IV-C: "this system is expected to sort 2 TB of data in 512 s
+        # (4 GB/s)".
+        breakdown = SsdSortPlan(reprogram_seconds=0.0).plan(
+            ArrayParams.from_bytes(2048 * GB)
+        )
+        assert 2048 * GB / breakdown.total_seconds == pytest.approx(4 * GB)
+
+    def test_two_stage_rate_is_8_over_3(self):
+        # §IV-C: "we can sort up to 512 TB of data at 8/3 = 2.66 GB/s".
+        big_hierarchy = TwoTierHierarchy(
+            fast=DdrDram(), slow=Ssd(capacity_bytes=10**18)
+        )
+        plan = SsdSortPlan(hierarchy=big_hierarchy, reprogram_seconds=0.0)
+        size = 256 * 2048 * GB
+        breakdown = plan.plan(ArrayParams.from_bytes(size))
+        assert breakdown.phase_two_stages == 2
+        assert size / breakdown.total_seconds == pytest.approx(8 * GB / 3, rel=1e-6)

@@ -1,0 +1,138 @@
+"""Pipelined execution (§III-A3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import MergerArchParams
+from repro.engine.pipelined import PipelinedSorter
+from repro.errors import ConfigurationError
+from repro.records.workloads import uniform_random
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def hardware():
+    return presets.ssd_node().hardware
+
+
+def make_pipeline(hardware, lam=4, leaves=64, presort=256) -> PipelinedSorter:
+    return PipelinedSorter(
+        config=AmtConfig(p=8, leaves=leaves, lambda_pipe=lam),
+        hardware=hardware,
+        arch=MergerArchParams(),
+        presort_run=presort,
+    )
+
+
+class TestSingleArray:
+    def test_sorts(self, hardware):
+        data = uniform_random(100_000, seed=1)
+        outcome = make_pipeline(hardware).sort(data)
+        assert np.array_equal(outcome.data, np.sort(data))
+
+    def test_latency_is_eq4(self, hardware):
+        data = uniform_random(100_000, seed=2)
+        pipeline = make_pipeline(hardware)
+        outcome = pipeline.sort(data)
+        expected = data.size * 4 * 4 / pipeline.throughput_bytes
+        assert outcome.seconds == pytest.approx(expected)
+
+    def test_stage_count_is_lambda(self, hardware):
+        outcome = make_pipeline(hardware).sort(uniform_random(50_000, seed=3))
+        assert outcome.stages == 4
+
+    def test_empty(self, hardware):
+        outcome = make_pipeline(hardware).sort(np.array([], dtype=np.uint32))
+        assert outcome.n_records == 0
+
+
+class TestCapacity:
+    def test_capacity_matches_eq5(self, hardware):
+        pipeline = make_pipeline(hardware)
+        assert pipeline.capacity_records() == pytest.approx(
+            min(64 * GB / 4 / 4, 256 * 64.0**4)
+        )
+
+    def test_rejects_oversized_array(self, hardware):
+        # lambda=2, leaves=4, presort=4: capacity 4 * 4^2 = 64 records.
+        pipeline = PipelinedSorter(
+            config=AmtConfig(p=8, leaves=4, lambda_pipe=2),
+            hardware=hardware,
+            arch=MergerArchParams(),
+            presort_run=4,
+        )
+        with pytest.raises(ConfigurationError, match="Eq. 5"):
+            pipeline.sort(uniform_random(100, seed=4))
+
+    def test_exactly_at_capacity_sorts(self, hardware):
+        pipeline = PipelinedSorter(
+            config=AmtConfig(p=8, leaves=4, lambda_pipe=2),
+            hardware=hardware,
+            arch=MergerArchParams(),
+            presort_run=4,
+        )
+        data = uniform_random(64, seed=5)
+        assert np.array_equal(pipeline.sort(data).data, np.sort(data))
+
+
+class TestBatchThroughput:
+    def test_batch_beats_sequential_latency(self, hardware):
+        # §III-A3: pipelining exists to keep the I/O bus busy across a
+        # queue of arrays.
+        pipeline = make_pipeline(hardware)
+        arrays = [uniform_random(50_000, seed=s) for s in range(4)]
+        outputs, makespan = pipeline.sort_batch(arrays)
+        sequential = sum(pipeline.sort(a).seconds for a in arrays)
+        assert makespan < sequential
+        for original, result in zip(arrays, outputs):
+            assert np.array_equal(result, np.sort(original))
+
+    def test_empty_batch(self, hardware):
+        outputs, makespan = make_pipeline(hardware).sort_batch([])
+        assert outputs == [] and makespan == 0.0
+
+    def test_steady_state_rate(self, hardware):
+        pipeline = make_pipeline(hardware)
+        arrays = [uniform_random(50_000, seed=s) for s in range(8)]
+        _, makespan = pipeline.sort_batch(arrays)
+        bytes_per_array = 50_000 * 4
+        fill = bytes_per_array * 4 / pipeline.throughput_bytes
+        expected = fill + 7 * bytes_per_array / pipeline.throughput_bytes
+        assert makespan == pytest.approx(expected)
+
+
+class TestSimulateBridge:
+    def test_cycle_accurate_batch_matches(self, hardware):
+        pipeline = PipelinedSorter(
+            config=AmtConfig(p=4, leaves=4, lambda_pipe=2),
+            hardware=hardware,
+            arch=MergerArchParams(),
+            presort_run=16,
+        )
+        arrays = [uniform_random(200, seed=s) for s in range(3)]
+        outputs, makespan = pipeline.simulate_batch(arrays)
+        for original, result in zip(arrays, outputs):
+            assert np.array_equal(result, np.sort(original))
+        assert makespan > 0
+
+    def test_empty_batch(self, hardware):
+        pipeline = make_pipeline(hardware)
+        outputs, makespan = pipeline.simulate_batch([])
+        assert outputs == [] and makespan == 0.0
+
+
+class TestValidation:
+    def test_rejects_unpipelined(self, hardware):
+        with pytest.raises(ConfigurationError):
+            PipelinedSorter(config=AmtConfig(p=8, leaves=64), hardware=hardware)
+
+    def test_rejects_unrolled(self, hardware):
+        with pytest.raises(ConfigurationError):
+            PipelinedSorter(
+                config=AmtConfig(p=8, leaves=64, lambda_pipe=2, lambda_unroll=2),
+                hardware=hardware,
+            )

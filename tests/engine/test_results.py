@@ -1,0 +1,67 @@
+"""SortOutcome metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.results import SortOutcome
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+def make_outcome(**overrides) -> SortOutcome:
+    params = dict(
+        data=np.arange(1000, dtype=np.uint32),
+        seconds=0.5,
+        stages=3,
+        record_bytes=4,
+    )
+    params.update(overrides)
+    return SortOutcome(**params)
+
+
+class TestMetrics:
+    def test_counts(self):
+        outcome = make_outcome()
+        assert outcome.n_records == 1000
+        assert outcome.total_bytes == 4000
+
+    def test_throughput(self):
+        outcome = make_outcome(data=np.arange(250_000_000 // 4, dtype=np.uint32),
+                               seconds=0.25)
+        assert outcome.throughput_gb_per_s == pytest.approx(1.0)
+
+    def test_latency_per_gb(self):
+        outcome = make_outcome(
+            data=np.arange(GB // 4, dtype=np.uint64), seconds=0.172
+        )
+        assert outcome.latency_ms_per_gb == pytest.approx(172.0)
+
+    def test_zero_seconds_infinite_throughput(self):
+        assert make_outcome(seconds=0.0).throughput_gb_per_s == float("inf")
+
+
+class TestIsSorted:
+    def test_sorted_true(self):
+        assert make_outcome().is_sorted()
+
+    def test_unsorted_false(self):
+        assert not make_outcome(data=np.array([2, 1])).is_sorted()
+
+    def test_trivial_sizes(self):
+        assert make_outcome(data=np.array([])).is_sorted()
+        assert make_outcome(data=np.array([5])).is_sorted()
+
+    def test_duplicates_ok(self):
+        assert make_outcome(data=np.array([1, 1, 2])).is_sorted()
+
+
+class TestValidation:
+    def test_rejects_negative_time(self):
+        with pytest.raises(ConfigurationError):
+            make_outcome(seconds=-1.0)
+
+    def test_rejects_negative_stages(self):
+        with pytest.raises(ConfigurationError):
+            make_outcome(stages=-1)

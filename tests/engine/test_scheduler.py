@@ -1,0 +1,131 @@
+"""Adaptive reconfiguration scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import ArrayParams
+from repro.engine.scheduler import AdaptiveScheduler, DEFAULT_REPROGRAM_SECONDS
+from repro.errors import ConfigurationError, InfeasibleConfigError
+from repro.units import GB, MB
+
+
+@pytest.fixture(scope="module")
+def scheduler():
+    return AdaptiveScheduler(bonsai=presets.aws_f1().bonsai())
+
+
+class TestBasics:
+    def test_blank_fpga_programs_first_job(self, scheduler):
+        schedule = scheduler.plan([ArrayParams.from_bytes(16 * GB)])
+        assert schedule.jobs[0].reprogrammed
+        assert schedule.reprogram_count == 1
+
+    def test_identical_jobs_program_once(self, scheduler):
+        arrays = [ArrayParams.from_bytes(16 * GB)] * 5
+        schedule = scheduler.plan(arrays)
+        assert schedule.reprogram_count == 1
+        assert schedule.reprogram_overhead == DEFAULT_REPROGRAM_SECONDS
+
+    def test_empty_queue(self, scheduler):
+        assert scheduler.plan([]).total_seconds == 0.0
+
+    def test_default_reprogram_cost_is_measured_value(self):
+        assert DEFAULT_REPROGRAM_SECONDS == 4.3
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveScheduler(
+                bonsai=presets.aws_f1().bonsai(), reprogram_seconds=-1
+            )
+
+    def test_infeasible_initial_config_rejected(self, scheduler):
+        with pytest.raises(InfeasibleConfigError):
+            scheduler.latency_with(
+                AmtConfig(p=32, leaves=512), ArrayParams.from_bytes(GB)
+            )
+
+
+class TestKeepOrSwitch:
+    def test_tiny_jobs_keep_the_loaded_bitstream(self):
+        # A 64 MB sort takes ~11 ms; 4.3 s of reprogramming can never
+        # pay for itself, so the loaded (suboptimal) config is kept.
+        scheduler = AdaptiveScheduler(
+            bonsai=presets.aws_f1().bonsai(),
+            initial_config=AmtConfig(p=8, leaves=16),
+        )
+        schedule = scheduler.plan([ArrayParams.from_bytes(64 * MB)] * 4)
+        assert schedule.reprogram_count == 0
+        assert all(job.config == AmtConfig(p=8, leaves=16) for job in schedule.jobs)
+
+    def test_large_job_justifies_reprogramming(self):
+        # With a bad loaded config, a 64 GB job saves far more than 4.3 s
+        # by switching to the optimum.
+        scheduler = AdaptiveScheduler(
+            bonsai=presets.aws_f1().bonsai(),
+            initial_config=AmtConfig(p=1, leaves=4),
+        )
+        schedule = scheduler.plan([ArrayParams.from_bytes(64 * GB)])
+        assert schedule.jobs[0].reprogrammed
+        assert schedule.jobs[0].config.p == 32
+
+    def test_break_even_scales_with_reprogram_cost(self):
+        # Partial reconfiguration at ~0.3 s [38] flips decisions that
+        # full-bitstream 4.3 s would not.
+        arrays = [ArrayParams.from_bytes(2 * GB)]
+        loaded = AmtConfig(p=4, leaves=16)
+        slow_swap = AdaptiveScheduler(
+            bonsai=presets.aws_f1().bonsai(),
+            reprogram_seconds=4.3,
+            initial_config=loaded,
+        ).plan(arrays)
+        fast_swap = AdaptiveScheduler(
+            bonsai=presets.aws_f1().bonsai(),
+            reprogram_seconds=0.3,
+            initial_config=loaded,
+        ).plan(arrays)
+        assert not slow_swap.jobs[0].reprogrammed
+        assert fast_swap.jobs[0].reprogrammed
+
+    def test_adaptive_never_loses_to_keeping_initial(self, scheduler):
+        arrays = [
+            ArrayParams.from_bytes(size)
+            for size in (64 * MB, 32 * GB, 128 * MB, 64 * GB)
+        ]
+        keep_all = AdaptiveScheduler(
+            bonsai=presets.aws_f1().bonsai(),
+            reprogram_seconds=4.3,
+            initial_config=AmtConfig(p=8, leaves=16),
+        )
+        adaptive_total = keep_all.plan(arrays).total_seconds
+        frozen_total = sum(
+            keep_all.latency_with(AmtConfig(p=8, leaves=16), array)
+            for array in arrays
+        )
+        assert adaptive_total <= frozen_total + 1e-9
+
+
+class TestStaticBaseline:
+    def test_static_uses_one_config(self, scheduler):
+        arrays = [ArrayParams.from_bytes(size) for size in (4 * GB, 32 * GB)]
+        schedule = scheduler.static_plan(arrays)
+        configs = {job.config for job in schedule.jobs}
+        assert len(configs) == 1
+        assert schedule.reprogram_count == 1
+
+    def test_adaptive_beats_static_on_mixed_queues(self):
+        # Mixed sizes are where adaptivity pays: the static compromise
+        # config is suboptimal somewhere.
+        scheduler = AdaptiveScheduler(bonsai=presets.aws_f1().bonsai())
+        arrays = [
+            ArrayParams.from_bytes(size)
+            for size in (64 * GB, 64 * GB, 64 * GB, 64 * MB, 64 * MB)
+        ]
+        adaptive = scheduler.plan(arrays)
+        static = scheduler.static_plan(arrays)
+        assert adaptive.total_seconds <= static.total_seconds * 1.001
+
+    def test_static_empty_queue(self, scheduler):
+        assert scheduler.static_plan([]).total_seconds == 0.0

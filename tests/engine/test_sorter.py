@@ -1,0 +1,148 @@
+"""The recursive-stage AMT sorter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import MergerArchParams
+from repro.engine.sorter import AmtSorter
+from repro.errors import ConfigurationError
+from repro.records.workloads import (
+    duplicate_heavy,
+    sorted_descending,
+    uniform_random,
+)
+
+
+@pytest.fixture(scope="module")
+def hardware():
+    return presets.aws_f1_measured().hardware
+
+
+def make_sorter(hardware, p=8, leaves=16, **kwargs) -> AmtSorter:
+    return AmtSorter(
+        config=AmtConfig(p=p, leaves=leaves),
+        hardware=hardware,
+        arch=MergerArchParams(),
+        **kwargs,
+    )
+
+
+class TestModelMode:
+    def test_sorts_uniform(self, hardware):
+        data = uniform_random(100_000, seed=1)
+        outcome = make_sorter(hardware).sort(data)
+        assert np.array_equal(outcome.data, np.sort(data))
+        assert outcome.is_sorted()
+
+    def test_sorts_reverse(self, hardware):
+        data = sorted_descending(10_000, seed=2)
+        outcome = make_sorter(hardware).sort(data)
+        assert np.array_equal(outcome.data, np.sort(data))
+
+    def test_sorts_duplicates(self, hardware):
+        data = duplicate_heavy(10_000, seed=3, distinct=4)
+        outcome = make_sorter(hardware).sort(data)
+        assert np.array_equal(outcome.data, np.sort(data))
+
+    def test_empty_input(self, hardware):
+        outcome = make_sorter(hardware).sort(np.array([], dtype=np.uint32))
+        assert outcome.n_records == 0
+        assert outcome.seconds == 0.0
+
+    def test_single_record(self, hardware):
+        outcome = make_sorter(hardware).sort(np.array([42], dtype=np.uint32))
+        assert outcome.data.tolist() == [42]
+        assert outcome.stages == 1
+
+    def test_stage_count_matches_model(self, hardware):
+        # 65,536 records, presort 16 -> 4096 runs -> log_16 = 3 stages.
+        data = uniform_random(65_536, seed=4)
+        outcome = make_sorter(hardware).sort(data)
+        assert outcome.stages == 3
+
+    def test_timing_is_stages_times_pass(self, hardware):
+        data = uniform_random(65_536, seed=5)
+        sorter = make_sorter(hardware)
+        outcome = sorter.sort(data)
+        per_pass = data.size * 4 / sorter.stage_rate
+        assert outcome.seconds == pytest.approx(outcome.stages * per_pass)
+
+    def test_traffic_counts_passes(self, hardware):
+        data = uniform_random(4_096, seed=6)
+        outcome = make_sorter(hardware).sort(data)
+        assert outcome.traffic.bytes_read("dram") == outcome.stages * data.size * 4
+
+    def test_presorted_input_flag(self, hardware):
+        data = uniform_random(1_024, seed=7)
+        runs_sorted = np.concatenate(
+            [np.sort(data[i : i + 16]) for i in range(0, 1024, 16)]
+        )
+        outcome = make_sorter(hardware).sort(runs_sorted, input_presorted=True)
+        assert outcome.is_sorted()
+
+
+class TestSimulateMode:
+    def test_matches_model_output(self, hardware):
+        data = uniform_random(8_192, seed=8)
+        model = make_sorter(hardware).sort(data)
+        simulated = make_sorter(hardware, mode="simulate").sort(data)
+        assert np.array_equal(model.data, simulated.data)
+
+    def test_simulated_time_close_to_model(self, hardware):
+        data = uniform_random(32_768, seed=9)
+        model = make_sorter(hardware, p=4, leaves=16).sort(data)
+        simulated = make_sorter(hardware, p=4, leaves=16, mode="simulate").sort(data)
+        # §VI-B: within 10% (allow 15% at this reduced scale).
+        assert simulated.seconds == pytest.approx(model.seconds, rel=0.15)
+
+    def test_mode_recorded(self, hardware):
+        data = uniform_random(1_024, seed=10)
+        assert make_sorter(hardware, mode="simulate").sort(data).mode == "simulate"
+
+
+class TestOutcomeMetrics:
+    def test_throughput_and_latency(self, hardware):
+        data = uniform_random(65_536, seed=11)
+        outcome = make_sorter(hardware).sort(data)
+        assert outcome.total_bytes == 65_536 * 4
+        assert outcome.throughput_gb_per_s > 0
+        assert outcome.latency_ms_per_gb > 0
+
+
+class TestValidation:
+    def test_rejects_lambda_configs(self, hardware):
+        with pytest.raises(ConfigurationError):
+            AmtSorter(
+                config=AmtConfig(p=8, leaves=16, lambda_unroll=2),
+                hardware=hardware,
+            )
+
+    def test_rejects_unknown_mode(self, hardware):
+        with pytest.raises(ConfigurationError):
+            AmtSorter(
+                config=AmtConfig(p=8, leaves=16), hardware=hardware, mode="verilog"
+            )
+
+    def test_rejects_bad_presort(self, hardware):
+        with pytest.raises(ConfigurationError):
+            AmtSorter(
+                config=AmtConfig(p=8, leaves=16), hardware=hardware, presort_run=0
+            )
+
+
+class TestPropertySorts:
+    @given(st.integers(0, 10**6), st.sampled_from([(2, 4), (4, 16), (16, 8)]))
+    @settings(max_examples=25, deadline=None)
+    def test_random_workloads(self, seed, shape):
+        p, leaves = shape
+        hardware = presets.aws_f1().hardware
+        data = uniform_random(2_000, seed=seed)
+        outcome = AmtSorter(
+            config=AmtConfig(p=p, leaves=leaves), hardware=hardware
+        ).sort(data)
+        assert np.array_equal(outcome.data, np.sort(data))

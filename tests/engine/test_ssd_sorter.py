@@ -1,0 +1,81 @@
+"""The two-phase SSD sorter engine (§IV-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ArrayParams
+from repro.core.ssd_planner import SsdSortPlan
+from repro.engine.ssd_sorter import SsdSorter
+from repro.errors import ConfigurationError
+from repro.records.workloads import uniform_random
+from repro.units import GB
+
+
+class TestFunctionalPath:
+    def test_sorts(self):
+        data = uniform_random(100_000, seed=1)
+        outcome = SsdSorter().sort(data)
+        assert np.array_equal(outcome.data, np.sort(data))
+
+    def test_empty(self):
+        outcome = SsdSorter().sort(np.array([], dtype=np.uint32))
+        assert outcome.n_records == 0
+
+    def test_run_count_scaling(self):
+        sorter = SsdSorter(scale_run_records=1000)
+        outcome = sorter.sort(uniform_random(10_000, seed=2))
+        assert outcome.detail["scaled_runs"] == 10
+
+    def test_single_phase_two_stage_for_small_run_counts(self):
+        # 256-leaf phase two: any run count <= 256 merges in one trip.
+        sorter = SsdSorter(scale_run_records=4096)
+        outcome = sorter.sort(uniform_random(100_000, seed=3))
+        assert outcome.detail["phase_two_stages_executed"] == 1
+
+    def test_two_phase_two_stages_past_256_runs(self):
+        # 300 runs exceed one 256-leaf round trip; the true-scale array
+        # (300 x 8 GB) needs an SSD beyond the default 2048 GB.
+        from repro.memory.dram import DdrDram
+        from repro.memory.hierarchy import TwoTierHierarchy
+        from repro.memory.ssd import Ssd
+
+        plan = SsdSortPlan(
+            hierarchy=TwoTierHierarchy(fast=DdrDram(), slow=Ssd(capacity_bytes=10**14))
+        )
+        sorter = SsdSorter(plan=plan, scale_run_records=64)
+        data = uniform_random(64 * 300, seed=4)  # 300 runs > 256
+        outcome = sorter.sort(data)
+        assert outcome.detail["phase_two_stages_executed"] == 2
+        assert np.array_equal(outcome.data, np.sort(data))
+
+    def test_traffic_counts_round_trips(self):
+        sorter = SsdSorter(scale_run_records=4096)
+        data = uniform_random(20_000, seed=5)
+        outcome = sorter.sort(data)
+        # Phase one + one phase-two trip = 2 reads + 2 writes of N bytes.
+        assert outcome.traffic.bytes_read("ssd") == 2 * data.size * 4
+
+    def test_rejects_tiny_scale_run(self):
+        with pytest.raises(ConfigurationError):
+            SsdSorter(scale_run_records=1)
+
+
+class TestModeledTiming:
+    def test_breakdown_attached(self):
+        outcome = SsdSorter().sort(uniform_random(50_000, seed=6))
+        breakdown = outcome.detail["breakdown"]
+        assert breakdown.phase_one_seconds > 0
+        assert outcome.seconds == pytest.approx(breakdown.total_seconds)
+
+    def test_modeled_breakdown_direct(self):
+        breakdown = SsdSorter().modeled_breakdown(2048 * GB)
+        assert breakdown.total_seconds == pytest.approx(516.3)
+
+    def test_true_scale_mapping(self):
+        # 74 scaled runs of 8 GB -> the modeled array is 74 x 8 GB.
+        sorter = SsdSorter(scale_run_records=4096)
+        outcome = sorter.sort(uniform_random(300_000, seed=7))
+        runs = outcome.detail["scaled_runs"]
+        assert outcome.detail["true_bytes_modeled"] == runs * SsdSortPlan().run_bytes

@@ -1,0 +1,126 @@
+"""Unrolled execution (§III-A2, §IV-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.parameters import MergerArchParams
+from repro.engine.unrolled import UnrolledSorter
+from repro.errors import ConfigurationError
+from repro.records.workloads import duplicate_heavy, uniform_random
+
+
+@pytest.fixture(scope="module")
+def hbm_hardware():
+    return presets.alveo_u50().hardware
+
+
+def make_unrolled(hardware, lam=4, partitioning="range", p=8, leaves=16):
+    return UnrolledSorter(
+        config=AmtConfig(p=p, leaves=leaves, lambda_unroll=lam),
+        hardware=hardware,
+        arch=MergerArchParams(),
+        partitioning=partitioning,
+    )
+
+
+class TestRangePartitioned:
+    def test_sorts(self, hbm_hardware):
+        data = uniform_random(50_000, seed=1)
+        outcome = make_unrolled(hbm_hardware).sort(data)
+        assert np.array_equal(outcome.data, np.sort(data))
+
+    def test_duplicate_heavy_skew(self, hbm_hardware):
+        # Heavy duplicates break naive quantile splitters; output must
+        # still be correct even with unbalanced partitions.
+        data = duplicate_heavy(20_000, seed=2, distinct=3)
+        outcome = make_unrolled(hbm_hardware).sort(data)
+        assert np.array_equal(outcome.data, np.sort(data))
+
+    def test_empty(self, hbm_hardware):
+        outcome = make_unrolled(hbm_hardware).sort(np.array([], dtype=np.uint32))
+        assert outcome.n_records == 0
+
+    def test_time_is_max_over_partitions(self, hbm_hardware):
+        data = uniform_random(50_000, seed=3)
+        outcome = make_unrolled(hbm_hardware).sort(data)
+        # Each partition ~N/4 records at beta/4: roughly the single-AMT
+        # time on N/4 with full share -> must be well under an
+        # un-unrolled sort at the same compute-bound rate.
+        single = UnrolledSorter(
+            config=AmtConfig(p=8, leaves=16, lambda_unroll=2),
+            hardware=hbm_hardware,
+            arch=MergerArchParams(),
+        ).sort(data)
+        assert outcome.seconds <= single.seconds * 1.01
+
+
+class TestAddressRanges:
+    def test_sorts(self, hbm_hardware):
+        data = uniform_random(50_000, seed=4)
+        outcome = make_unrolled(hbm_hardware, partitioning="address").sort(data)
+        assert np.array_equal(outcome.data, np.sort(data))
+
+    def test_final_merge_stage_count(self, hbm_hardware):
+        # 16 ranges merged by a 16-leaf tree: one extra stage.
+        data = uniform_random(64_000, seed=5)
+        sorter = make_unrolled(hbm_hardware, lam=16, partitioning="address")
+        outcome = sorter.sort(data)
+        assert outcome.detail["final_merge_stages"] == 1
+
+    def test_hbm_halving_scheme(self, hbm_hardware):
+        # §IV-B: lambda=16 AMT(32, 2) needs log2(16) = 4 extra stages.
+        data = uniform_random(64_000, seed=6)
+        sorter = make_unrolled(
+            hbm_hardware, lam=16, partitioning="address", p=32, leaves=2
+        )
+        outcome = sorter.sort(data)
+        assert outcome.detail["final_merge_stages"] == 4
+        assert np.array_equal(outcome.data, np.sort(data))
+
+    def test_address_costs_more_than_range(self, hbm_hardware):
+        data = uniform_random(50_000, seed=7)
+        ranged = make_unrolled(hbm_hardware, lam=8).sort(data)
+        addressed = make_unrolled(hbm_hardware, lam=8, partitioning="address").sort(data)
+        assert addressed.seconds > ranged.seconds
+
+
+class TestSimulateBridge:
+    def test_cycle_accurate_sort_matches(self, hbm_hardware):
+        sorter = make_unrolled(hbm_hardware, lam=4, p=4, leaves=4)
+        data = uniform_random(4_000, seed=8)
+        outcome = sorter.simulate(data)
+        assert np.array_equal(outcome.data, np.sort(data))
+        assert outcome.mode == "simulate"
+        assert outcome.detail["parallel_cycles"] > 0
+        assert outcome.detail["final_merge_cycles"] > 0
+
+    def test_simulated_time_positive_and_sane(self, hbm_hardware):
+        sorter = make_unrolled(hbm_hardware, lam=2, p=4, leaves=4)
+        data = uniform_random(2_000, seed=9)
+        outcome = sorter.simulate(data)
+        # Cycles / 250 MHz: microseconds at this scale.
+        assert 0 < outcome.seconds < 1e-2
+
+    def test_empty(self, hbm_hardware):
+        sorter = make_unrolled(hbm_hardware, lam=2, p=4, leaves=4)
+        outcome = sorter.simulate(np.array([], dtype=np.uint32))
+        assert outcome.n_records == 0
+
+
+class TestValidation:
+    def test_rejects_lambda_one(self, hbm_hardware):
+        with pytest.raises(ConfigurationError):
+            UnrolledSorter(
+                config=AmtConfig(p=8, leaves=16), hardware=hbm_hardware
+            )
+
+    def test_rejects_pipelined_config(self, hbm_hardware):
+        with pytest.raises(ConfigurationError):
+            UnrolledSorter(
+                config=AmtConfig(p=8, leaves=16, lambda_unroll=2, lambda_pipe=2),
+                hardware=hbm_hardware,
+            )

@@ -1,0 +1,83 @@
+"""Cycle-level unrolled execution on banked memory (§III-A2, §VI-D)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.hw.banks import UnrolledSimulation
+
+
+def make_array(length: int, seed: int = 0) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randrange(1, 10**6) for _ in range(length)]
+
+
+class TestCorrectness:
+    def test_sorts_full_array(self):
+        sim = UnrolledSimulation(p=4, leaves=4, lambda_unroll=4)
+        array = make_array(2_000, seed=1)
+        sim.run(array)
+        assert sim.output == sorted(array)
+
+    def test_two_way_unroll(self):
+        sim = UnrolledSimulation(p=2, leaves=4, lambda_unroll=2)
+        array = make_array(800, seed=2)
+        sim.run(array)
+        assert sim.output == sorted(array)
+
+    def test_rejects_single_unit(self):
+        with pytest.raises(ConfigurationError):
+            UnrolledSimulation(lambda_unroll=1)
+
+    def test_timeout(self):
+        sim = UnrolledSimulation(p=2, leaves=4, lambda_unroll=2)
+        with pytest.raises(SimulationError):
+            sim.run(make_array(2_000, seed=3), max_cycles=5)
+
+    def test_uneven_tail_partition(self):
+        sim = UnrolledSimulation(p=2, leaves=4, lambda_unroll=4)
+        array = make_array(1_001, seed=4)  # not divisible by 4
+        sim.run(array)
+        assert sim.output == sorted(array)
+
+
+class TestConcurrency:
+    """§VI-D: unrolling scales performance linearly — the parallel phase
+    costs the slowest unit, not the sum of units."""
+
+    def test_makespan_is_max_not_sum(self):
+        sim = UnrolledSimulation(p=4, leaves=4, lambda_unroll=4,
+                                 total_bytes_per_cycle=256.0)
+        sim.run(make_array(4_000, seed=5))
+        busiest = max(sim.unit_busy_cycles())
+        total_busy = sum(sim.unit_busy_cycles())
+        assert sim.parallel_cycles == pytest.approx(busiest, rel=0.01)
+        assert sim.parallel_cycles < 0.5 * total_busy
+
+    def test_units_balanced(self):
+        sim = UnrolledSimulation(p=4, leaves=4, lambda_unroll=4,
+                                 total_bytes_per_cycle=256.0)
+        sim.run(make_array(4_000, seed=6))
+        busy = sim.unit_busy_cycles()
+        assert max(busy) <= 1.25 * min(busy)
+
+    def test_unrolling_speeds_up_compute_bound_sorts(self):
+        # Generous memory (compute-bound trees): 4 units finish the
+        # parallel phase much faster than 2 units handle the same data.
+        array = make_array(4_000, seed=7)
+        two = UnrolledSimulation(p=2, leaves=4, lambda_unroll=2,
+                                 total_bytes_per_cycle=1024.0)
+        two.run(array)
+        four = UnrolledSimulation(p=2, leaves=4, lambda_unroll=4,
+                                  total_bytes_per_cycle=1024.0)
+        four.run(array)
+        assert four.parallel_cycles < 0.7 * two.parallel_cycles
+
+    def test_final_merge_accounted_separately(self):
+        sim = UnrolledSimulation(p=4, leaves=4, lambda_unroll=4)
+        total = sim.run(make_array(2_000, seed=8))
+        assert total == sim.parallel_cycles + sim.final_merge_cycles
+        assert sim.final_merge_cycles > 0

@@ -1,0 +1,85 @@
+"""512-bit bus packing and zero append/filter (Fig. 7, §V-B)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.hw.bus import Packer, Unpacker, ZERO_TERMINAL_KEY
+from repro.records.record import U32, U128
+
+
+class TestGeometry:
+    def test_u32_lanes(self):
+        assert Packer(U32).records_per_word == 16
+        assert Unpacker(U32).records_per_word == 16
+
+    def test_u128_lanes(self):
+        assert Packer(U128).records_per_word == 4
+
+
+class TestEncode:
+    def test_appends_zero_terminal_per_run(self):
+        words = Packer(U32).encode([[1, 2, 3]])
+        lanes = [lane for word in words for lane in word if lane is not None]
+        assert lanes == [1, 2, 3, ZERO_TERMINAL_KEY]
+
+    def test_pads_final_word(self):
+        words = Packer(U32).encode([[1]])
+        assert len(words) == 1
+        assert words[0][2:] == [None] * 14
+
+    def test_multiple_runs_share_words(self):
+        words = Packer(U32).encode([[1, 2], [3]])
+        lanes = [lane for word in words for lane in word if lane is not None]
+        assert lanes == [1, 2, 0, 3, 0]
+
+    def test_rejects_key_colliding_with_terminal(self):
+        # §V-B: zero is reserved; the key space must be biased.
+        with pytest.raises(SimulationError, match="reserved terminal"):
+            Packer(U32).encode([[0, 1]])
+
+    def test_alternative_terminal_value(self):
+        # "Although we reserve zero for the terminal record, any other
+        # value may be used."
+        packer = Packer(U32, terminal_key=999)
+        words = packer.encode([[0, 1]])
+        lanes = [lane for word in words for lane in word if lane is not None]
+        assert lanes == [0, 1, 999]
+
+
+class TestDecode:
+    def test_splits_runs_at_terminals(self):
+        unpacker = Unpacker(U32)
+        words = Packer(U32).encode([[5, 6], [7]])
+        assert unpacker.decode(words) == [[5, 6], [7]]
+
+    def test_empty_run(self):
+        words = Packer(U32).encode([[], [1]])
+        assert Unpacker(U32).decode(words) == [[], [1]]
+
+    def test_rejects_overfull_word(self):
+        with pytest.raises(SimulationError, match="fits"):
+            Unpacker(U32).decode([[1] * 17])
+
+    def test_rejects_missing_final_terminal(self):
+        with pytest.raises(SimulationError, match="terminal record missing"):
+            Unpacker(U32).decode([[1, 2] + [None] * 14])
+
+
+class TestRoundtrip:
+    @given(
+        st.lists(
+            st.lists(st.integers(1, 2**32 - 1), max_size=40),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=80)
+    def test_encode_decode_roundtrip(self, runs):
+        packer = Packer(U32)
+        assert Unpacker(U32).decode(packer.encode(runs)) == runs
+
+    def test_roundtrip_check_helper(self):
+        Packer(U32).roundtrip_check([[1, 2, 3], [9]])

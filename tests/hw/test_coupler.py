@@ -1,0 +1,107 @@
+"""The k-coupler: tuple concatenation between tree levels (§II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.coupler import Coupler
+from repro.hw.fifo import Fifo
+from repro.hw.terminal import SENTINEL_KEY, TERMINAL, is_terminal
+
+
+def run_coupler(k: int, items: list) -> list:
+    """Feed items through a coupler until the input drains."""
+    source = Fifo(capacity=1000)
+    sink = Fifo(capacity=1000)
+    for item in items:
+        source.push(item)
+    coupler = Coupler(k=k, input=source, output=sink)
+    for _ in range(10_000):
+        if source.is_empty and coupler._held is None:
+            break
+        coupler.tick()
+    return sink.drain()
+
+
+class TestCoupling:
+    def test_concatenates_adjacent_pairs(self):
+        out = run_coupler(4, [(1, 2), (3, 4), (5, 6), (7, 8), TERMINAL])
+        assert out == [(1, 2, 3, 4), (5, 6, 7, 8), TERMINAL]
+
+    def test_order_preserved(self):
+        out = run_coupler(2, [(9,), (1,), (5,), (2,), TERMINAL])
+        assert out == [(9, 1), (5, 2), TERMINAL]
+
+    def test_rate_one_input_tuple_per_cycle(self):
+        source = Fifo(capacity=10)
+        sink = Fifo(capacity=10)
+        for item in [(1,), (2,), (3,), (4,)]:
+            source.push(item)
+        coupler = Coupler(k=2, input=source, output=sink)
+        coupler.tick()
+        assert sink.is_empty  # first half held
+        coupler.tick()
+        assert len(sink) == 1  # full tuple after two cycles
+
+
+class TestRunBoundaries:
+    def test_odd_tail_padded_with_sentinels(self):
+        out = run_coupler(4, [(1, 2), (3, 4), (5, 6), TERMINAL])
+        assert out == [(1, 2, 3, 4), (5, 6, SENTINEL_KEY, SENTINEL_KEY), TERMINAL]
+
+    def test_empty_run_passes_terminal(self):
+        assert run_coupler(2, [TERMINAL]) == [TERMINAL]
+
+    def test_multiple_runs_stay_separate(self):
+        out = run_coupler(
+            2, [(1,), (2,), TERMINAL, (3,), TERMINAL, (4,), (5,), TERMINAL]
+        )
+        assert out == [
+            (1, 2),
+            TERMINAL,
+            (3, SENTINEL_KEY),
+            TERMINAL,
+            (4, 5),
+            TERMINAL,
+        ]
+
+    def test_terminal_count_preserved(self):
+        items = [(1,), TERMINAL, TERMINAL, (2,), (3,), TERMINAL]
+        out = run_coupler(2, items)
+        assert sum(1 for item in out if is_terminal(item)) == 3
+
+
+class TestStalls:
+    def test_stalls_on_full_output(self):
+        source = Fifo(capacity=10)
+        sink = Fifo(capacity=1)
+        for item in [(1,), (2,), (3,), (4,)]:
+            source.push(item)
+        coupler = Coupler(k=2, input=source, output=sink)
+        for _ in range(10):
+            coupler.tick()
+        assert len(sink) == 1
+        assert len(source) == 2  # remaining input untouched while stalled
+
+    def test_idle_on_empty_input(self):
+        coupler = Coupler(k=2, input=Fifo(4), output=Fifo(4))
+        coupler.tick()  # must not raise
+        assert coupler.consumed_tuples == 0
+
+
+class TestValidation:
+    def test_rejects_width_one(self):
+        with pytest.raises(SimulationError):
+            Coupler(k=1, input=Fifo(4), output=Fifo(4))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(SimulationError):
+            Coupler(k=6, input=Fifo(4), output=Fifo(4))
+
+    def test_rejects_wrong_input_width(self):
+        source = Fifo(capacity=4)
+        source.push((1, 2, 3))
+        coupler = Coupler(k=4, input=source, output=Fifo(4))
+        with pytest.raises(SimulationError, match="expected 2-record"):
+            coupler.tick()

@@ -1,0 +1,145 @@
+"""Stateful property tests of the simulator's protocol components.
+
+Hypothesis drives random interleavings of pushes, pops and ticks against
+reference models, checking the invariants that every other test assumes:
+FIFO ordering and bounds, and the merger's output monotonicity under any
+legal feeding schedule (including arbitrarily bursty, stalling input).
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.hw.fifo import Fifo
+from repro.hw.merger import KMerger
+from repro.hw.terminal import TERMINAL, is_terminal
+
+
+class FifoMachine(RuleBasedStateMachine):
+    """A Fifo against a plain-list reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.fifo = Fifo(capacity=5, name="dut")
+        self.model: list[int] = []
+        self.counter = 0
+
+    @rule()
+    def push(self):
+        if self.fifo.has_space:
+            self.fifo.push(self.counter)
+            self.model.append(self.counter)
+            self.counter += 1
+
+    @rule()
+    def pop(self):
+        if not self.fifo.is_empty:
+            assert self.fifo.pop() == self.model.pop(0)
+
+    @rule()
+    def peek(self):
+        if not self.fifo.is_empty:
+            assert self.fifo.peek() == self.model[0]
+
+    @invariant()
+    def length_matches(self):
+        assert len(self.fifo) == len(self.model)
+
+    @invariant()
+    def bounds_hold(self):
+        assert 0 <= len(self.fifo) <= 5
+        assert self.fifo.is_full == (len(self.model) == 5)
+        assert self.fifo.is_empty == (len(self.model) == 0)
+
+
+class MergerMachine(RuleBasedStateMachine):
+    """A 1-merger fed by arbitrary interleavings of two sorted streams.
+
+    The machine feeds monotone values into either port at random times,
+    ticks the merger at random times, and checks the output stays
+    sorted and eventually contains exactly the multiset fed in.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.input_a = Fifo(capacity=64, name="a")
+        self.input_b = Fifo(capacity=64, name="b")
+        self.output = Fifo(capacity=512, name="out")
+        self.merger = KMerger(
+            k=1, input_a=self.input_a, input_b=self.input_b, output=self.output
+        )
+        self.next_a = 0
+        self.next_b = 0
+        self.fed_a: list[int] = []
+        self.fed_b: list[int] = []
+        self.closed_a = False
+        self.closed_b = False
+
+    @precondition(lambda self: not self.closed_a)
+    @rule(step=st.integers(1, 5))
+    def feed_a(self, step):
+        if self.input_a.has_space:
+            self.next_a += step
+            self.input_a.push((self.next_a,))
+            self.fed_a.append(self.next_a)
+
+    @precondition(lambda self: not self.closed_b)
+    @rule(step=st.integers(1, 5))
+    def feed_b(self, step):
+        if self.input_b.has_space:
+            self.next_b += step
+            self.input_b.push((self.next_b,))
+            self.fed_b.append(self.next_b)
+
+    @precondition(lambda self: not self.closed_a)
+    @rule()
+    def close_a(self):
+        if self.input_a.has_space:
+            self.input_a.push(TERMINAL)
+            self.closed_a = True
+
+    @precondition(lambda self: not self.closed_b)
+    @rule()
+    def close_b(self):
+        if self.input_b.has_space:
+            self.input_b.push(TERMINAL)
+            self.closed_b = True
+
+    @rule(cycles=st.integers(1, 20))
+    def tick(self, cycles):
+        for _ in range(cycles):
+            self.merger.tick()
+
+    @invariant()
+    def output_is_sorted_run(self):
+        values = [item[0] for item in self.output._items if not is_terminal(item)]
+        assert values == sorted(values)
+
+    def teardown(self):
+        # Close both streams and drain fully; output must be the exact
+        # sorted union of everything fed.
+        for fifo, closed in ((self.input_a, self.closed_a),
+                             (self.input_b, self.closed_b)):
+            if not closed:
+                fifo.push(TERMINAL)
+        for _ in range(2_000):
+            self.merger.tick()
+            if any(is_terminal(item) for item in self.output._items):
+                break
+        values = [item[0] for item in self.output._items if not is_terminal(item)]
+        assert values == sorted(self.fed_a + self.fed_b)
+
+
+TestFifoStateful = FifoMachine.TestCase
+TestFifoStateful.settings = settings(max_examples=40, stateful_step_count=40,
+                                     deadline=None)
+TestMergerStateful = MergerMachine.TestCase
+TestMergerStateful.settings = settings(max_examples=40, stateful_step_count=50,
+                                       deadline=None)

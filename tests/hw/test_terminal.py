@@ -1,0 +1,49 @@
+"""Terminal markers and pad sentinels (§V-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import terminal
+
+
+class TestTerminalMarker:
+    def test_singleton(self):
+        assert terminal._Terminal() is terminal.TERMINAL
+
+    def test_is_terminal(self):
+        assert terminal.is_terminal(terminal.TERMINAL)
+        assert not terminal.is_terminal((1, 2, 3))
+        assert not terminal.is_terminal(0)
+
+    def test_repr(self):
+        assert "TERMINAL" in repr(terminal.TERMINAL)
+
+
+class TestSentinels:
+    def test_sentinel_exceeds_real_keys(self):
+        assert terminal.SENTINEL_KEY > 2**32
+        assert terminal.SENTINEL_KEY > 2**63
+
+    def test_is_sentinel(self):
+        assert terminal.is_sentinel(terminal.SENTINEL_KEY)
+        assert not terminal.is_sentinel(7)
+
+    def test_pad_to_tuple(self):
+        padded = terminal.pad_to_tuple([1, 2], 4)
+        assert padded == [1, 2, terminal.SENTINEL_KEY, terminal.SENTINEL_KEY]
+
+    def test_pad_exact_width_is_identity(self):
+        assert terminal.pad_to_tuple([1, 2], 2) == [1, 2]
+
+    def test_pad_rejects_overfull(self):
+        with pytest.raises(ValueError):
+            terminal.pad_to_tuple([1, 2, 3], 2)
+
+    def test_strip_sentinels(self):
+        data = [1, terminal.SENTINEL_KEY, 2, terminal.SENTINEL_KEY]
+        assert terminal.strip_sentinels(data) == [1, 2]
+
+    def test_pad_strip_roundtrip(self):
+        original = [4, 9, 11]
+        assert terminal.strip_sentinels(terminal.pad_to_tuple(original, 8)) == original

@@ -1,0 +1,91 @@
+"""Cycle-trace recording."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.clock import Simulation
+from repro.hw.fifo import Fifo
+from repro.hw.loader import DataLoader, OutputWriter, make_feeds
+from repro.hw.trace import TraceRecorder, render_timeline
+from repro.hw.tree import AmtTree
+
+
+def run_traced_stage(sample_every=1):
+    rng = random.Random(5)
+    runs = [sorted(rng.randrange(1, 10**6) for _ in range(64)) for _ in range(4)]
+    tree = AmtTree(p=2, leaves=4)
+    for fifo in tree.leaf_fifos:
+        fifo.capacity = 600
+    feeds = make_feeds(tree.leaf_fifos, runs, 4)
+    loader = DataLoader(
+        feeds=feeds, tuple_width=tree.leaf_width, record_bytes=4,
+        read_bytes_per_cycle=64.0, batch_bytes=256,
+    )
+    writer = OutputWriter(
+        source=tree.root_fifo, record_bytes=4,
+        write_bytes_per_cycle=64.0, expected_runs=1,
+    )
+    recorder = TraceRecorder(sample_every=sample_every)
+    recorder.watch_fifo("root", tree.root_fifo)
+    recorder.watch_fifo("leaf0", tree.leaf_fifos[0])
+    recorder.watch("loader_batches", lambda: loader.stats.batches_issued)
+    sim = Simulation()
+    sim.add(recorder)
+    sim.add(writer)
+    for component in tree.components:
+        sim.add(component)
+    sim.add(loader)
+    sim.run_until(lambda: writer.done, max_cycles=100_000)
+    return recorder, writer
+
+
+class TestRecorder:
+    def test_samples_every_cycle(self):
+        recorder, _ = run_traced_stage()
+        cycles = [cycle for cycle, _ in recorder.series("root")]
+        assert cycles == list(range(len(cycles)))
+
+    def test_sampling_interval(self):
+        recorder, _ = run_traced_stage(sample_every=4)
+        cycles = [cycle for cycle, _ in recorder.series("root")]
+        assert all(cycle % 4 == 0 for cycle in cycles)
+
+    def test_probe_series_monotone(self):
+        recorder, _ = run_traced_stage()
+        batches = [value for _, value in recorder.series("loader_batches")]
+        assert batches == sorted(batches)
+        assert batches[-1] >= 1
+
+    def test_peak_occupancy_bounded_by_capacity(self):
+        recorder, _ = run_traced_stage()
+        assert recorder.peak("leaf0") <= 600
+
+    def test_first_cycle_at(self):
+        recorder, _ = run_traced_stage()
+        first = recorder.first_cycle_at("leaf0", 1)
+        assert first is not None and first >= 0
+        assert recorder.first_cycle_at("leaf0", 10**9) is None
+
+    def test_peak_of_unknown_subject_raises(self):
+        with pytest.raises(SimulationError, match="no samples"):
+            TraceRecorder().peak("ghost")
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceRecorder(sample_every=0)
+
+
+class TestTimeline:
+    def test_renders_rows_per_fifo(self):
+        recorder, _ = run_traced_stage()
+        text = render_timeline(recorder, width=32)
+        assert "root" in text and "leaf0" in text
+        lines = text.splitlines()
+        assert all(line.endswith("|") for line in lines)
+
+    def test_empty_recorder_renders_empty(self):
+        assert render_timeline(TraceRecorder()) == ""

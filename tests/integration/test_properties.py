@@ -1,0 +1,139 @@
+"""Cross-layer property tests.
+
+The reproduction has three independent implementations of "merge a
+stage": the cycle simulator (`repro.hw`), the vectorised functional
+engine (`repro.engine.stage`), and Python's own sorted().  Hypothesis
+drives them against each other, plus model-level invariants the paper
+relies on (monotonicity of the optimizer in hardware generosity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.optimizer import Bonsai
+from repro.core.parameters import ArrayParams, HardwareParams, MergerArchParams
+from repro.engine.stage import merge_stage
+from repro.hw.tree import simulate_merge
+from repro.units import GB, KiB
+
+
+# A strategy for small lists of sorted runs over a narrow key space
+# (narrow keys maximise duplicate/tie coverage).
+runs_strategy = st.lists(
+    st.lists(st.integers(1, 50), min_size=0, max_size=24).map(sorted),
+    min_size=0,
+    max_size=12,
+)
+
+
+class TestSimulatorMatchesFunctionalEngine:
+    @given(runs_strategy, st.sampled_from([(1, 2), (2, 4), (4, 4), (8, 8)]))
+    @settings(max_examples=60, deadline=None)
+    def test_same_output_runs(self, runs, shape):
+        p, leaves = shape
+        simulated, _ = simulate_merge(
+            p=p, leaves=leaves, runs=runs, check_sorted_inputs=False
+        )
+        functional = merge_stage(
+            [np.array(run, dtype=np.int64) for run in runs], leaves
+        )
+        assert [list(run) for run in simulated] == [
+            run.tolist() for run in functional
+        ]
+
+    @given(runs_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_both_match_python_sorted(self, runs):
+        simulated, _ = simulate_merge(
+            p=2, leaves=16, runs=runs, check_sorted_inputs=False
+        )
+        merged = [x for run in simulated for x in run]
+        assert merged == sorted(x for run in runs for x in run)
+
+
+class TestRecordConservation:
+    @given(runs_strategy, st.sampled_from([2, 4, 8]))
+    @settings(max_examples=40, deadline=None)
+    def test_no_records_created_or_lost(self, runs, p):
+        simulated, stats = simulate_merge(
+            p=p, leaves=4, runs=runs, check_sorted_inputs=False
+        )
+        in_multiset = sorted(x for run in runs for x in run)
+        out_multiset = sorted(x for run in simulated for x in run)
+        assert in_multiset == out_multiset
+        assert stats.records_in == stats.records_out == len(in_multiset)
+
+
+class TestOptimizerMonotonicity:
+    """More generous hardware can never make the optimum worse."""
+
+    def _bonsai(self, beta=32 * GB, lut=862_128, bram=1 * 2**20) -> Bonsai:
+        hardware = HardwareParams(
+            beta_dram=beta, beta_io=8 * GB, c_dram=64 * GB,
+            c_bram=bram, c_lut=lut, batch_bytes=4 * KiB,
+        )
+        return Bonsai(hardware=hardware, arch=MergerArchParams())
+
+    @given(st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128]))
+    @settings(max_examples=8, deadline=None)
+    def test_latency_monotone_in_bandwidth(self, beta_gb):
+        array = ArrayParams.from_bytes(8 * GB)
+        slower = self._bonsai(beta=beta_gb * GB).latency_optimal(array)
+        faster = self._bonsai(beta=2 * beta_gb * GB).latency_optimal(array)
+        assert faster.latency_seconds <= slower.latency_seconds + 1e-12
+
+    @given(st.sampled_from([50_000, 200_000, 862_128]))
+    @settings(max_examples=3, deadline=None)
+    def test_latency_monotone_in_lut_capacity(self, lut):
+        array = ArrayParams.from_bytes(8 * GB)
+        small = self._bonsai(lut=lut).latency_optimal(array)
+        large = self._bonsai(lut=4 * lut).latency_optimal(array)
+        assert large.latency_seconds <= small.latency_seconds + 1e-12
+
+    @given(st.sampled_from([64 * 2**10, 256 * 2**10, 2**20]))
+    @settings(max_examples=3, deadline=None)
+    def test_latency_monotone_in_bram(self, bram):
+        array = ArrayParams.from_bytes(8 * GB)
+        small = self._bonsai(bram=bram).latency_optimal(array)
+        large = self._bonsai(bram=8 * bram).latency_optimal(array)
+        assert large.latency_seconds <= small.latency_seconds + 1e-12
+
+    def test_latency_monotone_in_input_size(self):
+        bonsai = presets.aws_f1().bonsai()
+        sizes = [GB, 2 * GB, 8 * GB, 32 * GB]
+        latencies = [
+            bonsai.latency_optimal(ArrayParams.from_bytes(size)).latency_seconds
+            for size in sizes
+        ]
+        assert latencies == sorted(latencies)
+
+
+class TestModelPhysicality:
+    """Eq.-level invariants: no configuration beats physics."""
+
+    @given(
+        st.sampled_from([1, 4, 32]),
+        st.sampled_from([4, 64, 1024]),
+        st.sampled_from([1, 2, 8]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_latency_respects_io_bound(self, p, leaves, lam):
+        platform = presets.aws_f1()
+        model = platform.bonsai().performance
+        array = ArrayParams.from_bytes(4 * GB)
+        config = AmtConfig(p=p, leaves=leaves, lambda_unroll=lam)
+        bound = array.total_bytes / platform.hardware.beta_dram
+        assert model.latency_unrolled(config, array) >= bound - 1e-9
+
+    @given(st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=4, deadline=None)
+    def test_pipeline_throughput_bounded_by_io(self, lam):
+        platform = presets.ssd_node()
+        model = platform.bonsai().performance
+        config = AmtConfig(p=8, leaves=64, lambda_pipe=lam)
+        assert model.pipeline_throughput(config) <= platform.hardware.beta_io

@@ -1,0 +1,97 @@
+"""Memory envelope: bandwidth, batching efficiency, timing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory.base import MemoryModel
+from repro.units import GB, KiB
+
+
+def make_memory(**overrides) -> MemoryModel:
+    params = dict(name="test", capacity_bytes=int(4 * GB), peak_bandwidth=8 * GB)
+    params.update(overrides)
+    return MemoryModel(**params)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(MemoryModelError):
+            make_memory(capacity_bytes=0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(MemoryModelError):
+            make_memory(peak_bandwidth=0)
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(MemoryModelError):
+            make_memory(banks=0)
+
+    def test_rejects_nonpositive_measured(self):
+        with pytest.raises(MemoryModelError):
+            make_memory(measured_bandwidth=-1)
+
+
+class TestBandwidth:
+    def test_measured_preferred_over_peak(self):
+        memory = make_memory(measured_bandwidth=7 * GB)
+        assert memory.bandwidth == 7 * GB
+
+    def test_peak_when_no_measurement(self):
+        assert make_memory().bandwidth == 8 * GB
+
+    def test_per_bank(self):
+        assert make_memory(banks=4).per_bank_bandwidth == 2 * GB
+
+
+class TestBatchingEfficiency:
+    def test_paper_batch_sizes_near_peak(self):
+        # §II: 1-4 KB batches reach peak bandwidth.
+        memory = make_memory()
+        assert memory.batching_efficiency(1 * KiB) > 0.95
+        assert memory.batching_efficiency(4 * KiB) > 0.99
+
+    def test_unbatched_accesses_suffer(self):
+        memory = make_memory()
+        assert memory.batching_efficiency(64) < 0.75
+
+    def test_monotone_in_batch_size(self):
+        memory = make_memory()
+        sizes = [64, 256, 1024, 4096]
+        effs = [memory.batching_efficiency(s) for s in sizes]
+        assert effs == sorted(effs)
+
+    def test_rejects_nonpositive_batch(self):
+        with pytest.raises(MemoryModelError):
+            make_memory().batching_efficiency(0)
+
+
+class TestTiming:
+    def test_transfer_time_linear(self):
+        memory = make_memory(batch_overhead_bytes=0)
+        assert memory.transfer_time(8 * GB) == pytest.approx(1.0)
+        assert memory.transfer_time(4 * GB) == pytest.approx(0.5)
+
+    def test_duplex_pass_counts_once(self):
+        memory = make_memory(duplex=True, batch_overhead_bytes=0)
+        assert memory.stream_pass_time(8 * GB) == pytest.approx(1.0)
+
+    def test_half_duplex_pass_counts_twice(self):
+        memory = make_memory(duplex=False, batch_overhead_bytes=0)
+        assert memory.stream_pass_time(8 * GB) == pytest.approx(2.0)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(MemoryModelError):
+            make_memory().transfer_time(-1)
+
+
+class TestCapacity:
+    def test_fits(self):
+        memory = make_memory()
+        assert memory.fits(4 * GB)
+        assert not memory.fits(4 * GB + 1)
+
+    def test_check_fits_raises(self):
+        with pytest.raises(MemoryModelError, match="exceeds"):
+            make_memory().check_fits(5 * GB)

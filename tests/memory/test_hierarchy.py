@@ -1,0 +1,44 @@
+"""Two-tier hierarchy routing (§IV-C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory.dram import DdrDram
+from repro.memory.hierarchy import TwoTierHierarchy
+from repro.memory.ssd import Ssd
+from repro.units import GB, TB
+
+
+class TestHierarchy:
+    def test_defaults(self):
+        tiers = TwoTierHierarchy()
+        assert tiers.fast.name.startswith("DDR")
+        assert tiers.slow.name.endswith("SSD")
+
+    def test_rejects_inverted_capacities(self):
+        with pytest.raises(MemoryModelError):
+            TwoTierHierarchy(fast=DdrDram(), slow=Ssd(capacity_bytes=32 * GB))
+
+    def test_io_bandwidth_is_slow_tier(self):
+        assert TwoTierHierarchy().io_bandwidth == 8 * GB
+
+    def test_home_tier_small_array(self):
+        tiers = TwoTierHierarchy()
+        assert tiers.home_tier(16 * GB) is tiers.fast
+
+    def test_home_tier_large_array(self):
+        tiers = TwoTierHierarchy()
+        assert tiers.home_tier(1 * TB) is tiers.slow
+
+    def test_home_tier_overflow(self):
+        with pytest.raises(MemoryModelError, match="exceeds even"):
+            TwoTierHierarchy().home_tier(100 * TB)
+
+    def test_two_phase_boundary_is_dram_capacity(self):
+        # Fig. 13: the switch to the SSD sorter happens when the input no
+        # longer fits in 64 GB DRAM.
+        tiers = TwoTierHierarchy()
+        assert not tiers.requires_two_phase(64 * GB)
+        assert tiers.requires_two_phase(64 * GB + 1)

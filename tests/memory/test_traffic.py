@@ -1,0 +1,53 @@
+"""Traffic accounting for bandwidth-efficiency (Fig. 12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import MemoryModelError
+from repro.memory.traffic import TrafficMeter
+from repro.units import GB
+
+
+class TestTrafficMeter:
+    def test_accumulates_per_device(self):
+        meter = TrafficMeter()
+        meter.record_read("dram", 100)
+        meter.record_read("dram", 50)
+        meter.record_write("ssd", 25)
+        assert meter.bytes_read("dram") == 150
+        assert meter.bytes_written("ssd") == 25
+        assert meter.bytes_read("ssd") == 0
+
+    def test_totals_across_devices(self):
+        meter = TrafficMeter()
+        meter.record_read("dram", 10)
+        meter.record_read("ssd", 20)
+        meter.record_write("dram", 5)
+        assert meter.bytes_read() == 30
+        assert meter.total_bytes() == 35
+        assert meter.total_bytes("dram") == 15
+
+    def test_rejects_negative(self):
+        with pytest.raises(MemoryModelError):
+            TrafficMeter().record_read("dram", -1)
+
+    def test_achieved_bandwidth_uses_max_direction(self):
+        meter = TrafficMeter()
+        meter.record_read("dram", int(16 * GB))
+        meter.record_write("dram", int(8 * GB))
+        assert meter.achieved_bandwidth(2.0, "dram") == pytest.approx(8 * GB)
+
+    def test_achieved_bandwidth_rejects_zero_time(self):
+        with pytest.raises(MemoryModelError):
+            TrafficMeter().achieved_bandwidth(0.0)
+
+    def test_merge(self):
+        first = TrafficMeter()
+        first.record_read("dram", 10)
+        second = TrafficMeter()
+        second.record_read("dram", 5)
+        second.record_write("ssd", 7)
+        first.merge(second)
+        assert first.bytes_read("dram") == 15
+        assert first.bytes_written("ssd") == 7

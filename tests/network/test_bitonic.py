@@ -1,0 +1,98 @@
+"""Bitonic networks: correctness by zero-one principle + cost structure."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.bitonic import (
+    bitonic_merge_network,
+    bitonic_sort_network,
+    merge_sorted_pair,
+)
+
+
+class TestSortNetworkCorrectness:
+    """The zero-one principle: a comparison network sorts all inputs iff
+    it sorts all 0/1 inputs — exhaustively checked for small widths."""
+
+    @pytest.mark.parametrize("width", [2, 4, 8, 16])
+    def test_zero_one_principle_exhaustive(self, width):
+        network = bitonic_sort_network(width)
+        for bits in itertools.product([0, 1], repeat=width):
+            assert network.apply(list(bits)) == sorted(bits)
+
+    @pytest.mark.parametrize("width", [2, 4, 8, 16, 32, 64])
+    def test_random_values(self, width):
+        network = bitonic_sort_network(width)
+        rng = random.Random(width)
+        for _ in range(20):
+            data = [rng.randrange(1000) for _ in range(width)]
+            assert network.apply(data) == sorted(data)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            bitonic_sort_network(12)
+
+    @given(st.lists(st.integers(), min_size=16, max_size=16))
+    @settings(max_examples=50)
+    def test_sorts_any_integers(self, data):
+        assert bitonic_sort_network(16).apply(data) == sorted(data)
+
+
+class TestSortNetworkCosts:
+    @pytest.mark.parametrize("width", [2, 4, 8, 16, 32])
+    def test_depth_is_triangular_log(self, width):
+        levels = width.bit_length() - 1
+        assert bitonic_sort_network(width).depth == levels * (levels + 1) // 2
+
+    @pytest.mark.parametrize("width", [2, 4, 8, 16, 32])
+    def test_size_is_half_width_per_stage(self, width):
+        network = bitonic_sort_network(width)
+        assert network.size == network.depth * width // 2
+
+
+class TestMergeNetworkCorrectness:
+    @pytest.mark.parametrize("width", [2, 4, 8, 16])
+    def test_sorts_all_bitonic_zero_one_inputs(self, width):
+        network = bitonic_merge_network(width)
+        # All 0/1 bitonic sequences: ascending-then-descending rotations.
+        for ones in range(width + 1):
+            for rotation in range(width):
+                base = [0] * (width - ones) + [1] * ones
+                seq = base[rotation:] + base[:rotation]
+                # Rotations of sorted 0/1 sequences are exactly the 0/1
+                # bitonic sequences.
+                assert network.apply(seq) == sorted(seq)
+
+    def test_depth_is_log_width(self):
+        assert bitonic_merge_network(16).depth == 4
+
+    def test_size_is_half_width_times_depth(self):
+        network = bitonic_merge_network(16)
+        assert network.size == 8 * 4
+
+
+class TestMergeSortedPair:
+    @given(
+        st.lists(st.integers(0, 100), min_size=8, max_size=8).map(sorted),
+        st.lists(st.integers(0, 100), min_size=8, max_size=8).map(sorted),
+    )
+    @settings(max_examples=100)
+    def test_merges_sorted_inputs(self, left, right):
+        assert merge_sorted_pair(left, right) == sorted(left + right)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            merge_sorted_pair([1, 2], [1, 2, 3])
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 16, 32])
+    def test_all_widths(self, k):
+        rng = random.Random(k)
+        left = sorted(rng.randrange(100) for _ in range(k))
+        right = sorted(rng.randrange(100) for _ in range(k))
+        assert merge_sorted_pair(left, right) == sorted(left + right)

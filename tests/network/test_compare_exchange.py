@@ -1,0 +1,80 @@
+"""Compare-exchange elements and staged networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.compare_exchange import (
+    CompareExchange,
+    Network,
+    NetworkStage,
+    stages_from_pairs,
+)
+
+
+class TestCompareExchange:
+    def test_normalises_wire_order(self):
+        element = CompareExchange(5, 2)
+        assert (element.low, element.high) == (2, 5)
+
+    def test_rejects_equal_wires(self):
+        with pytest.raises(ConfigurationError):
+            CompareExchange(3, 3)
+
+    def test_rejects_negative_wires(self):
+        with pytest.raises(ConfigurationError):
+            CompareExchange(-1, 2)
+
+
+class TestNetworkStage:
+    def test_rejects_overlapping_elements(self):
+        with pytest.raises(ConfigurationError, match="disjoint"):
+            NetworkStage((CompareExchange(0, 1), CompareExchange(1, 2)))
+
+    def test_len_counts_elements(self):
+        stage = NetworkStage((CompareExchange(0, 1), CompareExchange(2, 3)))
+        assert len(stage) == 2
+
+
+class TestNetwork:
+    def test_size_and_depth(self):
+        network = stages_from_pairs(4, [[(0, 1), (2, 3)], [(0, 2)]])
+        assert network.depth == 2
+        assert network.size == 3
+
+    def test_apply_sorts_pair(self):
+        network = stages_from_pairs(2, [[(0, 1)]])
+        assert network.apply([9, 1]) == [1, 9]
+        assert network.apply([1, 9]) == [1, 9]
+
+    def test_apply_does_not_mutate_input(self):
+        network = stages_from_pairs(2, [[(0, 1)]])
+        data = [9, 1]
+        network.apply(data)
+        assert data == [9, 1]
+
+    def test_apply_rejects_wrong_width(self):
+        network = stages_from_pairs(2, [[(0, 1)]])
+        with pytest.raises(ConfigurationError):
+            network.apply([1, 2, 3])
+
+    def test_rejects_out_of_range_wires(self):
+        with pytest.raises(ConfigurationError):
+            stages_from_pairs(2, [[(0, 5)]])
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            Network(width=0, stages=())
+
+    def test_comparison_uses_lt_only(self):
+        class OnlyLt:
+            def __init__(self, value):
+                self.value = value
+
+            def __lt__(self, other):
+                return self.value < other.value
+
+        network = stages_from_pairs(2, [[(0, 1)]])
+        out = network.apply([OnlyLt(5), OnlyLt(2)])
+        assert [x.value for x in out] == [2, 5]

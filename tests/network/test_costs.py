@@ -1,0 +1,49 @@
+"""Network cost accounting and the Θ(k log k) merger-logic claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.bitonic import bitonic_merge_network
+from repro.network.costs import (
+    merge_network_costs,
+    merger_cas_count,
+    merger_latency_cycles,
+    network_costs,
+    sort_network_costs,
+)
+
+
+class TestSummaries:
+    def test_network_costs_matches_network(self):
+        network = bitonic_merge_network(8)
+        costs = network_costs(network)
+        assert (costs.width, costs.size, costs.depth) == (8, network.size, network.depth)
+
+    def test_elements_per_stage(self):
+        costs = merge_network_costs(16)
+        assert costs.elements_per_stage == 8.0
+
+    def test_sort_costs(self):
+        costs = sort_network_costs(16)
+        assert costs.depth == 10
+        assert costs.size == 80
+
+
+class TestMergerCas:
+    def test_one_merger_is_single_element(self):
+        assert merger_cas_count(1) == 1
+        assert merger_latency_cycles(1) == 1
+
+    @pytest.mark.parametrize("k", [2, 4, 8, 16, 32])
+    def test_two_half_mergers(self, k):
+        # §I-A: a k-merger pipelines two 2k-record half-mergers.
+        assert merger_cas_count(k) == 2 * merge_network_costs(2 * k).size
+
+    def test_superlinear_growth(self):
+        # Θ(k log k): doubling k should more than double CAS count.
+        for k in (2, 4, 8, 16):
+            assert merger_cas_count(2 * k) > 2 * merger_cas_count(k)
+
+    def test_latency_grows_logarithmically(self):
+        assert merger_latency_cycles(32) - merger_latency_cycles(16) == 2

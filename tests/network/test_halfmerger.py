@@ -1,0 +1,81 @@
+"""The 2k-record bitonic half-merger (§I-A)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.halfmerger import BitonicHalfMerger
+
+
+class TestConstruction:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            BitonicHalfMerger(3)
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 16, 32])
+    def test_width_is_2k(self, k):
+        assert BitonicHalfMerger(k).width == 2 * k
+
+
+class TestMergeCorrectness:
+    @pytest.mark.parametrize("k", [1, 2, 4, 8, 16, 32])
+    def test_random_sorted_tuples(self, k):
+        merger = BitonicHalfMerger(k)
+        rng = random.Random(k)
+        for _ in range(25):
+            left = sorted(rng.randrange(10**6) for _ in range(k))
+            right = sorted(rng.randrange(10**6) for _ in range(k))
+            assert merger.merge(left, right) == sorted(left + right)
+
+    def test_duplicates(self):
+        merger = BitonicHalfMerger(4)
+        assert merger.merge([5, 5, 5, 5], [5, 5, 5, 5]) == [5] * 8
+
+    def test_disjoint_ranges(self):
+        merger = BitonicHalfMerger(4)
+        assert merger.merge([1, 2, 3, 4], [10, 11, 12, 13]) == [1, 2, 3, 4, 10, 11, 12, 13]
+        assert merger.merge([10, 11, 12, 13], [1, 2, 3, 4]) == [1, 2, 3, 4, 10, 11, 12, 13]
+
+    def test_rejects_wrong_tuple_size(self):
+        merger = BitonicHalfMerger(4)
+        with pytest.raises(ConfigurationError):
+            merger.merge([1, 2, 3], [4, 5, 6, 7])
+
+    @given(
+        st.lists(st.integers(0, 2**32), min_size=16, max_size=16).map(sorted),
+        st.lists(st.integers(0, 2**32), min_size=16, max_size=16).map(sorted),
+    )
+    @settings(max_examples=60)
+    def test_property_merge_16(self, left, right):
+        assert BitonicHalfMerger(16).merge(left, right) == sorted(left + right)
+
+
+class TestCostAccounting:
+    @pytest.mark.parametrize("k", [2, 4, 8, 16, 32])
+    def test_constructed_depth_is_log_2k(self, k):
+        assert BitonicHalfMerger(k).depth == (2 * k).bit_length() - 1
+
+    @pytest.mark.parametrize("k", [2, 4, 8, 16, 32])
+    def test_constructed_size_is_k_log_2k(self, k):
+        merger = BitonicHalfMerger(k)
+        assert merger.size == k * merger.depth
+
+    @pytest.mark.parametrize("k", [2, 4, 8, 16, 32])
+    def test_paper_accounting(self, k):
+        # §I-A: latency log k, k log k logic units.
+        merger = BitonicHalfMerger(k)
+        log_k = k.bit_length() - 1
+        assert merger.paper_depth == max(1, log_k)
+        assert merger.paper_size == max(1, k * log_k)
+
+    def test_paper_size_grows_theta_k_log_k(self):
+        # The ratio size / (k log k) must stay bounded (Θ claim in §I-A).
+        ratios = [
+            BitonicHalfMerger(k).size / (k * (k.bit_length() - 1))
+            for k in (4, 8, 16, 32)
+        ]
+        assert max(ratios) / min(ratios) < 2.0

@@ -1,0 +1,70 @@
+"""The bitonic presorter (§VI-C)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.presorter import DEFAULT_RUN_LENGTH, Presorter
+
+
+class TestConstruction:
+    def test_paper_default_is_16_records(self):
+        assert DEFAULT_RUN_LENGTH == 16
+        assert Presorter().run_length == 16
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            Presorter(run_length=10)
+
+
+class TestSortRun:
+    def test_sorts_one_run(self):
+        presorter = Presorter(run_length=8)
+        assert presorter.sort_run([8, 3, 5, 1, 9, 2, 7, 4]) == [1, 2, 3, 4, 5, 7, 8, 9]
+
+    def test_rejects_wrong_width(self):
+        with pytest.raises(ConfigurationError):
+            Presorter(run_length=8).sort_run([1, 2, 3])
+
+    @given(st.lists(st.integers(0, 1000), min_size=16, max_size=16))
+    @settings(max_examples=50)
+    def test_property_sorts(self, data):
+        assert Presorter().sort_run(data) == sorted(data)
+
+
+class TestPresortStream:
+    def test_full_runs(self):
+        presorter = Presorter(run_length=4)
+        runs = list(presorter.presort([4, 3, 2, 1, 8, 7, 6, 5]))
+        assert runs == [[1, 2, 3, 4], [5, 6, 7, 8]]
+
+    def test_partial_tail_run(self):
+        presorter = Presorter(run_length=4)
+        runs = list(presorter.presort([9, 1, 5, 3, 7, 2]))
+        assert runs == [[1, 3, 5, 9], [2, 7]]
+
+    def test_empty_stream(self):
+        assert list(Presorter().presort([])) == []
+
+    def test_total_records_preserved(self):
+        rng = random.Random(1)
+        data = [rng.randrange(100) for _ in range(103)]
+        runs = list(Presorter(run_length=16).presort(data))
+        assert sorted(x for run in runs for x in run) == sorted(data)
+
+    def test_run_count(self):
+        runs = list(Presorter(run_length=16).presort(range(1, 100)))
+        assert len(runs) == 7  # ceil(99 / 16)
+
+
+class TestCosts:
+    def test_pipelined_depth(self):
+        # 16-record bitonic sorter: 4*(4+1)/2 = 10 stages.
+        assert Presorter(run_length=16).depth == 10
+
+    def test_size(self):
+        assert Presorter(run_length=16).size == 10 * 8

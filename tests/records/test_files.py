@@ -1,0 +1,58 @@
+"""Binary record files."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.records.files import read_records, record_count, write_records
+from repro.records.record import U32, U64
+from repro.records.workloads import uniform_random
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        keys = uniform_random(1_000, seed=1)
+        path = tmp_path / "keys.bin"
+        n_bytes = write_records(path, keys)
+        assert n_bytes == 4_000
+        assert np.array_equal(read_records(path), keys)
+
+    def test_u64_format(self, tmp_path):
+        keys = uniform_random(100, U64, seed=2)
+        path = tmp_path / "keys64.bin"
+        write_records(path, keys, U64)
+        assert np.array_equal(read_records(path, U64), keys)
+
+    def test_mmap_read(self, tmp_path):
+        keys = uniform_random(500, seed=3)
+        path = tmp_path / "keys.bin"
+        write_records(path, keys)
+        mapped = read_records(path, mmap=True)
+        assert isinstance(mapped, np.memmap)
+        assert np.array_equal(np.asarray(mapped), keys)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        write_records(path, np.array([], dtype=np.uint32))
+        assert read_records(path).size == 0
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError, match="not found"):
+            read_records(tmp_path / "missing.bin")
+        with pytest.raises(WorkloadError, match="not found"):
+            record_count(tmp_path / "missing.bin")
+
+    def test_torn_file(self, tmp_path):
+        path = tmp_path / "torn.bin"
+        path.write_bytes(b"\x00" * 7)  # not a multiple of 4
+        with pytest.raises(WorkloadError, match="multiple"):
+            read_records(path)
+
+    def test_record_count(self, tmp_path):
+        path = tmp_path / "keys.bin"
+        write_records(path, uniform_random(123, seed=4))
+        assert record_count(path) == 123

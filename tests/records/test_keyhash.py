@@ -1,0 +1,52 @@
+"""Value-to-index hashing (§VI-A)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.records.keyhash import fnv1a_hash, hash_value_to_index, hash_values_to_indices
+
+
+class TestFnv1a:
+    def test_known_vectors(self):
+        # Standard FNV-1a 64-bit test vectors.
+        assert fnv1a_hash(b"") == 0xCBF29CE484222325
+        assert fnv1a_hash(b"a") == 0xAF63DC4C8601EC8C
+        assert fnv1a_hash(b"foobar") == 0x85944171F73967E8
+
+    @given(st.binary(max_size=64))
+    def test_fits_64_bits(self, data):
+        assert 0 <= fnv1a_hash(data) < 2**64
+
+    @given(st.binary(min_size=1, max_size=32))
+    def test_deterministic(self, data):
+        assert fnv1a_hash(data) == fnv1a_hash(data)
+
+
+class TestIndexHash:
+    def test_paper_width_is_six_bytes(self):
+        index = hash_value_to_index(b"x" * 90)
+        assert 0 <= index < 2**48
+
+    @pytest.mark.parametrize("width", [1, 4, 8])
+    def test_width_bound(self, width):
+        index = hash_value_to_index(b"payload", index_bytes=width)
+        assert index < 2 ** (8 * width)
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            hash_value_to_index(b"x", index_bytes=0)
+        with pytest.raises(ConfigurationError):
+            hash_value_to_index(b"x", index_bytes=9)
+
+    def test_vector_form_matches_scalar(self):
+        values = [b"aa", b"bb", b"cc"]
+        vector = hash_values_to_indices(values)
+        assert list(vector) == [hash_value_to_index(v) for v in values]
+
+    def test_collision_rate_low_at_six_bytes(self):
+        values = [f"value-{i}".encode() for i in range(20_000)]
+        indices = {hash_value_to_index(v) for v in values}
+        assert len(indices) == len(values)  # 48-bit space: no collisions here

@@ -1,0 +1,113 @@
+"""Record format validation and geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.records.record import (
+    GENSORT_PACKED,
+    U32,
+    U64,
+    U128,
+    RecordFormat,
+    key_dtype_for,
+)
+
+
+class TestRecordFormat:
+    def test_u32_geometry(self):
+        assert U32.width_bytes == 4
+        assert U32.width_bits == 32
+        assert U32.key_bits == 32
+        assert U32.max_key == 2**32 - 1
+
+    def test_u128_geometry(self):
+        assert U128.width_bytes == 16
+        assert U128.width_bits == 128
+
+    def test_gensort_packed_is_16_bytes(self):
+        # §VI-A: 10-byte key + 6-byte hashed index.
+        assert GENSORT_PACKED.width_bytes == 16
+        assert GENSORT_PACKED.key_bytes == 10
+
+    def test_default_name(self):
+        fmt = RecordFormat(key_bytes=2)
+        assert fmt.name == "u16"
+
+    def test_rejects_zero_key_width(self):
+        with pytest.raises(ConfigurationError):
+            RecordFormat(key_bytes=0)
+
+    def test_rejects_negative_value_width(self):
+        with pytest.raises(ConfigurationError):
+            RecordFormat(key_bytes=4, value_bytes=-1)
+
+    def test_rejects_records_wider_than_datapath(self):
+        # §II: up to 512 bits without overhead.
+        with pytest.raises(ConfigurationError):
+            RecordFormat(key_bytes=8, value_bytes=57)
+
+    def test_512_bit_record_allowed(self):
+        fmt = RecordFormat(key_bytes=8, value_bytes=56)
+        assert fmt.width_bits == 512
+
+
+class TestBusGeometry:
+    def test_u32_records_per_bus_word(self):
+        # Fig. 7: the AXI interface is 512 bits wide.
+        assert U32.records_per_bus_word() == 16
+
+    def test_u128_records_per_bus_word(self):
+        assert U128.records_per_bus_word() == 4
+
+    def test_gensort_records_per_bus_word(self):
+        assert GENSORT_PACKED.records_per_bus_word() == 4
+
+    def test_rejects_record_wider_than_bus(self):
+        fmt = RecordFormat(key_bytes=8, value_bytes=56)  # 512 bits
+        assert fmt.records_per_bus_word(512) == 1
+        with pytest.raises(ConfigurationError):
+            fmt.records_per_bus_word(256)
+
+    def test_rejects_fractional_byte_bus(self):
+        with pytest.raises(ConfigurationError):
+            U32.records_per_bus_word(100)
+
+
+class TestSizeArithmetic:
+    def test_bytes_for(self):
+        assert U32.bytes_for(1000) == 4000
+
+    def test_records_for(self):
+        assert U32.records_for(4096) == 1024
+        assert U32.records_for(4097) == 1024  # whole records only
+
+    def test_roundtrip(self):
+        assert U64.records_for(U64.bytes_for(123)) == 123
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            U32.bytes_for(-1)
+        with pytest.raises(ConfigurationError):
+            U32.records_for(-1)
+
+
+class TestKeyDtype:
+    @pytest.mark.parametrize(
+        "fmt,dtype",
+        [
+            (RecordFormat(key_bytes=1), np.uint8),
+            (RecordFormat(key_bytes=2), np.uint16),
+            (U32, np.uint32),
+            (U64, np.uint64),
+            (RecordFormat(key_bytes=5), np.uint64),
+        ],
+    )
+    def test_dtype_selection(self, fmt, dtype):
+        assert key_dtype_for(fmt) == np.dtype(dtype)
+
+    def test_wide_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            key_dtype_for(GENSORT_PACKED)  # 10-byte key needs hashing

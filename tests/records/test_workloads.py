@@ -1,0 +1,197 @@
+"""Workload generators: determinism, distributions, invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import WorkloadError
+from repro.records import workloads
+from repro.records.record import U32, U64, RecordFormat
+from repro.records.workloads import WorkloadSpec, generate
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", sorted(workloads.GENERATORS))
+    def test_same_seed_same_data(self, kind):
+        spec = WorkloadSpec(kind=kind, n_records=500, seed=7)
+        assert np.array_equal(generate(spec), generate(spec))
+
+    def test_different_seed_different_data(self):
+        a = workloads.uniform_random(1000, seed=1)
+        b = workloads.uniform_random(1000, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestUniform:
+    def test_excludes_zero_by_default(self):
+        # Zero is the reserved terminal record (§V-B).
+        data = workloads.uniform_random(20_000, seed=3)
+        assert data.min() >= 1
+
+    def test_allow_zero_flag(self):
+        data = workloads.uniform_random(200_000, RecordFormat(key_bytes=1), seed=3, allow_zero=True)
+        assert data.min() == 0
+
+    def test_dtype_follows_format(self):
+        assert workloads.uniform_random(10, U32).dtype == np.uint32
+        assert workloads.uniform_random(10, U64).dtype == np.uint64
+
+    def test_spans_key_space(self):
+        data = workloads.uniform_random(50_000, U32, seed=5)
+        assert data.max() > 0.9 * U32.max_key
+
+    def test_empty_workload(self):
+        assert len(workloads.uniform_random(0)) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(WorkloadError):
+            workloads.uniform_random(-1)
+
+
+class TestSortedVariants:
+    def test_sorted_ascending_is_sorted(self):
+        data = workloads.sorted_ascending(1000, seed=1)
+        assert np.all(np.diff(data.astype(np.int64)) >= 0)
+
+    def test_sorted_descending_is_reverse_sorted(self):
+        data = workloads.sorted_descending(1000, seed=1)
+        assert np.all(np.diff(data.astype(np.int64)) <= 0)
+
+    def test_nearly_sorted_mostly_ordered(self):
+        data = workloads.nearly_sorted(10_000, seed=1, swap_fraction=0.01)
+        inversions = np.count_nonzero(np.diff(data.astype(np.int64)) < 0)
+        assert 0 < inversions < 500
+
+    def test_nearly_sorted_zero_swaps_is_sorted(self):
+        data = workloads.nearly_sorted(1000, seed=1, swap_fraction=0.0)
+        assert np.all(np.diff(data.astype(np.int64)) >= 0)
+
+    def test_nearly_sorted_rejects_bad_fraction(self):
+        with pytest.raises(WorkloadError):
+            workloads.nearly_sorted(10, swap_fraction=1.5)
+
+
+class TestDuplicateHeavy:
+    def test_distinct_bound(self):
+        data = workloads.duplicate_heavy(10_000, seed=1, distinct=8)
+        assert len(np.unique(data)) <= 8
+
+    def test_single_key(self):
+        data = workloads.duplicate_heavy(100, seed=1, distinct=1)
+        assert len(np.unique(data)) == 1
+
+    def test_rejects_zero_distinct(self):
+        with pytest.raises(WorkloadError):
+            workloads.duplicate_heavy(10, distinct=0)
+
+
+class TestZipf:
+    def test_skewed_head(self):
+        data = workloads.zipfian(50_000, seed=1)
+        values, counts = np.unique(data, return_counts=True)
+        assert counts.max() > len(data) * 0.1  # heavy head
+
+    def test_rejects_exponent_at_most_one(self):
+        with pytest.raises(WorkloadError):
+            workloads.zipfian(10, exponent=1.0)
+
+    def test_keys_nonzero(self):
+        assert workloads.zipfian(10_000, seed=2).min() >= 1
+
+
+class TestRuns:
+    def test_each_run_sorted(self):
+        run_length = 16
+        data = workloads.runs_of_sorted(16 * 20, seed=1, run_length=run_length)
+        for start in range(0, len(data), run_length):
+            chunk = data[start : start + run_length].astype(np.int64)
+            assert np.all(np.diff(chunk) >= 0)
+
+    def test_partial_tail_run_sorted(self):
+        data = workloads.runs_of_sorted(37, seed=1, run_length=16)
+        tail = data[32:].astype(np.int64)
+        assert np.all(np.diff(tail) >= 0)
+
+    def test_rejects_zero_run_length(self):
+        with pytest.raises(WorkloadError):
+            workloads.runs_of_sorted(10, run_length=0)
+
+
+class TestSawtooth:
+    def test_teeth_are_sorted_ramps(self):
+        data = workloads.sawtooth(800, seed=1, teeth=8).astype(np.int64)
+        descents = np.flatnonzero(np.diff(data) < 0)
+        # One direction change per tooth boundary, nothing inside teeth.
+        assert 6 <= len(descents) <= 8
+
+    def test_rejects_zero_teeth(self):
+        with pytest.raises(WorkloadError):
+            workloads.sawtooth(10, teeth=0)
+
+    def test_nonzero_keys(self):
+        assert workloads.sawtooth(1000, seed=1).min() >= 1
+
+
+class TestOrganPipe:
+    def test_single_peak(self):
+        data = workloads.organ_pipe(1001).astype(np.int64)
+        peak = int(np.argmax(data))
+        assert np.all(np.diff(data[: peak + 1]) >= 0)
+        assert np.all(np.diff(data[peak:]) <= 0)
+
+    def test_even_length(self):
+        data = workloads.organ_pipe(1000)
+        assert len(data) == 1000
+
+
+class TestShifted:
+    def test_exactly_two_runs(self):
+        data = workloads.shifted_sorted(1000, seed=1, shift_fraction=0.3)
+        descents = np.flatnonzero(np.diff(data.astype(np.int64)) < 0)
+        assert len(descents) <= 1
+
+    def test_zero_shift_is_sorted(self):
+        data = workloads.shifted_sorted(100, seed=1, shift_fraction=0.0)
+        assert np.all(np.diff(data.astype(np.int64)) >= 0)
+
+    def test_rejects_full_shift(self):
+        with pytest.raises(WorkloadError):
+            workloads.shifted_sorted(10, shift_fraction=1.0)
+
+
+class TestAdversarialShapesSortCorrectly:
+    """The merge engine must handle every catalogue shape."""
+
+    @pytest.mark.parametrize("kind", ["sawtooth", "organ_pipe", "shifted"])
+    def test_engine_sorts_shape(self, kind):
+        from repro.core import presets
+        from repro.core.configuration import AmtConfig
+        from repro.engine.sorter import AmtSorter
+
+        data = generate(WorkloadSpec(kind=kind, n_records=5_000, seed=3))
+        sorter = AmtSorter(
+            config=AmtConfig(p=4, leaves=8),
+            hardware=presets.aws_f1().hardware,
+        )
+        outcome = sorter.sort(data)
+        assert np.array_equal(outcome.data, np.sort(data))
+
+
+class TestDispatch:
+    def test_unknown_kind(self):
+        with pytest.raises(WorkloadError, match="unknown workload"):
+            generate(WorkloadSpec(kind="bogus", n_records=1))
+
+    def test_params_forwarded(self):
+        spec = WorkloadSpec(
+            kind="duplicates", n_records=100, seed=1, params=(("distinct", 2),)
+        )
+        assert len(np.unique(generate(spec))) <= 2
+
+    @given(st.sampled_from(sorted(workloads.GENERATORS)), st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_generates_requested_count(self, kind, n_records):
+        spec = WorkloadSpec(kind=kind, n_records=n_records, seed=1)
+        assert len(generate(spec)) == n_records

@@ -1,0 +1,116 @@
+"""The ``bonsai`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _parse_size, main
+from repro.units import GB
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("16GB", 16 * GB), ("2TB", 2 * 10**12), ("512MB", 512 * 10**6),
+         ("64kb", 64_000), ("12345", 12_345), (" 1.5GB ", 1_500_000_000)],
+    )
+    def test_parses(self, text, expected):
+        assert _parse_size(text) == expected
+
+
+class TestOptimize:
+    def test_default_run(self, capsys):
+        assert main(["optimize", "--size", "16GB", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "AMT(32, 256)" in out
+
+    def test_throughput_objective(self, capsys):
+        code = main([
+            "optimize", "--platform", "ssd-node", "--size", "8GB",
+            "--objective", "throughput", "--presort", "256", "--top", "1",
+        ])
+        assert code == 0
+        assert "4x pipelined AMT(8, 64)" in capsys.readouterr().out
+
+    def test_leaves_cap(self, capsys):
+        main(["optimize", "--leaves-cap", "64", "--top", "1"])
+        assert "AMT(32, 64)" in capsys.readouterr().out
+
+
+class TestSort:
+    def test_model_mode(self, capsys):
+        assert main(["sort", "--records", "5000"]) == 0
+        assert "verified=OK" in capsys.readouterr().out
+
+    def test_simulate_mode(self, capsys):
+        assert main(["sort", "--records", "3000", "--mode", "simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=simulate" in out and "verified=OK" in out
+
+    def test_workload_choice(self, capsys):
+        assert main(["sort", "--records", "2000", "--workload", "reverse"]) == 0
+        assert "verified=OK" in capsys.readouterr().out
+
+    def test_file_roundtrip(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.records.files import read_records, write_records
+        from repro.records.workloads import uniform_random
+
+        source = tmp_path / "in.bin"
+        target = tmp_path / "out.bin"
+        data = uniform_random(5_000, seed=5)
+        write_records(source, data)
+        assert main([
+            "sort", "--input", str(source), "--output", str(target),
+        ]) == 0
+        assert np.array_equal(read_records(target), np.sort(data))
+        assert "wrote" in capsys.readouterr().out
+
+    def test_missing_input_file_clean_error(self, tmp_path, capsys):
+        assert main(["sort", "--input", str(tmp_path / "nope.bin")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestScalability:
+    def test_prints_curve_and_breakpoints(self, capsys):
+        assert main(["scalability", "--max", "4TB"]) == 0
+        out = capsys.readouterr().out
+        assert "ms/GB" in out
+        assert "switch to SSD sorter" in out
+
+
+class TestSsdPlan:
+    def test_table_v(self, capsys):
+        assert main(["ssd-plan"]) == 0
+        out = capsys.readouterr().out
+        assert "256.0s" in out and "4.3s" in out and "516.3s" in out
+
+    def test_overflow_is_clean_error(self, capsys):
+        assert main(["ssd-plan", "--size", "100TB"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestComponents:
+    def test_prints_both_widths(self, capsys):
+        assert main(["components"]) == 0
+        out = capsys.readouterr().out
+        assert "18,853" in out  # 32-bit 32-merger
+        assert "77,732" in out  # 128-bit 32-merger
+
+
+class TestValidate:
+    def test_reports_error_bands(self, capsys):
+        assert main(["validate", "--records", "8192"]) == 0
+        out = capsys.readouterr().out
+        assert "performance geometric-mean error" in out
+        assert "paper claims <10%" in out
+
+
+class TestExperiments:
+    def test_writes_table_files(self, tmp_path, capsys):
+        assert main(["experiments", "--out", str(tmp_path)]) == 0
+        for name in ("table1", "table5", "fig12", "fig13"):
+            assert (tmp_path / f"{name}.txt").exists()
+        table5 = (tmp_path / "table5.txt").read_text()
+        assert "516.3" in table5

@@ -1,0 +1,122 @@
+"""Distributed sorting on Bonsai nodes (§II-B extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.distributed import CLUSTER_RESULTS
+from repro.distributed import Cluster, SortingNode
+from repro.errors import ConfigurationError
+from repro.units import GB, TB
+
+
+class TestSortingNode:
+    def test_local_sort_uses_scalability_model(self):
+        node = SortingNode()
+        # 16 GB in the DRAM regime at 172.4 ms/GB.
+        assert node.local_sort_seconds(16 * GB) == pytest.approx(2.759, abs=0.01)
+
+    def test_exchange_is_nic_bound(self):
+        node = SortingNode(network_bandwidth=12.5 * GB)
+        assert node.exchange_seconds(25 * GB, 10 * GB) == pytest.approx(2.0)
+
+    def test_capacity_is_slow_tier(self):
+        assert SortingNode().capacity_bytes() > 100 * TB  # unbounded-ish default
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SortingNode(network_bandwidth=0)
+        with pytest.raises(ConfigurationError):
+            SortingNode().local_sort_seconds(0)
+        with pytest.raises(ConfigurationError):
+            SortingNode().exchange_seconds(-1, 0)
+
+
+class TestCluster:
+    def test_partitioning(self):
+        cluster = Cluster(nodes=16)
+        assert cluster.partition_bytes(16 * TB) == TB
+
+    def test_skew_stretches_partitions(self):
+        cluster = Cluster(nodes=16, skew_factor=1.5)
+        assert cluster.partition_bytes(16 * TB) == int(1.5 * TB)
+
+    def test_single_node_has_no_exchange(self):
+        report = Cluster(nodes=1).sort_report(16 * GB)
+        assert report.exchange_seconds == 0.0
+
+    def test_elapsed_combines_phases(self):
+        report = Cluster(nodes=16).sort_report(16 * TB)
+        assert report.elapsed_seconds == pytest.approx(
+            report.exchange_seconds + report.local_sort_seconds
+        )
+        assert report.exchange_seconds > 0
+
+    def test_more_nodes_faster_wall_clock(self):
+        small = Cluster(nodes=8).sort_report(16 * TB)
+        large = Cluster(nodes=64).sort_report(16 * TB)
+        assert large.elapsed_seconds < small.elapsed_seconds
+
+    def test_per_node_normalisation_penalises_scale_out(self):
+        # Table I's point: per-node efficiency drops as clusters grow
+        # (exchange overhead + fixed per-node latency floors).
+        small = Cluster(nodes=4).sort_report(16 * TB)
+        large = Cluster(nodes=64).sort_report(16 * TB)
+        assert large.per_node_ms_per_gb > small.per_node_ms_per_gb
+
+    def test_beats_published_clusters_per_node(self):
+        # The paper's claim ("2x better per-node latency than any
+        # distributed terabyte-scale sorting implementation"): a Bonsai
+        # cluster's per-node ms/GB at 2 TB-per-node scale is well under
+        # the GPU cluster's 2,909-3,368 and competitive with Tencent's.
+        cluster = Cluster(nodes=8)
+        report = cluster.sort_report(8 * 2 * TB)
+        gpu = CLUSTER_RESULTS["gpu-cluster-2tb"]
+        assert report.per_node_ms_per_gb < gpu.per_node_ms_per_gb / 2
+
+    def test_capacity_check(self):
+        from repro.core.scalability import ScalabilityModel
+        from repro.memory.dram import DdrDram
+        from repro.memory.hierarchy import TwoTierHierarchy
+        from repro.memory.ssd import Ssd
+
+        tiny = SortingNode(
+            sorter=ScalabilityModel(
+                hierarchy=TwoTierHierarchy(
+                    fast=DdrDram(), slow=Ssd(capacity_bytes=128 * GB)
+                )
+            )
+        )
+        cluster = Cluster(node=tiny, nodes=2)
+        with pytest.raises(ConfigurationError, match="add nodes"):
+            cluster.sort_report(10 * TB)
+
+    def test_nodes_needed(self):
+        from repro.core.scalability import ScalabilityModel
+        from repro.memory.dram import DdrDram
+        from repro.memory.hierarchy import TwoTierHierarchy
+        from repro.memory.ssd import Ssd
+
+        node = SortingNode(
+            sorter=ScalabilityModel(
+                hierarchy=TwoTierHierarchy(
+                    fast=DdrDram(), slow=Ssd(capacity_bytes=2048 * GB)
+                )
+            )
+        )
+        cluster = Cluster(node=node)
+        assert cluster.nodes_needed(100 * TB) == 49
+
+    def test_report_adapter(self):
+        report = Cluster(nodes=4).sort_report(4 * TB)
+        result = report.as_cluster_result()
+        assert result.nodes == 4
+        assert result.per_node_ms_per_gb == pytest.approx(report.per_node_ms_per_gb)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(nodes=0)
+        with pytest.raises(ConfigurationError):
+            Cluster(skew_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            Cluster().partition_bytes(0)

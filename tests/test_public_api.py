@@ -1,0 +1,81 @@
+"""The public API surface: exports exist, errors form one hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    def test_records_package_exports(self):
+        import repro.records as records
+
+        for name in records.__all__:
+            assert getattr(records, name) is not None, name
+
+    def test_subpackage_imports(self):
+        # Every subpackage must import cleanly on its own.
+        import repro.analysis
+        import repro.baselines
+        import repro.core
+        import repro.distributed
+        import repro.engine
+        import repro.hw
+        import repro.memory
+        import repro.network
+        import repro.records
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_bonsai_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.BonsaiError) or obj is errors.BonsaiError
+
+    def test_catching_base_catches_everything(self):
+        with pytest.raises(errors.BonsaiError):
+            raise errors.SimulationError("x")
+        with pytest.raises(errors.BonsaiError):
+            raise errors.NoFeasibleConfigError("x")
+
+    def test_no_feasible_is_infeasible(self):
+        assert issubclass(errors.NoFeasibleConfigError, errors.InfeasibleConfigError)
+
+    def test_library_never_raises_bare_exceptions(self):
+        # Spot-check: invalid inputs raise BonsaiError subclasses, not
+        # ValueError/TypeError, across layers.
+        from repro.core.configuration import AmtConfig
+        from repro.hw.fifo import Fifo
+        from repro.memory.base import MemoryModel
+        from repro.records.workloads import uniform_random
+
+        with pytest.raises(errors.BonsaiError):
+            AmtConfig(p=3, leaves=4)
+        with pytest.raises(errors.BonsaiError):
+            Fifo(capacity=0)
+        with pytest.raises(errors.BonsaiError):
+            MemoryModel(name="x", capacity_bytes=0, peak_bandwidth=1)
+        with pytest.raises(errors.BonsaiError):
+            uniform_random(-1)
+
+
+class TestQuickstartSnippet:
+    def test_readme_quickstart_works(self):
+        # The literal README flow must keep working.
+        from repro import ArrayParams, presets
+        from repro.units import GB
+
+        platform = presets.aws_f1()
+        best = platform.bonsai().latency_optimal(ArrayParams.from_bytes(16 * GB))
+        assert "AMT(32, 256)" in best.describe()

@@ -1,0 +1,128 @@
+"""Unit helpers: conversions, formatting, exact integer logs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_gb_decimal(self):
+        assert units.gb(4 * units.GB) == 4.0
+
+    def test_ms_per_gb_matches_paper_table_style(self):
+        # 16 GB sorted in 2.752 s is 172 ms/GB (Table I's Bonsai row).
+        assert units.ms_per_gb(2.752, 16 * units.GB) == pytest.approx(172.0)
+
+    def test_ms_per_gb_rejects_empty_array(self):
+        with pytest.raises(ValueError):
+            units.ms_per_gb(1.0, 0)
+
+    def test_gb_per_s(self):
+        assert units.gb_per_s(32 * units.GB, 2.0) == pytest.approx(16.0)
+
+    def test_gb_per_s_rejects_nonpositive_time(self):
+        with pytest.raises(ValueError):
+            units.gb_per_s(1, 0.0)
+
+    def test_default_frequency_is_250mhz(self):
+        assert units.DEFAULT_FREQUENCY_HZ == 250_000_000
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "n_bytes,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (4 * units.GB, "4 GB"),
+            (1.5 * units.TB, "1.5 TB"),
+            (100 * units.TB, "100 TB"),
+            (2 * units.PB, "2 PB"),
+            (64 * units.MB, "64 MB"),
+        ],
+    )
+    def test_format_bytes(self, n_bytes, expected):
+        assert units.format_bytes(n_bytes) == expected
+
+    def test_format_bytes_rejects_negative(self):
+        with pytest.raises(ValueError):
+            units.format_bytes(-1)
+
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [(512, "512 s"), (0.172, "172.0 ms"), (3.2e-6, "3.2 us")],
+    )
+    def test_format_seconds(self, seconds, expected):
+        assert units.format_seconds(seconds) == expected
+
+
+class TestPowerOfTwoHelpers:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 2**30])
+    def test_is_power_of_two_true(self, value):
+        assert units.is_power_of_two(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 2**30 + 1, 1.0])
+    def test_is_power_of_two_false(self, value):
+        assert not units.is_power_of_two(value)
+
+    def test_log2_int_exact(self):
+        assert units.log2_int(256) == 8
+
+    def test_log2_int_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            units.log2_int(48)
+
+    def test_ceil_div(self):
+        assert units.ceil_div(7, 2) == 4
+        assert units.ceil_div(8, 2) == 4
+        assert units.ceil_div(0, 5) == 0
+
+    def test_ceil_div_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            units.ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            units.ceil_div(-1, 2)
+
+
+class TestCeilLog:
+    """The stage-count expression ceil(log_l N) must be exact at powers."""
+
+    def test_exact_power_boundary(self):
+        # 64**5 records with 64 leaves needs exactly 5 stages, not 6.
+        assert units.ceil_log(64**5, 64) == 5
+
+    def test_one_past_power_needs_extra_stage(self):
+        assert units.ceil_log(64**5 + 1, 64) == 6
+
+    def test_value_one_needs_no_stage(self):
+        assert units.ceil_log(1, 64) == 0
+
+    def test_small_value(self):
+        assert units.ceil_log(2, 64) == 1
+
+    def test_float_fallback(self):
+        assert units.ceil_log(10.5, 2.0) == 4  # 2**4 = 16 >= 10.5
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            units.ceil_log(10, 1)
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            units.ceil_log(0, 2)
+
+    @given(st.integers(min_value=1, max_value=10**9), st.integers(min_value=2, max_value=1024))
+    def test_matches_definition(self, value, base):
+        stages = units.ceil_log(value, base)
+        assert base**stages >= value
+        if stages > 0:
+            assert base ** (stages - 1) < value
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=2, max_value=64))
+    def test_exact_powers_property(self, exponent, base):
+        assert units.ceil_log(base**exponent, base) == exponent
