@@ -8,7 +8,6 @@ GB, computed from each approach's data-movement pass count.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.analysis.energy import (

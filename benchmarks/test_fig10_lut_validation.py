@@ -8,7 +8,6 @@ closed form, over the same configuration grid.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.analysis.tables import render_table

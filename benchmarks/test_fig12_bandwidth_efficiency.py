@@ -9,7 +9,6 @@ exact paper ratios embed their measured 7.19 GB/s throughput).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.analysis.bandwidth_efficiency import efficiency_comparison

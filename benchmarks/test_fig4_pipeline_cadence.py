@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.analysis.tables import render_table

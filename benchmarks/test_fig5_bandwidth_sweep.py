@@ -9,7 +9,6 @@ overtakes every baseline once bandwidth passes a small threshold.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.analysis.charts import ascii_line_chart

@@ -9,7 +9,6 @@ loader, or model code.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import run_once
 from repro.analysis.tables import render_table

@@ -73,7 +73,7 @@ def balanced_p(hardware: HardwareParams, arch: MergerArchParams) -> int:
     p = 1
     while arch.amt_throughput_bytes(p) < hardware.beta_dram:
         p *= 2
-        if p > 2**20:
+        if p > 2**20:  # bonsai-lint: disable=unit-mix -- merger-width cap, not bytes
             raise ConfigurationError(
                 "no practical p reaches this bandwidth; check the units"
             )

@@ -16,7 +16,7 @@ as the preferred technique").
 from __future__ import annotations
 
 from repro.errors import ConfigurationError
-from repro.units import ceil_log
+from repro.units import GB, ceil_log, ms
 
 
 def io_lower_bound_seconds(total_bytes: float, bandwidth: float, duplex: bool = True) -> float:
@@ -56,4 +56,4 @@ def aggarwal_vitter_passes(
 
 def lower_bound_ms_per_gb(bandwidth: float, duplex: bool = True) -> float:
     """The Fig. 5 floor normalised per GB."""
-    return io_lower_bound_seconds(1e9, bandwidth, duplex) * 1e3
+    return ms(io_lower_bound_seconds(GB, bandwidth, duplex))

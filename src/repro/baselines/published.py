@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
-from repro.units import GB
+from repro.units import GB, MS
 
 #: The column headers of Table I, in GB.
 TABLE_I_SIZES_GB = (4, 8, 16, 32, 64, 128, 512, 2_048, 102_400)
@@ -70,7 +70,7 @@ class PublishedSorter:
     def throughput_gb_per_s(self, size_gb: float) -> float | None:
         """Sorted GB/s at a given size."""
         ms = self.at_size_gb(size_gb)
-        return None if ms is None else 1_000.0 / ms
+        return None if ms is None else 1.0 / (ms * MS)
 
     def bandwidth_efficiency(self, size_gb: float) -> float | None:
         """Fig. 12's metric: sorter throughput over memory bandwidth."""

@@ -17,8 +17,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-import numpy as np
-
 from repro._version import __version__
 from repro.analysis.tables import render_table
 from repro.core import presets
@@ -29,7 +27,7 @@ from repro.core.ssd_planner import SsdSortPlan
 from repro.engine.sorter import AmtSorter
 from repro.errors import BonsaiError
 from repro.records.workloads import WorkloadSpec, generate
-from repro.units import GB, format_bytes, format_seconds, ms_per_gb
+from repro.units import GB, KB, MB, TB, format_bytes, format_seconds
 
 PLATFORMS = {
     "aws-f1": presets.aws_f1,
@@ -43,21 +41,13 @@ PLATFORMS = {
 def _parse_size(text: str) -> int:
     """Parse sizes like ``16GB``, ``512MB``, ``2TB`` or raw bytes."""
     text = text.strip().upper()
-    for suffix, scale in (("TB", 10**12), ("GB", 10**9), ("MB", 10**6), ("KB", 10**3)):
+    for suffix, scale in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
         if text.endswith(suffix):
             return int(float(text[: -len(suffix)]) * scale)
     return int(text)
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="bonsai",
-        description="Bonsai adaptive merge tree sorting (ISCA 2020 reproduction)",
-    )
-    parser.add_argument("--version", action="version", version=__version__)
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    opt = sub.add_parser("optimize", help="find the optimal AMT configuration")
+def _configure_optimize(opt: argparse.ArgumentParser) -> None:
     opt.add_argument("--platform", choices=sorted(PLATFORMS), default="aws-f1")
     opt.add_argument("--size", type=_parse_size, default=16 * GB,
                      help="input size (e.g. 16GB)")
@@ -69,7 +59,8 @@ def _build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--top", type=int, default=5,
                      help="how many ranked configurations to print")
 
-    srt = sub.add_parser("sort", help="sort a generated workload or a file")
+
+def _configure_sort(srt: argparse.ArgumentParser) -> None:
     srt.add_argument("--records", type=int, default=100_000)
     srt.add_argument("--workload", default="uniform")
     srt.add_argument("--seed", type=int, default=0)
@@ -83,31 +74,58 @@ def _build_parser() -> argparse.ArgumentParser:
     srt.add_argument("--output", default=None,
                      help="write sorted keys to this file")
 
-    sca = sub.add_parser("scalability", help="Fig. 13 curve and breakpoints")
-    sca.add_argument("--min", type=_parse_size, default=GB // 2)
-    sca.add_argument("--max", type=_parse_size, default=1024 * 10**12)
 
-    ssd = sub.add_parser("ssd-plan", help="two-phase SSD sorting plan")
+def _configure_scalability(sca: argparse.ArgumentParser) -> None:
+    sca.add_argument("--min", type=_parse_size, default=GB // 2)
+    sca.add_argument("--max", type=_parse_size, default=1024 * TB)
+
+
+def _configure_ssd_plan(ssd: argparse.ArgumentParser) -> None:
     ssd.add_argument("--size", type=_parse_size, default=2048 * GB)
     ssd.add_argument("--run-bytes", type=_parse_size, default=None)
 
-    sub.add_parser("components", help="print the Table VI component library")
 
-    val = sub.add_parser(
-        "validate", help="model-vs-simulator accuracy check (§VI-B)"
-    )
+def _configure_validate(val: argparse.ArgumentParser) -> None:
     val.add_argument("--records", type=int, default=32_768)
 
-    exp = sub.add_parser(
-        "experiments", help="regenerate the paper's tables into a directory"
-    )
+
+def _configure_experiments(exp: argparse.ArgumentParser) -> None:
     exp.add_argument("--out", default="results")
 
-    rep = sub.add_parser(
-        "report", help="consolidate benchmarks/results/ into one REPORT.md"
-    )
+
+def _configure_report(rep: argparse.ArgumentParser) -> None:
     rep.add_argument("--results", default="benchmarks/results")
     rep.add_argument("--output", default="REPORT.md")
+
+
+def _configure_lint(parser: argparse.ArgumentParser) -> None:
+    from repro.lint.main import add_arguments
+
+    add_arguments(parser)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    """Assemble the ``bonsai`` parser from the subcommand registry.
+
+    Every subcommand is declared once in :data:`SUBCOMMANDS` with its
+    one-line summary; the summary doubles as the ``bonsai --help``
+    listing entry and the subcommand's own ``--help`` description, so
+    the two can never drift apart.
+    """
+    parser = argparse.ArgumentParser(
+        prog="bonsai",
+        description="Bonsai adaptive merge tree sorting (ISCA 2020 reproduction)",
+        epilog="run `bonsai <command> --help` for per-command options",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(
+        dest="command", required=True, metavar="command",
+        title="commands",
+    )
+    for name, summary, configure, _run in SUBCOMMANDS:
+        child = sub.add_parser(name, help=summary, description=summary)
+        if configure is not None:
+            configure(child)
     return parser
 
 
@@ -354,16 +372,36 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-COMMANDS = {
-    "optimize": _cmd_optimize,
-    "sort": _cmd_sort,
-    "scalability": _cmd_scalability,
-    "ssd-plan": _cmd_ssd_plan,
-    "components": _cmd_components,
-    "validate": _cmd_validate,
-    "experiments": _cmd_experiments,
-    "report": _cmd_report,
-}
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.main import run_from_args
+
+    return run_from_args(args)
+
+
+#: The single source of truth for ``bonsai`` subcommands:
+#: ``(name, one-line summary, parser configurator, handler)``.
+SUBCOMMANDS = (
+    ("optimize", "find the optimal AMT configuration",
+     _configure_optimize, _cmd_optimize),
+    ("sort", "sort a generated workload or a file",
+     _configure_sort, _cmd_sort),
+    ("scalability", "Fig. 13 curve and breakpoints",
+     _configure_scalability, _cmd_scalability),
+    ("ssd-plan", "two-phase SSD sorting plan",
+     _configure_ssd_plan, _cmd_ssd_plan),
+    ("components", "print the Table VI component library",
+     None, _cmd_components),
+    ("validate", "model-vs-simulator accuracy check (§VI-B)",
+     _configure_validate, _cmd_validate),
+    ("experiments", "regenerate the paper's tables into a directory",
+     _configure_experiments, _cmd_experiments),
+    ("report", "consolidate benchmarks/results/ into one REPORT.md",
+     _configure_report, _cmd_report),
+    ("lint", "bonsai-lint: check simulator/unit/purity invariants",
+     _configure_lint, _cmd_lint),
+)
+
+COMMANDS = {name: run for name, _summary, _configure, run in SUBCOMMANDS}
 
 
 def main(argv: list[str] | None = None) -> int:

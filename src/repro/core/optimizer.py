@@ -32,6 +32,7 @@ from repro.core.parameters import ArrayParams, HardwareParams, MergerArchParams
 from repro.core.performance import PerformanceModel
 from repro.core.resources import ResourceModel
 from repro.errors import ConfigurationError, NoFeasibleConfigError
+from repro.units import GB
 
 UnrollMode = Literal["partition", "address_range"]
 
@@ -51,7 +52,7 @@ class RankedConfig:
         return (
             f"{self.config.describe()}: "
             f"{self.latency_seconds:.3f} s, "
-            f"{self.throughput_bytes / 1e9:.2f} GB/s, "
+            f"{self.throughput_bytes / GB:.2f} GB/s, "
             f"{self.lut_usage:,.0f} LUTs"
         )
 

@@ -27,7 +27,7 @@ from repro.core.configuration import AmtConfig
 from repro.core.frequency import FrequencyModel
 from repro.core.parameters import ArrayParams, HardwareParams, MergerArchParams
 from repro.errors import ConfigurationError
-from repro.units import ceil_log, log2_int
+from repro.units import ceil_log
 
 
 @dataclass(frozen=True)

@@ -7,7 +7,7 @@ parameters the paper's case studies use, so experiments can say
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.parameters import FpgaSpec, HardwareParams, MergerArchParams
 from repro.core.optimizer import Bonsai

@@ -29,7 +29,7 @@ from repro.memory.dram import DdrDram
 from repro.memory.hierarchy import TwoTierHierarchy
 from repro.memory.ssd import Ssd
 from repro.records.record import RecordFormat, U32
-from repro.units import GB, TB, ceil_log, ms_per_gb
+from repro.units import GB, PB, TB, ceil_log, ms_per_gb
 
 
 @dataclass(frozen=True)
@@ -77,7 +77,7 @@ class ScalabilityModel:
     arch: MergerArchParams = field(default_factory=MergerArchParams)
     hierarchy: TwoTierHierarchy = field(
         default_factory=lambda: TwoTierHierarchy(
-            fast=DdrDram(), slow=Ssd(capacity_bytes=2**30 * 10**7)  # effectively unbounded
+            fast=DdrDram(), slow=Ssd(capacity_bytes=10 * PB)  # effectively unbounded
         )
     )
     ssd_run_bytes: int = 64 * GB

@@ -21,7 +21,7 @@ from repro.core.configuration import AmtConfig
 from repro.core.parameters import ArrayParams, MergerArchParams
 from repro.errors import ConfigurationError
 from repro.memory.hierarchy import TwoTierHierarchy
-from repro.units import ceil_log
+from repro.units import GB, ceil_log
 
 #: Measured FPGA reprogramming time between the phases (§VI-E).
 REPROGRAM_SECONDS = 4.3
@@ -99,7 +99,7 @@ class SsdSortPlan:
         if self.run_bytes is None:
             # Paper's demonstrated phase-one output: 8 GB sorted runs.
             self.run_bytes = min(
-                8 * 10**9,
+                8 * GB,
                 self.hierarchy.fast.capacity_bytes // self.phase_one_config.lambda_pipe,
             )
         if self.run_bytes <= 0:

@@ -15,10 +15,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.configuration import AmtConfig
-from repro.core.parameters import ArrayParams, HardwareParams, MergerArchParams
+from repro.core.parameters import HardwareParams, MergerArchParams
 from repro.core.performance import PerformanceModel
 from repro.core.resources import ResourceModel
 from repro.errors import ConfigurationError

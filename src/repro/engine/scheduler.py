@@ -19,7 +19,7 @@ audit it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.configuration import AmtConfig
 from repro.core.optimizer import Bonsai

@@ -15,10 +15,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.parameters import ArrayParams, MergerArchParams
+from repro.core.parameters import ArrayParams
 from repro.core.ssd_planner import SsdSortPlan
 from repro.engine.results import SortOutcome
-from repro.engine.stage import merge_stage, split_into_runs
+from repro.engine.stage import merge_stage
 from repro.errors import ConfigurationError
 from repro.memory.traffic import TrafficMeter
 from repro.records.record import RecordFormat, U32

@@ -13,12 +13,17 @@ class BonsaiError(Exception):
     """Base class for every error raised by the :mod:`repro` package."""
 
 
-class ConfigurationError(BonsaiError):
+class ConfigurationError(BonsaiError, ValueError):
     """An AMT configuration or model parameter is malformed.
 
     Raised for non-power-of-two throughput or leaf counts, non-positive
     bandwidths, record widths outside the supported range, and similar
     parameter-validation failures.
+
+    Also derives from :class:`ValueError`: a malformed parameter *is* a
+    value error, and the dual inheritance lets generic callers that
+    catch ``ValueError`` around leaf helpers (``repro.units``) keep
+    working while ``except BonsaiError`` still catches everything.
     """
 
 
@@ -49,3 +54,12 @@ class MemoryModelError(BonsaiError):
 
 class WorkloadError(BonsaiError):
     """A workload generator was asked for an impossible dataset."""
+
+
+class LintError(BonsaiError):
+    """The static-analysis subsystem was misused.
+
+    Raised for unknown rule names, unreadable lint targets, and rule
+    registration conflicts — not for lint *findings*, which are reported
+    as diagnostics and signalled through the exit code.
+    """

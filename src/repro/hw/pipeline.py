@@ -23,8 +23,6 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.hw.clock import Simulation
-from repro.hw.fifo import Fifo
 from repro.hw.loader import DataLoader, OutputWriter, make_feeds
 from repro.hw.tree import AmtTree
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
+
 
 @dataclass
 class MergerStats:
@@ -72,7 +74,9 @@ class StageStats:
     def seconds_at(self, frequency_hz: float) -> float:
         """Wall-clock stage time at a given clock frequency."""
         if frequency_hz <= 0:
-            raise ValueError(f"frequency must be positive, got {frequency_hz}")
+            raise ConfigurationError(
+                f"frequency must be positive, got {frequency_hz}"
+            )
         return self.cycles / frequency_hz
 
     @property

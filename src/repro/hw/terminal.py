@@ -15,6 +15,8 @@ dropped by the output filter.
 
 from __future__ import annotations
 
+from repro.errors import ConfigurationError
+
 
 class _Terminal:
     """Singleton marker separating adjacent runs inside simulator streams."""
@@ -53,7 +55,9 @@ def is_sentinel(key: int) -> bool:
 def pad_to_tuple(records: list[int], width: int) -> list[int]:
     """Pad a partial tuple with sentinels up to ``width`` records."""
     if len(records) > width:
-        raise ValueError(f"cannot pad {len(records)} records down to width {width}")
+        raise ConfigurationError(
+            f"cannot pad {len(records)} records down to width {width}"
+        )
     return records + [SENTINEL_KEY] * (width - len(records))
 
 

@@ -1,0 +1,44 @@
+"""bonsai-lint: AST-based enforcement of the repo's cross-cutting contracts.
+
+Three conventions in this codebase are load-bearing but invisible to the
+type system: the hw simulator's FIFO-only communication discipline, the
+decimal-vs-binary unit split of :mod:`repro.units`, and the purity of
+the Eq. 1-10 analytical models the optimizer exhaustively evaluates.
+This package machine-checks them (plus determinism and the error
+taxonomy) as five AST rules:
+
+========================  ==================================================
+``unit-mix``              no decimal/binary mixing; no magic byte literals
+``clock-discipline``      ``tick()`` talks through FIFOs; integral cycles
+``determinism``           seeded RNGs only; no wall clock; no set iteration
+``model-purity``          performance/resources models stay pure
+``error-taxonomy``        raise ``repro.errors`` classes, not builtins
+========================  ==================================================
+
+Run via ``bonsai lint [paths...]`` or ``python -m repro.lint``; suppress
+intentional findings inline with ``# bonsai-lint: disable=<rule> -- why``.
+See ``docs/static-analysis.md`` for the full rule rationale.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import Rule, all_rules, register, resolve_rules
+from repro.lint.reporters import JSON_SCHEMA_VERSION, render_json, render_text
+from repro.lint.runner import LintResult, collect_files, lint_file, run
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "Rule",
+    "register",
+    "all_rules",
+    "resolve_rules",
+    "LintResult",
+    "collect_files",
+    "lint_file",
+    "run",
+    "render_text",
+    "render_json",
+    "JSON_SCHEMA_VERSION",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` dispatches to the lint runner."""
+
+import sys
+
+from repro.lint.main import main
+
+sys.exit(main())

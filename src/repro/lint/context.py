@@ -1,0 +1,69 @@
+"""Per-file context handed to every rule.
+
+The context carries the parsed AST, the raw source, and the *dotted
+module name* when the file belongs to the ``repro`` package.  Rules use
+the module name to scope themselves (clock-discipline only inspects
+``repro.hw``, model-purity only the Eq. 1-10 modules, and so on);
+files outside the package — benchmarks, scripts — get ``module=None``
+and only the unscoped checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import LintError
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str
+    module: str | None
+    source: str
+    tree: ast.Module
+
+    @property
+    def lines(self) -> list[str]:
+        """Physical source lines (1-based access via ``lines[n - 1]``)."""
+        return self.source.splitlines()
+
+
+def module_name(path: Path) -> str | None:
+    """Dotted module path for files under a ``repro`` package directory.
+
+    ``src/repro/hw/merger.py`` maps to ``repro.hw.merger``;
+    ``__init__.py`` maps to its package.  Files with no ``repro``
+    ancestor directory (benchmarks, standalone scripts) return ``None``.
+    """
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - parts[::-1].index("repro")
+    dotted = parts[anchor:-1]
+    if path.stem != "__init__":
+        dotted = dotted + [path.stem]
+    return ".".join(dotted)
+
+
+def build_context(path: Path) -> FileContext:
+    """Read and parse one file into a :class:`FileContext`.
+
+    Raises
+    ------
+    LintError
+        When the file cannot be read.  Syntax errors are *not* raised
+        here — the runner turns them into ``parse-error`` diagnostics so
+        one broken file does not hide findings in the rest of the tree.
+    """
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise LintError(f"cannot read {path}: {error}") from error
+    tree = ast.parse(source, filename=str(path))
+    return FileContext(
+        path=str(path), module=module_name(path), source=source, tree=tree
+    )

@@ -1,0 +1,76 @@
+"""Argument wiring shared by ``bonsai lint`` and ``python -m repro.lint``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import BonsaiError
+from repro.lint.registry import all_rules
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import run
+
+#: directories linted when no paths are given and they exist
+DEFAULT_PATHS = ("src", "benchmarks")
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to an (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--disable", default=None, metavar="RULES",
+        help="comma-separated rules to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+
+
+def _split(option: str | None) -> list[str] | None:
+    if option is None:
+        return None
+    return [part.strip() for part in option.split(",") if part.strip()]
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a lint run described by parsed arguments."""
+    if args.list_rules:
+        for name, rule in sorted(all_rules().items()):
+            print(f"{name:18} [{rule.severity.value:7}] {rule.description}")
+        return 0
+    paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).is_dir()]
+    result = run(paths, select=_split(args.select), disable=_split(args.disable))
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point for ``python -m repro.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="bonsai-lint: enforce the repo's simulator, unit and "
+        "model-purity invariants",
+    )
+    add_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_from_args(args)
+    except BonsaiError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,93 @@
+"""Rule base class and registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+:func:`all_rules` imports the rule package on first use so the registry
+is complete regardless of which entry point (CLI, ``python -m``, test)
+reached it first.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from typing import Iterable, Iterator, Type
+
+from repro.errors import LintError
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic, Severity
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+class Rule(ABC):
+    """One named invariant checked against a file's AST.
+
+    Subclasses set ``name`` (the registry/suppression key),
+    ``description`` (one line, shown by ``bonsai lint --list-rules``)
+    and ``severity``, and implement :meth:`check`.
+    """
+
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Whether this rule inspects the given file at all."""
+        return True
+
+    @abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        """Yield diagnostics for every violation found in ``ctx``."""
+
+    # ------------------------------------------------------------------
+    def flag(self, ctx: FileContext, node: ast.AST, message: str) -> Diagnostic:
+        """Build a diagnostic anchored at ``node``."""
+        return Diagnostic(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule=self.name,
+            message=message,
+            severity=self.severity,
+        )
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (as a singleton) to the registry."""
+    rule = cls()
+    if not rule.name:
+        raise LintError(f"rule {cls.__name__} has no name")
+    if rule.name in _REGISTRY:
+        raise LintError(f"duplicate rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """Name-to-rule mapping of every registered rule."""
+    import repro.lint.rules  # noqa: F401  (import populates the registry)
+
+    return dict(_REGISTRY)
+
+
+def resolve_rules(
+    select: Iterable[str] | None = None, disable: Iterable[str] | None = None
+) -> list[Rule]:
+    """The active rule set after ``--select`` / ``--disable`` filtering.
+
+    Raises
+    ------
+    LintError
+        When a requested rule name does not exist (catching typos beats
+        silently linting with nothing).
+    """
+    rules = all_rules()
+    chosen = set(select) if select else set(rules)
+    dropped = set(disable) if disable else set()
+    unknown = (chosen | dropped) - set(rules)
+    if unknown:
+        raise LintError(
+            f"unknown rule(s): {', '.join(sorted(unknown))}; "
+            f"known rules: {', '.join(sorted(rules))}"
+        )
+    return [rules[name] for name in sorted(chosen - dropped)]

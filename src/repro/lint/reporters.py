@@ -1,0 +1,47 @@
+"""Text and JSON renderings of a :class:`~repro.lint.runner.LintResult`.
+
+The JSON schema is versioned and covered by
+``tests/lint/test_reporters.py``; bump ``JSON_SCHEMA_VERSION`` on any
+shape change so CI consumers can pin against it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.diagnostics import Severity
+from repro.lint.runner import LintResult
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """One line per finding plus a summary, matching compiler style."""
+    lines = [diagnostic.render() for diagnostic in result.diagnostics]
+    errors = result.count(Severity.ERROR)
+    warnings = result.count(Severity.WARNING)
+    if result.diagnostics:
+        lines.append("")
+    lines.append(
+        f"{len(result.diagnostics)} finding(s) "
+        f"({errors} error(s), {warnings} warning(s)), "
+        f"{result.suppressed} suppressed, "
+        f"{result.files_scanned} file(s) scanned"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable machine-readable report."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": result.files_scanned,
+        "rules": list(result.rules),
+        "diagnostics": [d.to_json() for d in result.diagnostics],
+        "summary": {
+            "error": result.count(Severity.ERROR),
+            "warning": result.count(Severity.WARNING),
+            "suppressed": result.suppressed,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

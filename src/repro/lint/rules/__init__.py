@@ -1,0 +1,11 @@
+"""Built-in rule set; importing this package populates the registry."""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (imports register the rules)
+    clock_discipline,
+    determinism,
+    error_taxonomy,
+    model_purity,
+    unit_mix,
+)

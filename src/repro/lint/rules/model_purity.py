@@ -1,0 +1,93 @@
+"""``model-purity`` — the Eq. 1-10 analytical models stay pure functions.
+
+The optimizer exhaustively evaluates :mod:`repro.core.performance` and
+:mod:`repro.core.resources` over the whole configuration space; those
+modules must therefore be pure arithmetic: no I/O, no global mutation,
+and **no imports of** ``repro.hw`` (the cycle-level simulator) — the
+layering rule that keeps the model-vs-simulator validation meaningful
+(``repro.core.validation`` is the single sanctioned bridge).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.astutil import dotted_call_name
+from repro.lint.context import FileContext
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.registry import Rule, register
+
+#: modules whose every function the optimizer treats as a pure map
+PURE_MODULES = {"repro.core.performance", "repro.core.resources"}
+
+_IO_BUILTINS = {"open", "print", "input", "exec", "eval", "breakpoint", "__import__"}
+_SIDE_EFFECT_MODULES = {
+    "os", "sys", "subprocess", "shutil", "socket", "pathlib", "io",
+    "tempfile", "logging",
+}
+
+
+@register
+class ModelPurityRule(Rule):
+    name = "model-purity"
+    description = (
+        "repro.core.performance/resources must stay pure: no I/O, no "
+        "globals, no repro.hw imports"
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module in PURE_MODULES
+
+    def check(self, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield from self._check_import(ctx, node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import(ctx, node, node.module or "")
+            elif isinstance(node, ast.Global):
+                yield self.flag(
+                    ctx, node,
+                    f"global statement mutates module state "
+                    f"({', '.join(node.names)}); model functions must be "
+                    "pure maps from parameters to numbers",
+                )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    # ------------------------------------------------------------------
+    def _check_import(
+        self, ctx: FileContext, node: ast.AST, module: str
+    ) -> Iterator[Diagnostic]:
+        if module == "repro.hw" or module.startswith("repro.hw."):
+            yield self.flag(
+                ctx, node,
+                f"pure model module imports {module}; the analytical "
+                "model must never depend on the simulator "
+                "(repro.core.validation is the sanctioned bridge)",
+            )
+        elif module in _SIDE_EFFECT_MODULES:
+            yield self.flag(
+                ctx, node,
+                f"pure model module imports {module}; Eq. 1-10 code "
+                "performs no I/O or process interaction",
+            )
+
+    def _check_call(self, ctx: FileContext, node: ast.Call) -> Iterator[Diagnostic]:
+        dotted = dotted_call_name(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if len(parts) == 1 and parts[0] in _IO_BUILTINS:
+            yield self.flag(
+                ctx, node,
+                f"{dotted}() in a pure model module; the optimizer calls "
+                "these functions millions of times — no I/O",
+            )
+        elif len(parts) > 1 and parts[0] in _SIDE_EFFECT_MODULES:
+            yield self.flag(
+                ctx, node,
+                f"{dotted}() touches the host environment from a pure "
+                "model module",
+            )

@@ -1,0 +1,124 @@
+"""File collection and rule execution.
+
+The runner walks the given paths, parses each ``.py`` file once, runs
+every applicable rule over the shared AST, filters findings through the
+file's inline suppressions, and returns one :class:`LintResult`.  Files
+that fail to parse become ``parse-error`` diagnostics instead of
+aborting the run, so one broken file cannot mask findings elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import LintError
+from repro.lint.context import build_context
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import Rule, resolve_rules
+from repro.lint.suppressions import Suppressions
+
+#: rule name attached to syntax errors (not a registered rule; it cannot
+#: be disabled, because an unparseable file can hide anything)
+PARSE_ERROR_RULE = "parse-error"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist", "results"}
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    files_scanned: int
+    suppressed: int
+    rules: tuple[str, ...] = field(default=())
+
+    @property
+    def exit_code(self) -> int:
+        """0 when clean; 1 when any finding survived suppression."""
+        return 1 if self.diagnostics else 0
+
+    def count(self, severity: Severity) -> int:
+        """Number of findings at one severity."""
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    if not paths:
+        raise LintError("no paths given to lint")
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            found.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if not _SKIP_DIRS.intersection(candidate.parts)
+            )
+        elif path.is_file():
+            if path.suffix != ".py":
+                raise LintError(f"not a Python file: {path}")
+            found.add(path)
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def lint_file(path: Path, rules: Iterable[Rule]) -> tuple[list[Diagnostic], int]:
+    """Run ``rules`` over one file.
+
+    Returns ``(surviving diagnostics, suppressed count)``.
+    """
+    try:
+        ctx = build_context(path)
+    except SyntaxError as error:
+        return (
+            [
+                Diagnostic(
+                    path=str(path),
+                    line=error.lineno or 1,
+                    column=(error.offset or 1) - 1,
+                    rule=PARSE_ERROR_RULE,
+                    message=f"file does not parse: {error.msg}",
+                    severity=Severity.ERROR,
+                )
+            ],
+            0,
+        )
+    suppressions = Suppressions.scan(ctx.source)
+    kept: list[Diagnostic] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for diagnostic in rule.check(ctx):
+            if suppressions.covers(diagnostic):
+                suppressed += 1
+            else:
+                kept.append(diagnostic)
+    return kept, suppressed
+
+
+def run(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    disable: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint ``paths`` with the (optionally filtered) rule set."""
+    rules = resolve_rules(select=select, disable=disable)
+    files = collect_files(paths)
+    diagnostics: list[Diagnostic] = []
+    suppressed = 0
+    for path in files:
+        found, hidden = lint_file(path, rules)
+        diagnostics.extend(found)
+        suppressed += hidden
+    return LintResult(
+        diagnostics=tuple(sorted(diagnostics)),
+        files_scanned=len(files),
+        suppressed=suppressed,
+        rules=tuple(rule.name for rule in rules),
+    )

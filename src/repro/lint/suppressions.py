@@ -1,0 +1,69 @@
+"""Inline suppression directives.
+
+Two forms are recognised, mirroring the pylint/ruff convention but
+namespaced so foreign tools ignore them:
+
+* ``# bonsai-lint: disable=rule-a,rule-b`` — on a code line, suppresses
+  those rules for that line; on a comment-only line, suppresses them for
+  the *next* line (useful when the flagged line has no room).
+* ``# bonsai-lint: disable-file=rule-a`` — anywhere in the file,
+  suppresses the rule for the whole file (used by ``repro/units.py``,
+  which *defines* the unit constants the unit-mix rule points at).
+
+``disable=all`` suppresses every rule.  Anything after `` -- `` in the
+directive is a free-form justification; the repo convention is that
+every suppression carries one.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.diagnostics import Diagnostic
+
+_DIRECTIVE = re.compile(
+    r"#\s*bonsai-lint:\s*(?P<kind>disable-file|disable)\s*="
+    r"\s*(?P<rules>[A-Za-z0-9_,\- ]+?)\s*(?:--|$)"
+)
+
+
+def _parse_rules(text: str) -> frozenset[str]:
+    return frozenset(part.strip() for part in text.split(",") if part.strip())
+
+
+@dataclass
+class Suppressions:
+    """Parsed suppression directives of one file."""
+
+    file_rules: frozenset[str] = frozenset()
+    line_rules: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        """Collect directives from raw source text."""
+        file_rules: set[str] = set()
+        line_rules: dict[int, set[str]] = {}
+        for number, line in enumerate(source.splitlines(), start=1):
+            match = _DIRECTIVE.search(line)
+            if not match:
+                continue
+            rules = _parse_rules(match.group("rules"))
+            if match.group("kind") == "disable-file":
+                file_rules |= rules
+            else:
+                # A comment-only line shields the line below it; an
+                # inline trailer shields its own line.
+                target = number + 1 if line.lstrip().startswith("#") else number
+                line_rules.setdefault(target, set()).update(rules)
+        return cls(
+            file_rules=frozenset(file_rules),
+            line_rules={k: frozenset(v) for k, v in line_rules.items()},
+        )
+
+    def covers(self, diagnostic: Diagnostic) -> bool:
+        """True when the diagnostic is silenced by a directive."""
+        for active in (self.file_rules, self.line_rules.get(diagnostic.line, frozenset())):
+            if "all" in active or diagnostic.rule in active:
+                return True
+        return False

@@ -171,7 +171,10 @@ def sawtooth(
         raise WorkloadError(f"teeth must be >= 1, got {teeth}")
     low, high = _key_space(fmt, allow_zero=False)
     ramp = np.linspace(low, high, num=max(1, n_records // teeth), endpoint=True)
-    data = np.tile(ramp, teeth + 1)[:n_records]
+    # Tile enough whole ramps to cover the request: short ramps (n < teeth)
+    # would otherwise come up one record shy of n_records.
+    repeats = -(-n_records // len(ramp))
+    data = np.tile(ramp, repeats)[:n_records]
     return data.astype(key_dtype_for(fmt))
 
 

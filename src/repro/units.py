@@ -10,7 +10,12 @@ All module-level constants are plain integers/floats so they can be used in
 arithmetic without wrapper objects.
 """
 
+# bonsai-lint: disable-file=unit-mix -- this module *defines* the named
+# unit constants the rule tells everyone else to use.
+
 from __future__ import annotations
+
+from repro.errors import ConfigurationError
 
 # --- decimal byte units (used for array sizes and bandwidths) -------------
 KB = 10**3
@@ -60,14 +65,14 @@ def ms_per_gb(seconds: float, n_bytes: float) -> float:
         Size of the sorted array in bytes.
     """
     if n_bytes <= 0:
-        raise ValueError(f"array size must be positive, got {n_bytes}")
+        raise ConfigurationError(f"array size must be positive, got {n_bytes}")
     return ms(seconds) / gb(n_bytes)
 
 
 def gb_per_s(n_bytes: float, seconds: float) -> float:
     """Throughput in decimal GB/s."""
     if seconds <= 0:
-        raise ValueError(f"duration must be positive, got {seconds}")
+        raise ConfigurationError(f"duration must be positive, got {seconds}")
     return gb(n_bytes) / seconds
 
 
@@ -78,7 +83,7 @@ def format_bytes(n_bytes: float) -> str:
     trailing zeros, matching the style of the paper's tables.
     """
     if n_bytes < 0:
-        raise ValueError(f"byte count must be non-negative, got {n_bytes}")
+        raise ConfigurationError(f"byte count must be non-negative, got {n_bytes}")
     for unit, name in ((PB, "PB"), (TB, "TB"), (GB, "GB"), (MB, "MB"), (KB, "KB")):
         if n_bytes >= unit:
             value = n_bytes / unit
@@ -90,7 +95,7 @@ def format_bytes(n_bytes: float) -> str:
 def format_seconds(seconds: float) -> str:
     """Human-readable duration (``512 s``, ``172 ms``, ``3.2 us``)."""
     if seconds < 0:
-        raise ValueError(f"duration must be non-negative, got {seconds}")
+        raise ConfigurationError(f"duration must be non-negative, got {seconds}")
     if seconds >= 1:
         text = f"{seconds:.2f}".rstrip("0").rstrip(".")
         return f"{text} s"
@@ -113,16 +118,16 @@ def log2_int(value: int) -> int:
     indicate a configuration bug rather than a quantity to round.
     """
     if not is_power_of_two(value):
-        raise ValueError(f"expected a power of two, got {value!r}")
+        raise ConfigurationError(f"expected a power of two, got {value!r}")
     return value.bit_length() - 1
 
 
 def ceil_div(numerator: int, denominator: int) -> int:
     """Integer ceiling division for non-negative operands."""
     if denominator <= 0:
-        raise ValueError(f"denominator must be positive, got {denominator}")
+        raise ConfigurationError(f"denominator must be positive, got {denominator}")
     if numerator < 0:
-        raise ValueError(f"numerator must be non-negative, got {numerator}")
+        raise ConfigurationError(f"numerator must be non-negative, got {numerator}")
     return -(-numerator // denominator)
 
 
@@ -135,9 +140,9 @@ def ceil_log(value: float, base: float) -> int:
     when both arguments are integral, falling back to floats otherwise.
     """
     if value <= 0:
-        raise ValueError(f"value must be positive, got {value}")
+        raise ConfigurationError(f"value must be positive, got {value}")
     if base <= 1:
-        raise ValueError(f"base must exceed 1, got {base}")
+        raise ConfigurationError(f"base must exceed 1, got {base}")
     if value <= 1:
         return 0
     if float(value).is_integer() and float(base).is_integer():

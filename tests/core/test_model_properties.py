@@ -11,7 +11,7 @@ from repro.core.ssd_planner import SsdSortPlan
 from repro.memory.dram import DdrDram
 from repro.memory.hierarchy import TwoTierHierarchy
 from repro.memory.ssd import Ssd
-from repro.units import GB, TB
+from repro.units import GB
 
 
 def big_plan() -> SsdSortPlan:

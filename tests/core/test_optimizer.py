@@ -9,12 +9,11 @@ from repro.core.configuration import AmtConfig
 from repro.core.optimizer import Bonsai
 from repro.core.parameters import (
     ArrayParams,
-    FpgaSpec,
     HardwareParams,
     MergerArchParams,
 )
 from repro.errors import ConfigurationError, NoFeasibleConfigError
-from repro.units import GB, KiB, MiB
+from repro.units import GB, KiB
 
 
 @pytest.fixture

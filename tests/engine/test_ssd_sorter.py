@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core.parameters import ArrayParams
 from repro.core.ssd_planner import SsdSortPlan
 from repro.engine.ssd_sorter import SsdSorter
 from repro.errors import ConfigurationError

@@ -8,7 +8,6 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.hw.clock import Simulation
-from repro.hw.fifo import Fifo
 from repro.hw.loader import DataLoader, OutputWriter, make_feeds
 from repro.hw.trace import TraceRecorder, render_timeline
 from repro.hw.tree import AmtTree

@@ -10,7 +10,6 @@ fastest among the alternatives it ranked.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import presets
 from repro.core.configuration import AmtConfig

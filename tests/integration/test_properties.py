@@ -10,7 +10,6 @@ relies on (monotonicity of the optimizer in hardware generosity).
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import presets

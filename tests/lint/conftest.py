@@ -1,0 +1,28 @@
+"""Shared fixtures for the bonsai-lint tests."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_file, resolve_rules
+
+
+@pytest.fixture
+def lint_source(tmp_path):
+    """Write a snippet at a repo-like relative path and lint it.
+
+    Returns ``(diagnostics, suppressed_count)``.  The relative path
+    matters: rules scope themselves by the dotted module derived from
+    the ``repro`` path component (e.g. ``src/repro/hw/x.py`` is
+    ``repro.hw.x``).
+    """
+
+    def _lint(relpath: str, source: str, select: list[str] | None = None):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return lint_file(path, resolve_rules(select=select))
+
+    return _lint

@@ -1,0 +1,196 @@
+"""Framework-level tests: suppressions, file collection, rule registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    Diagnostic,
+    Severity,
+    all_rules,
+    collect_files,
+    lint_file,
+    resolve_rules,
+    run,
+)
+from repro.lint.context import module_name
+from repro.lint.runner import PARSE_ERROR_RULE
+from repro.lint.suppressions import Suppressions
+
+EXPECTED_RULES = {
+    "unit-mix",
+    "clock-discipline",
+    "determinism",
+    "model-purity",
+    "error-taxonomy",
+}
+
+
+def _diag(rule: str, line: int) -> Diagnostic:
+    return Diagnostic(
+        path="x.py", line=line, column=0, rule=rule,
+        message="m", severity=Severity.ERROR,
+    )
+
+
+class TestSuppressions:
+    def test_inline_trailer_covers_its_own_line(self):
+        sup = Suppressions.scan("x = 1  # bonsai-lint: disable=unit-mix -- why\n")
+        assert sup.covers(_diag("unit-mix", 1))
+        assert not sup.covers(_diag("unit-mix", 2))
+        assert not sup.covers(_diag("determinism", 1))
+
+    def test_comment_only_line_shields_next_line(self):
+        source = "# bonsai-lint: disable=determinism -- seeded upstream\nx = f()\n"
+        sup = Suppressions.scan(source)
+        assert sup.covers(_diag("determinism", 2))
+        assert not sup.covers(_diag("determinism", 1))
+
+    def test_disable_file_covers_every_line(self):
+        sup = Suppressions.scan("y = 2\n# bonsai-lint: disable-file=unit-mix\nx = 1\n")
+        for line in (1, 2, 3, 99):
+            assert sup.covers(_diag("unit-mix", line))
+        assert not sup.covers(_diag("determinism", 1))
+
+    def test_disable_all_covers_every_rule(self):
+        sup = Suppressions.scan("x = 1  # bonsai-lint: disable=all -- generated\n")
+        assert sup.covers(_diag("unit-mix", 1))
+        assert sup.covers(_diag("clock-discipline", 1))
+
+    def test_comma_separated_rules_and_justification(self):
+        sup = Suppressions.scan(
+            "x = 1  # bonsai-lint: disable=unit-mix, determinism -- both fine\n"
+        )
+        assert sup.covers(_diag("unit-mix", 1))
+        assert sup.covers(_diag("determinism", 1))
+        assert not sup.covers(_diag("model-purity", 1))
+
+    def test_unrelated_comments_are_ignored(self):
+        sup = Suppressions.scan("x = 1  # noqa: E501\n# plain comment\n")
+        assert sup.file_rules == frozenset()
+        assert sup.line_rules == {}
+
+
+class TestCollectFiles:
+    def test_expands_directories_recursively(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        a = tmp_path / "a.py"
+        b = tmp_path / "pkg" / "b.py"
+        a.write_text("x = 1\n")
+        b.write_text("y = 2\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        assert collect_files([tmp_path]) == [a, b]
+
+    def test_skips_cache_and_build_dirs(self, tmp_path):
+        hidden = tmp_path / "__pycache__" / "c.py"
+        hidden.parent.mkdir()
+        hidden.write_text("x = 1\n")
+        keep = tmp_path / "d.py"
+        keep.write_text("x = 1\n")
+        assert collect_files([tmp_path]) == [keep]
+
+    def test_accepts_explicit_file(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        assert collect_files([target]) == [target]
+
+    def test_rejects_non_python_file(self, tmp_path):
+        target = tmp_path / "data.csv"
+        target.write_text("1,2\n")
+        with pytest.raises(LintError, match="not a Python file"):
+            collect_files([target])
+
+    def test_rejects_missing_path(self, tmp_path):
+        with pytest.raises(LintError, match="no such file or directory"):
+            collect_files([tmp_path / "missing"])
+
+    def test_rejects_empty_path_list(self):
+        with pytest.raises(LintError, match="no paths"):
+            collect_files([])
+
+
+class TestRegistry:
+    def test_ships_the_five_documented_rules(self):
+        assert EXPECTED_RULES <= set(all_rules())
+
+    def test_every_rule_has_name_description_severity(self):
+        for rule in all_rules().values():
+            assert rule.name and rule.description
+            assert isinstance(rule.severity, Severity)
+
+    def test_select_narrows_the_rule_set(self):
+        rules = resolve_rules(select=["unit-mix"])
+        assert [rule.name for rule in rules] == ["unit-mix"]
+
+    def test_disable_removes_rules(self):
+        names = {rule.name for rule in resolve_rules(disable=["unit-mix"])}
+        assert "unit-mix" not in names
+        assert "determinism" in names
+
+    def test_unknown_rule_raises_lint_error(self):
+        with pytest.raises(LintError, match="unknown rule.*unit-mixx"):
+            resolve_rules(select=["unit-mixx"])
+        with pytest.raises(LintError, match="unknown rule"):
+            resolve_rules(disable=["nope"])
+
+
+class TestModuleName:
+    @pytest.mark.parametrize(
+        "relpath,expected",
+        [
+            ("src/repro/hw/merger.py", "repro.hw.merger"),
+            ("src/repro/units.py", "repro.units"),
+            ("src/repro/hw/__init__.py", "repro.hw"),
+            ("benchmarks/bench_sort.py", None),
+            ("scripts/tool.py", None),
+        ],
+    )
+    def test_mapping(self, tmp_path, relpath, expected):
+        assert module_name(tmp_path / relpath) == expected
+
+
+class TestRunner:
+    def test_syntax_error_becomes_parse_error_diagnostic(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        kept, suppressed = lint_file(broken, resolve_rules())
+        assert suppressed == 0
+        assert len(kept) == 1
+        diag = kept[0]
+        assert diag.rule == PARSE_ERROR_RULE
+        assert diag.severity is Severity.ERROR
+        assert "does not parse" in diag.message
+
+    def test_run_aggregates_and_sorts(self, tmp_path):
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "zz.py").write_text("raise ValueError('late file')\n")
+        (pkg / "aa.py").write_text("raise RuntimeError('early file')\n")
+        result = run([tmp_path], select=["error-taxonomy"])
+        assert result.files_scanned == 2
+        assert result.exit_code == 1
+        assert [d.path for d in result.diagnostics] == sorted(
+            d.path for d in result.diagnostics
+        )
+
+    def test_clean_run_exits_zero(self, tmp_path):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        result = run([tmp_path])
+        assert result.diagnostics == ()
+        assert result.exit_code == 0
+        assert result.files_scanned == 1
+
+
+class TestDiagnostic:
+    def test_render_is_compiler_style(self):
+        diag = Diagnostic(
+            path="src/x.py", line=3, column=4, rule="unit-mix",
+            message="mixed units", severity=Severity.WARNING,
+        )
+        assert diag.render() == "src/x.py:3:4: unit-mix warning: mixed units"
+
+    def test_sorts_by_position(self):
+        first = _diag("a-rule", 1)
+        later = _diag("a-rule", 9)
+        assert sorted([later, first]) == [first, later]

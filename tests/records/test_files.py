@@ -7,7 +7,7 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.records.files import read_records, record_count, write_records
-from repro.records.record import U32, U64
+from repro.records.record import U64
 from repro.records.workloads import uniform_random
 
 

@@ -2,10 +2,33 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
-from repro.cli import _parse_size, main
+from repro.cli import SUBCOMMANDS, _parse_size, main
 from repro.units import GB
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class TestHelp:
+    def test_lists_every_subcommand_with_summary(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        # argparse wraps help at the terminal width; collapse whitespace
+        # so summaries match regardless of where the wraps land.
+        out = " ".join(capsys.readouterr().out.split())
+        for name, summary, _configure, _run in SUBCOMMANDS:
+            assert name in out
+            assert summary in out
+
+    def test_registry_drives_dispatch(self):
+        names = [name for name, _s, _c, _r in SUBCOMMANDS]
+        assert len(names) == len(set(names))
+        assert "lint" in names
 
 
 class TestParseSize:
@@ -114,3 +137,35 @@ class TestExperiments:
             assert (tmp_path / f"{name}.txt").exists()
         table5 = (tmp_path / "table5.txt").read_text()
         assert "516.3" in table5
+
+
+class TestLint:
+    def test_json_format_smoke(self, capsys):
+        code = main([
+            "lint", str(REPO_ROOT / "src" / "repro" / "units.py"),
+            "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_scanned"] == 1
+        assert payload["diagnostics"] == []
+
+    def test_text_format_on_dirty_file(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "bad.py"
+        bad.parent.mkdir()
+        bad.write_text("raise ValueError('x')\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "error-taxonomy" in out
+        assert "1 finding(s)" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("unit-mix", "clock-discipline", "determinism",
+                     "model-purity", "error-taxonomy"):
+            assert rule in out
+
+    def test_missing_path_is_clean_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing")]) == 2
+        assert "error:" in capsys.readouterr().err
