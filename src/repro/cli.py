@@ -104,6 +104,12 @@ def _configure_lint(parser: argparse.ArgumentParser) -> None:
     add_arguments(parser)
 
 
+def _configure_check(parser: argparse.ArgumentParser) -> None:
+    from repro.lint.graph.main import add_arguments
+
+    add_arguments(parser)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     """Assemble the ``bonsai`` parser from the subcommand registry.
 
@@ -378,6 +384,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.lint.graph.main import run_from_args
+
+    return run_from_args(args)
+
+
 #: The single source of truth for ``bonsai`` subcommands:
 #: ``(name, one-line summary, parser configurator, handler)``.
 SUBCOMMANDS = (
@@ -399,6 +411,8 @@ SUBCOMMANDS = (
      _configure_report, _cmd_report),
     ("lint", "bonsai-lint: check simulator/unit/purity invariants",
      _configure_lint, _cmd_lint),
+    ("check", "bonsai-check: whole-program unit-flow/purity/FIFO analysis",
+     _configure_check, _cmd_check),
 )
 
 COMMANDS = {name: run for name, _summary, _configure, run in SUBCOMMANDS}

@@ -24,7 +24,12 @@ from __future__ import annotations
 
 from repro.lint.diagnostics import Diagnostic, Severity
 from repro.lint.registry import Rule, all_rules, register, resolve_rules
-from repro.lint.reporters import JSON_SCHEMA_VERSION, render_json, render_text
+from repro.lint.reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.lint.runner import LintResult, collect_files, lint_file, run
 
 __all__ = [
@@ -40,5 +45,6 @@ __all__ = [
     "run",
     "render_text",
     "render_json",
+    "render_sarif",
     "JSON_SCHEMA_VERSION",
 ]

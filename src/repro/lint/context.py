@@ -55,15 +55,23 @@ def build_context(path: Path) -> FileContext:
     Raises
     ------
     LintError
-        When the file cannot be read.  Syntax errors are *not* raised
-        here — the runner turns them into ``parse-error`` diagnostics so
-        one broken file does not hide findings in the rest of the tree.
+        When the file cannot be read, decoded as UTF-8, or compiled
+        (null bytes).  Syntax errors propagate as ``SyntaxError``.  The
+        runner turns both into ``parse-error`` diagnostics so one broken
+        file does not hide findings in the rest of the tree.
     """
     try:
         source = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as error:
+        raise LintError(f"cannot decode {path} as UTF-8: {error}") from error
     except OSError as error:
         raise LintError(f"cannot read {path}: {error}") from error
-    tree = ast.parse(source, filename=str(path))
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        raise
+    except ValueError as error:  # e.g. null bytes in the source
+        raise LintError(f"cannot parse {path}: {error}") from error
     return FileContext(
         path=str(path), module=module_name(path), source=source, tree=tree
     )

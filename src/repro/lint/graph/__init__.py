@@ -1,0 +1,71 @@
+"""bonsai-check: whole-program interprocedural analysis.
+
+``bonsai lint`` (the sibling per-file rules) sees one AST node at a
+time; this package sees the whole program.  It builds a project symbol
+table and call graph over every linted file once, then runs three
+interprocedural analyses on top of them:
+
+========================  ==================================================
+``unit-flow-mix``         additive/comparison arithmetic combines two
+                          different unit families (decimal bytes, binary
+                          bytes, records, cycles, seconds, hertz), where at
+                          least one family arrived through a call chain
+``unit-flow-call``        a call argument's inferred unit family contradicts
+                          the callee parameter's declared family
+``transitive-purity``     an Eq. 1-10 model function transitively reaches
+                          I/O, RNG, wall-clock, or mutation of ``repro.hw``
+                          simulator state
+``fifo-discipline``       a ``repro.hw`` component touches a peer
+                          component's state other than through the
+                          FIFO/bus/coupler port protocol
+========================  ==================================================
+
+The operational layer makes whole-program analysis adoptable:
+
+* a committed baseline (``.bonsai-check-baseline.json``) so pre-existing
+  findings report as suppressed while new ones fail the run;
+* a content-hash summary cache (``--cache-dir``) so warm runs re-extract
+  zero unchanged files and only re-run the cheap propagation passes;
+* the SARIF 2.1.0 reporter shared with ``bonsai lint``.
+
+Run via ``bonsai check [paths...]`` or ``python -m repro.lint.graph``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.graph.analyzer import CheckResult, analyze
+from repro.lint.graph.baseline import Baseline
+from repro.lint.graph.summary import SUMMARY_VERSION, FileSummary, extract_summary
+from repro.lint.graph.symbols import ProjectIndex
+
+#: every diagnostic rule this analyzer can emit, with the one-line
+#: description used by ``--list-analyses`` and the SARIF rule table
+CHECK_RULES: dict[str, str] = {
+    "unit-flow-mix": (
+        "arithmetic combines two different unit families reached "
+        "through the interprocedural unit-flow analysis"
+    ),
+    "unit-flow-call": (
+        "call argument's unit family contradicts the callee "
+        "parameter's family"
+    ),
+    "transitive-purity": (
+        "pure model function transitively reaches I/O, RNG, clock, or "
+        "repro.hw state mutation"
+    ),
+    "fifo-discipline": (
+        "repro.hw component reaches into a peer component's state "
+        "outside the FIFO/bus/coupler port protocol"
+    ),
+}
+
+__all__ = [
+    "CHECK_RULES",
+    "SUMMARY_VERSION",
+    "Baseline",
+    "CheckResult",
+    "FileSummary",
+    "ProjectIndex",
+    "analyze",
+    "extract_summary",
+]

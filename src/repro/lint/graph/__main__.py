@@ -1,0 +1,7 @@
+"""``python -m repro.lint.graph`` dispatches to the check runner."""
+
+import sys
+
+from repro.lint.graph.main import main
+
+sys.exit(main())

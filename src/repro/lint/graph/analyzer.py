@@ -1,0 +1,154 @@
+"""Orchestration of one ``bonsai check`` run.
+
+Pipeline: collect files -> extract (or cache-load) summaries -> build
+the project index -> run the three interprocedural analyses -> filter
+inline suppressions -> split against the baseline -> one
+:class:`CheckResult`.
+
+Unreadable or unparseable files become ``parse-error`` diagnostics —
+a whole-program analysis with a silent hole in its call graph would
+understate every transitive property, so a broken file must fail the
+run visibly.
+"""
+
+from __future__ import annotations
+
+# bonsai-lint: disable-file=determinism -- the analyzer times its own
+# wall-clock run for reporting; nothing simulated depends on it
+
+import ast
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.graph.baseline import Baseline
+from repro.lint.graph.cache import SummaryCache
+from repro.lint.graph.fifocheck import check_fifo_discipline
+from repro.lint.graph.purity import check_purity
+from repro.lint.graph.summary import FileSummary, extract_summary
+from repro.lint.graph.symbols import ProjectIndex
+from repro.lint.graph.unitflow import check_unit_flow
+from repro.lint.runner import PARSE_ERROR_RULE, collect_files
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one whole-program analysis run."""
+
+    diagnostics: tuple[Diagnostic, ...]
+    baselined: tuple[Diagnostic, ...]
+    files_scanned: int
+    reanalyzed: int
+    suppressed: int
+    rules: tuple[str, ...]
+    elapsed_seconds: float = 0.0
+
+    @property
+    def exit_code(self) -> int:
+        """0 when every finding is baseline-accepted; 1 otherwise."""
+        return 1 if self.diagnostics else 0
+
+    @property
+    def from_cache(self) -> int:
+        """Files whose summaries were loaded instead of re-extracted."""
+        return self.files_scanned - self.reanalyzed
+
+    def count(self, severity: Severity) -> int:
+        """Number of *new* findings at one severity."""
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+
+@dataclass
+class _Collected:
+    summaries: list[FileSummary] = field(default_factory=list)
+    parse_errors: list[Diagnostic] = field(default_factory=list)
+    reanalyzed: int = 0
+    total: int = 0
+
+
+def _collect_summaries(
+    paths: Sequence[str | Path], cache: SummaryCache
+) -> _Collected:
+    out = _Collected()
+    for path in collect_files(paths):
+        out.total += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as error:
+            out.parse_errors.append(Diagnostic(
+                path=str(path), line=1, column=0, rule=PARSE_ERROR_RULE,
+                message=f"cannot read file: {error}", severity=Severity.ERROR,
+            ))
+            continue
+        cached = cache.load(str(path), source)
+        if cached is not None:
+            out.summaries.append(cached)
+            continue
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            out.parse_errors.append(Diagnostic(
+                path=str(path), line=error.lineno or 1,
+                column=(error.offset or 1) - 1, rule=PARSE_ERROR_RULE,
+                message=f"file does not parse: {error.msg}",
+                severity=Severity.ERROR,
+            ))
+            continue
+        except ValueError as error:
+            out.parse_errors.append(Diagnostic(
+                path=str(path), line=1, column=0, rule=PARSE_ERROR_RULE,
+                message=f"file does not parse: {error}",
+                severity=Severity.ERROR,
+            ))
+            continue
+        summary = extract_summary(str(path), source, tree)
+        cache.store(source, summary)
+        out.summaries.append(summary)
+        out.reanalyzed += 1
+    return out
+
+
+def analyze(
+    paths: Sequence[str | Path],
+    *,
+    baseline: Baseline | None = None,
+    cache_dir: str | Path | None = None,
+) -> CheckResult:
+    """Run the whole-program analyses over ``paths``."""
+    started = time.perf_counter()
+    cache = SummaryCache(cache_dir)
+    collected = _collect_summaries(paths, cache)
+    index = ProjectIndex.build(collected.summaries)
+
+    raw: list[Diagnostic] = []
+    raw.extend(check_unit_flow(index))
+    raw.extend(check_purity(index))
+    raw.extend(check_fifo_discipline(index))
+
+    by_path = {summary.path: summary for summary in collected.summaries}
+    kept: list[Diagnostic] = []
+    inline_suppressed = 0
+    for diagnostic in raw:
+        summary = by_path.get(diagnostic.path)
+        if summary is not None and summary.suppressed(
+            diagnostic.rule, diagnostic.line
+        ):
+            inline_suppressed += 1
+        else:
+            kept.append(diagnostic)
+    kept.extend(collected.parse_errors)
+
+    new, accepted = (baseline or Baseline()).split(sorted(kept))
+    from repro.lint.graph import CHECK_RULES  # circular-at-import otherwise
+
+    return CheckResult(
+        diagnostics=tuple(sorted(new)),
+        baselined=tuple(sorted(accepted)),
+        files_scanned=collected.total,
+        reanalyzed=collected.reanalyzed,
+        suppressed=inline_suppressed,
+        rules=tuple(sorted(CHECK_RULES)),
+        elapsed_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,104 @@
+"""Committed finding baselines for ``bonsai check``.
+
+Whole-program analyses are only adoptable when turning them on does not
+require fixing every historical finding first.  The baseline file
+(``.bonsai-check-baseline.json``, committed to the repo) records the
+*accepted* findings: a run reports them as suppressed, fails only on
+findings outside the baseline, and ``--update-baseline`` regenerates
+the file after a reviewed change.
+
+Fingerprints deliberately exclude line numbers — ``(path, rule,
+message, occurrence-index)`` — so unrelated edits above a finding do
+not churn the baseline; the occurrence index keeps N identical findings
+in one file distinct.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import LintError
+from repro.lint.diagnostics import Diagnostic
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = ".bonsai-check-baseline.json"
+
+
+def _fingerprints(diagnostics: list[Diagnostic]) -> list[str]:
+    """Stable fingerprint per diagnostic (order-aligned with input)."""
+    seen: dict[tuple[str, str, str], int] = {}
+    out: list[str] = []
+    for diagnostic in diagnostics:
+        key = (diagnostic.path, diagnostic.rule, diagnostic.message)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        raw = "::".join([*key, str(occurrence)])
+        out.append(hashlib.sha256(raw.encode("utf-8")).hexdigest()[:20])
+    return out
+
+
+@dataclass
+class Baseline:
+    """The accepted-finding set, keyed by fingerprint."""
+
+    entries: dict[str, dict] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file = Path(path)
+        if not file.exists():
+            return cls()
+        try:
+            data = json.loads(file.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            raise LintError(f"cannot read baseline {file}: {error}") from error
+        if data.get("version") != BASELINE_VERSION:
+            raise LintError(
+                f"baseline {file} has version {data.get('version')!r}; "
+                f"this analyzer writes version {BASELINE_VERSION} — "
+                "regenerate with --update-baseline"
+            )
+        return cls(entries=dict(data.get("findings", {})))
+
+    @classmethod
+    def from_diagnostics(cls, diagnostics: list[Diagnostic]) -> "Baseline":
+        """Baseline accepting exactly the given findings."""
+        entries: dict[str, dict] = {}
+        for print_, diagnostic in zip(_fingerprints(diagnostics), diagnostics):
+            entries[print_] = {
+                "rule": diagnostic.rule,
+                "path": diagnostic.path,
+                "message": diagnostic.message,
+            }
+        return cls(entries=entries)
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline (sorted, so diffs stay reviewable)."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "bonsai-check",
+            "findings": {
+                key: self.entries[key] for key in sorted(self.entries)
+            },
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def split(
+        self, diagnostics: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], list[Diagnostic]]:
+        """Partition findings into ``(new, baselined)``."""
+        new: list[Diagnostic] = []
+        accepted: list[Diagnostic] = []
+        for print_, diagnostic in zip(_fingerprints(diagnostics), diagnostics):
+            if print_ in self.entries:
+                accepted.append(diagnostic)
+            else:
+                new.append(diagnostic)
+        return new, accepted

@@ -1,0 +1,149 @@
+"""Whole-program FIFO-discipline check.
+
+The simulator's cycle accounting rests on one structural rule: a
+``repro.hw`` component (a class with a per-cycle ``tick``) talks to its
+peers **only** through the port protocol — ``Fifo`` push/pop/peek and
+the bus/coupler elements in between (§V-A's stall handshake).  The
+per-file ``clock-discipline`` rule inspects syntactic ``self.x.y``
+writes inside ``tick()`` alone; this pass closes the two holes a
+refactor opens:
+
+* **any method** of a component reaching into a field whose *resolved
+  type* is another component — helper methods called from ``tick`` are
+  the classic laundering path;
+* **mutation at a distance** — a ``tick`` whose transitive call closure
+  (through free functions, across modules) mutates a *different*
+  component class's state.  Construction-time wiring is untouched:
+  builders are not reachable from any ``tick``.
+
+Port types (``Fifo`` and the bus elements) are exempt targets for the
+protocol surface; touching their private internals is still flagged.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.graph.purity import EffectAnalysis
+from repro.lint.graph.symbols import ProjectIndex
+
+#: the sanctioned surface of a port (Fifo/bus) field
+PORT_PROTOCOL = {
+    "push", "pop", "peek", "drain", "free_slots",
+    "is_empty", "is_full", "has_space", "capacity", "name",
+    "encode", "decode",  # bus packer/unpacker
+}
+
+#: the sanctioned surface of a *component* field (hierarchical
+#: composition plus observability)
+COMPONENT_SURFACE = {"tick", "done", "stats", "name"}
+
+#: class names (unqualified) that act as ports between components
+PORT_CLASS_NAMES = {"Fifo", "Bus", "Packer", "Unpacker", "Coupler"}
+
+
+def _component_classes(index: ProjectIndex) -> dict[str, str]:
+    """``class fq -> module`` for every ``repro.hw`` component class."""
+    out: dict[str, str] = {}
+    for class_fq, klass in index.classes.items():
+        module = class_fq.rsplit(".", 1)[0]
+        if module.startswith("repro.hw") and klass.has_tick:
+            out[class_fq] = module
+    return out
+
+
+def _is_port_class(class_fq: str | None) -> bool:
+    return class_fq is not None and class_fq.rsplit(".", 1)[-1] in PORT_CLASS_NAMES
+
+
+def check_fifo_discipline(index: ProjectIndex) -> list[Diagnostic]:
+    """Emit ``fifo-discipline`` diagnostics."""
+    components = _component_classes(index)
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(_check_peer_accesses(index, components))
+    diagnostics.extend(_check_remote_mutation(index, components))
+    return diagnostics
+
+
+def _check_peer_accesses(
+    index: ProjectIndex, components: dict[str, str]
+) -> list[Diagnostic]:
+    """Field accesses crossing into a peer component, in *any* method."""
+    out: list[Diagnostic] = []
+    for class_fq in components:
+        klass = index.classes[class_fq]
+        path = None
+        for method in klass.methods.values():
+            fq = f"{class_fq}.{method.name.split('.')[-1]}"
+            path = index.paths.get(fq)
+            if path is None:
+                continue
+            for access in method.peer_accesses:
+                field_fq = index.field_class(class_fq, access["field"])
+                if field_fq is None:
+                    continue
+                if _is_port_class(field_fq):
+                    private = access["attr"].startswith("_")
+                    if access["kind"] == "write" or private:
+                        out.append(Diagnostic(
+                            path=path, line=access["line"],
+                            column=access["col"], rule="fifo-discipline",
+                            message=(
+                                f"{method.name}() {'writes' if access['kind'] == 'write' else 'touches'} "
+                                f"port internal self.{access['field']}."
+                                f"{access['tail']}; components drive ports "
+                                "only through the handshake protocol "
+                                f"({', '.join(sorted(PORT_PROTOCOL))})"
+                            ),
+                            severity=Severity.ERROR,
+                        ))
+                    continue
+                if field_fq in components and field_fq != class_fq:
+                    if (
+                        access["kind"] != "write"
+                        and access["attr"] in COMPONENT_SURFACE
+                    ):
+                        continue
+                    out.append(Diagnostic(
+                        path=path, line=access["line"], column=access["col"],
+                        rule="fifo-discipline",
+                        message=(
+                            f"{method.name}() reaches into peer component "
+                            f"self.{access['field']}.{access['tail']} "
+                            f"({field_fq}); components communicate only "
+                            "through FIFO/bus/coupler ports"
+                        ),
+                        severity=Severity.ERROR,
+                    ))
+    return out
+
+
+def _check_remote_mutation(
+    index: ProjectIndex, components: dict[str, str]
+) -> list[Diagnostic]:
+    """``tick`` closures that mutate a different component class."""
+    analysis = EffectAnalysis(index, tick_delegation_ok=True)
+    analysis.solve()
+    out: list[Diagnostic] = []
+    for class_fq in components:
+        tick_fq = f"{class_fq}.tick"
+        tick = index.functions.get(tick_fq)
+        if tick is None:
+            continue
+        for tag in sorted(analysis.effects.get(tick_fq, ())):
+            if not tag.startswith("mutate:"):
+                continue
+            target = tag.split(":", 1)[1]
+            if target == class_fq or target not in components:
+                continue
+            out.append(Diagnostic(
+                path=index.paths[tick_fq], line=tick.line, column=tick.col,
+                rule="fifo-discipline",
+                message=(
+                    f"{tick.name}() transitively mutates peer component "
+                    f"{target} via {analysis.trail(tick_fq, tag)}; "
+                    "cross-component state changes must travel through "
+                    "FIFO/bus/coupler ports"
+                ),
+                severity=Severity.ERROR,
+            ))
+    return out

@@ -1,0 +1,161 @@
+"""Argument wiring shared by ``bonsai check`` and ``python -m repro.lint.graph``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import BonsaiError
+from repro.lint.diagnostics import Severity
+from repro.lint.graph.analyzer import CheckResult, analyze
+from repro.lint.graph.baseline import DEFAULT_BASELINE, Baseline
+
+#: directories analysed when no paths are given and they exist
+DEFAULT_PATHS = ("src",)
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the check options to a (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE, metavar="FILE",
+        help=f"baseline file (default: {DEFAULT_BASELINE}; missing = empty)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="accept the current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="summary cache directory (warm runs re-extract only changed files)",
+    )
+    parser.add_argument(
+        "--sarif-file", default=None, metavar="FILE",
+        help="additionally write a SARIF 2.1.0 log to FILE",
+    )
+    parser.add_argument(
+        "--list-analyses", action="store_true",
+        help="print the whole-program analyses and exit",
+    )
+
+
+def render_text(result: CheckResult) -> str:
+    """Compiler-style findings plus a one-line run summary."""
+    lines = [diagnostic.render() for diagnostic in result.diagnostics]
+    if result.diagnostics:
+        lines.append("")
+    lines.append(
+        f"{len(result.diagnostics)} new finding(s) "
+        f"({result.count(Severity.ERROR)} error(s), "
+        f"{result.count(Severity.WARNING)} warning(s)), "
+        f"{len(result.baselined)} baselined, "
+        f"{result.suppressed} suppressed, "
+        f"{result.files_scanned} file(s) scanned "
+        f"({result.reanalyzed} analyzed, {result.from_cache} from cache) "
+        f"in {result.elapsed_seconds:.2f}s"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    """Stable machine-readable report (schema version 1)."""
+    payload = {
+        "version": 1,
+        "files_scanned": result.files_scanned,
+        "reanalyzed": result.reanalyzed,
+        "from_cache": result.from_cache,
+        "rules": list(result.rules),
+        "diagnostics": [d.to_json() for d in result.diagnostics],
+        "baselined": [d.to_json() for d in result.baselined],
+        "summary": {
+            "error": result.count(Severity.ERROR),
+            "warning": result.count(Severity.WARNING),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif_report(result: CheckResult) -> str:
+    """SARIF log via the reporter shared with ``bonsai lint``."""
+    from repro.lint.graph import CHECK_RULES
+    from repro.lint.runner import PARSE_ERROR_RULE
+    from repro.lint.sarif import render_sarif
+
+    descriptions = {
+        name: (text, "error") for name, text in CHECK_RULES.items()
+    }
+    descriptions[PARSE_ERROR_RULE] = (
+        "file could not be read or parsed; the whole-program call graph "
+        "would be incomplete", "error",
+    )
+    return render_sarif(
+        result.diagnostics,
+        tool_name="bonsai-check",
+        rule_descriptions=descriptions,
+        suppressed=result.baselined,
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a check run described by parsed arguments."""
+    if args.list_analyses:
+        from repro.lint.graph import CHECK_RULES
+
+        for name, description in sorted(CHECK_RULES.items()):
+            print(f"{name:18} {description}")
+        return 0
+    paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).is_dir()]
+
+    if args.update_baseline:
+        result = analyze(paths, baseline=None, cache_dir=args.cache_dir)
+        full = list(result.diagnostics) + list(result.baselined)
+        Baseline.from_diagnostics(sorted(full)).save(args.baseline)
+        print(
+            f"wrote {args.baseline} with {len(full)} accepted finding(s)"
+        )
+        return 0
+
+    baseline = None if args.no_baseline else Baseline.load(args.baseline)
+    result = analyze(paths, baseline=baseline, cache_dir=args.cache_dir)
+    if args.sarif_file:
+        Path(args.sarif_file).write_text(
+            render_sarif_report(result) + "\n", encoding="utf-8"
+        )
+    if args.format == "json":
+        print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif_report(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point for ``python -m repro.lint.graph``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.graph",
+        description="bonsai-check: whole-program unit-flow, purity and "
+        "FIFO-discipline analysis",
+    )
+    add_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_from_args(args)
+    except BonsaiError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,191 @@
+"""Transitive model-purity analysis.
+
+The optimizer exhaustively evaluates the Eq. 1-10 model functions
+(:data:`repro.lint.rules.model_purity.PURE_MODULES`); the per-file rule
+bans *direct* I/O and ``repro.hw`` imports there, but a model function
+calling an innocent-looking helper in a third module that mutates
+simulator state is invisible per file.  This pass computes the
+transitive side-effect set of every function and flags:
+
+* a pure-module function whose closure reaches I/O, RNG, wall-clock, or
+  ``global`` mutation (``transitive-purity``);
+* any ``repro.core`` function — except the sanctioned
+  ``repro.core.validation`` bridge — whose closure reaches mutation of
+  ``repro.hw`` simulator state (``transitive-purity``).
+
+Effect elements are strings: ``"io"``, ``"rng"``, ``"clock"``,
+``"global"``, and ``"mutate:<class fq>"``.  Mutation of a function's
+*own* class (``self.x = ...`` seen from that same class's methods) is
+not an effect for the FIFO/purity contracts by itself — it becomes one
+when a *different* layer reaches it, which is exactly what the closure
+computes.  Propagation runs over Tarjan SCCs in callees-first order, so
+recursion converges in one sweep plus one round per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.graph.symbols import ProjectIndex
+from repro.lint.rules.model_purity import PURE_MODULES
+
+#: effect kinds that break Eq. 1-10 purity regardless of what they touch
+_IMPURE_KINDS = {"io", "rng", "clock", "global"}
+
+#: the single sanctioned model-to-simulator bridge (see model-purity)
+BRIDGE_MODULE = "repro.core.validation"
+
+
+@dataclass
+class EffectAnalysis:
+    """Direct and transitive side-effect sets over the call graph.
+
+    Effect elements: the impure kinds plus ``mutate:<class fq>`` for
+    post-construction state writes and ``construct:<class fq>`` for
+    writes inside ``__init__``/``__post_init__`` — building an object is
+    not communicating with it, so the FIFO check ignores construction.
+
+    With ``tick_delegation_ok`` the propagation does not follow edges
+    into another class's ``tick`` method: hierarchical composition (a
+    wrapper ticking its child) is the sanctioned composition idiom and
+    must not smear the child's self-mutation onto the parent.
+    """
+
+    index: ProjectIndex
+    tick_delegation_ok: bool = False
+    #: function fq -> set of effect strings (transitive after solve())
+    effects: dict[str, set[str]] = field(default_factory=dict)
+    #: (fq, effect) -> where it came from: ("direct", line) | ("call", callee)
+    origin: dict[tuple[str, str], tuple] = field(default_factory=dict)
+
+    def solve(self) -> None:
+        """Seed direct effects, then propagate callees-first."""
+        for fq, fn in self.index.functions.items():
+            direct: set[str] = set()
+            for effect in fn.effects:
+                tag = self._tag(fq, effect)
+                if tag is None:
+                    continue
+                direct.add(tag)
+                self.origin.setdefault((fq, tag), ("direct", effect["line"]))
+            self.effects[fq] = direct
+        edges = self.index.call_edges()
+        for component in self.index.sccs():
+            # within an SCC every member shares the union; two rounds
+            # reach it because sccs() already ordered callees first
+            for _ in range(2 if len(component) > 1 else 1):
+                for fq in component:
+                    for callee, _call in edges.get(fq, []):
+                        if (
+                            self.tick_delegation_ok
+                            and callee.endswith(".tick")
+                            and callee != fq
+                        ):
+                            continue
+                        for tag in self.effects.get(callee, ()):
+                            if tag not in self.effects[fq]:
+                                self.effects[fq].add(tag)
+                                self.origin.setdefault(
+                                    (fq, tag), ("call", callee)
+                                )
+
+    def _tag(self, fq: str, effect: dict) -> str | None:
+        """Normalise one recorded effect into an effect-set element."""
+        kind = effect["kind"]
+        if kind in _IMPURE_KINDS:
+            return kind
+        summary = self.index.file_of.get(fq)
+        module = summary.module if summary is not None else None
+        if kind == "mutate-self":
+            fn = self.index.functions.get(fq)
+            if fn is None or fn.class_name is None or module is None:
+                return None
+            method = fn.name.rsplit(".", 1)[-1]
+            verb = (
+                "construct" if method in ("__init__", "__post_init__", "__new__")
+                else "mutate"
+            )
+            return f"{verb}:{module}.{fn.class_name}"
+        if kind == "mutate-param":
+            param, _, _attr = effect["detail"].partition(":")
+            owner = self.index.functions.get(fq)
+            if owner is None:
+                return None
+            # the parameter's annotated class, when the project knows it
+            class_fq = self._param_class(fq, param)
+            return f"mutate:{class_fq}" if class_fq is not None else None
+        if kind == "mutate-field":
+            field_name, _, _attr = effect["detail"].partition(":")
+            fn = self.index.functions.get(fq)
+            if fn is None or fn.class_name is None or module is None:
+                return None
+            class_fq = self.index.field_class(
+                f"{module}.{fn.class_name}", field_name
+            )
+            return f"mutate:{class_fq}" if class_fq is not None else None
+        return None
+
+    def _param_class(self, fq: str, param: str) -> str | None:
+        """Class fq a parameter is annotated with, if resolvable."""
+        fn = self.index.functions.get(fq)
+        if fn is None:
+            return None
+        annotation = fn.param_annotations.get(param)
+        if annotation is None:
+            return None
+        summary = self.index.file_of.get(fq)
+        module = summary.module if summary is not None else None
+        return self.index.resolve_class_name(module, annotation)
+
+    # ------------------------------------------------------------------
+    def trail(self, fq: str, tag: str, limit: int = 6) -> str:
+        """Human-readable call path from ``fq`` to the effect's source."""
+        steps = [fq]
+        current = fq
+        for _ in range(limit):
+            source = self.origin.get((current, tag))
+            if source is None or source[0] == "direct":
+                break
+            current = source[1]
+            steps.append(current)
+        return " -> ".join(steps)
+
+
+def check_purity(index: ProjectIndex) -> list[Diagnostic]:
+    """Emit ``transitive-purity`` diagnostics over the whole program."""
+    analysis = EffectAnalysis(index)
+    analysis.solve()
+    diagnostics: list[Diagnostic] = []
+    for fq, fn in index.functions.items():
+        summary = index.file_of[fq]
+        module = summary.module or ""
+        if not module.startswith("repro.core") or module == BRIDGE_MODULE:
+            continue
+        effects = analysis.effects.get(fq, set())
+        flagged: list[str] = []
+        if module in PURE_MODULES:
+            flagged.extend(sorted(effects & _IMPURE_KINDS))
+        flagged.extend(sorted(
+            tag for tag in effects
+            if tag.startswith("mutate:repro.hw")
+        ))
+        for tag in flagged:
+            what = (
+                f"mutation of simulator state ({tag.split(':', 1)[1]})"
+                if tag.startswith("mutate:") else
+                {"io": "I/O", "rng": "randomness", "clock": "wall-clock access",
+                 "global": "global mutation"}[tag]
+            )
+            diagnostics.append(Diagnostic(
+                path=index.paths[fq], line=fn.line, column=fn.col,
+                rule="transitive-purity",
+                message=(
+                    f"{fn.name}() transitively reaches {what} via "
+                    f"{analysis.trail(fq, tag)}; Eq. 1-10 model code must "
+                    "stay a pure map (repro.core.validation is the "
+                    "sanctioned bridge)"
+                ),
+                severity=Severity.ERROR,
+            ))
+    return diagnostics

@@ -1,0 +1,228 @@
+"""Interprocedural unit-flow inference.
+
+Every quantity in this codebase belongs to a small set of dimension
+families (decimal bytes, binary bytes, records, cycles, seconds,
+hertz).  The per-file ``unit-mix`` rule catches literal mixing inside
+one expression; this pass catches the cross-module version: a function
+returns decimal gigabytes, two call hops later the value is added to a
+binary-KiB BRAM figure, and no single file ever shows both families.
+
+The analysis is summary-based and context-insensitive:
+
+1. **seeds** — parameter and return families from ``repro.units``
+   constants, annotations, and naming conventions (``*_bytes``,
+   ``*_cycles``, ``bram*``, ...), recorded during extraction;
+2. **propagation** — a fixed point over the call graph: return families
+   flow into call expressions, argument families flow into parameters;
+   joins through the small lattice (generic ``bytes`` refines to either
+   byte family; disagreeing families collapse to unknown rather than
+   guessing);
+3. **checks** — additive/comparison sites whose two operands resolve to
+   *incompatible* families (``unit-flow-mix``), and call arguments whose
+   resolved family contradicts the callee parameter's *seeded* family
+   (``unit-flow-call``).  Only seeded parameter families are enforced at
+   call sites: inferred-only families are propagation fuel, not
+   contracts, which keeps the pass quiet on dimensionless helper code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.graph.summary import (
+    BYTES_ANY,
+    BYTES_BIN,
+    BYTES_DEC,
+    FunctionSummary,
+)
+from repro.lint.graph.symbols import ProjectIndex
+
+#: propagation rounds before declaring the fixed point unreachable (the
+#: lattice has height 2, so real projects converge in a handful)
+MAX_ROUNDS = 12
+
+
+def compatible(a: str, b: str) -> bool:
+    """Whether two families may meet in additive arithmetic."""
+    if a == b:
+        return True
+    return {a, b} in ({BYTES_ANY, BYTES_DEC}, {BYTES_ANY, BYTES_BIN})
+
+
+def join(a: str | None, b: str | None) -> str | None:
+    """Least upper bound; disagreements collapse to ``None`` (unknown)."""
+    if a is None:
+        return b
+    if b is None or a == b:
+        return a
+    if {a, b} == {BYTES_ANY, BYTES_DEC}:
+        return BYTES_DEC
+    if {a, b} == {BYTES_ANY, BYTES_BIN}:
+        return BYTES_BIN
+    return None
+
+
+@dataclass
+class UnitFlow:
+    """Fixed-point state of the whole-program unit inference."""
+
+    index: ProjectIndex
+    #: function fq -> inferred return family
+    returns: dict[str, str] = field(default_factory=dict)
+    #: (function fq, param) -> inferred family
+    params: dict[tuple[str, str], str] = field(default_factory=dict)
+    #: (function fq, param) -> True when the family came from a seed
+    seeded: set[tuple[str, str]] = field(default_factory=set)
+
+    def solve(self) -> None:
+        """Run the propagation to a fixed point."""
+        for fq, fn in self.index.functions.items():
+            for param, family in fn.param_seeds.items():
+                self.params[(fq, param)] = family
+                self.seeded.add((fq, param))
+        edges = self.index.call_edges()
+        for _ in range(MAX_ROUNDS):
+            if not self._propagate_once(edges):
+                return
+
+    def _propagate_once(self, edges: dict[str, list[tuple[str, dict]]]) -> bool:
+        changed = False
+        for fq, fn in self.index.functions.items():
+            # returns: join of every return expression's resolved family
+            family: str | None = None
+            for value in fn.returns:
+                family = join(family, self.resolve(fq, value))
+            if family is not None and self.returns.get(fq) != family:
+                self.returns[fq] = family
+                changed = True
+            # arguments flow into (unseeded) callee parameters
+            for callee, call in edges.get(fq, []):
+                target = self.index.functions.get(callee)
+                if target is None:
+                    continue
+                pairs = list(zip(target.params, call["args"]))
+                pairs += [
+                    (name, value)
+                    for name, value in call["kwargs"].items()
+                    if name in target.params
+                ]
+                for param, value in pairs:
+                    key = (callee, param)
+                    if key in self.seeded:
+                        continue  # seeds are authoritative
+                    resolved = self.resolve(fq, value)
+                    merged = join(self.params.get(key), resolved)
+                    if merged is not None and self.params.get(key) != merged:
+                        self.params[key] = merged
+                        changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    def resolve(self, fq: str, value: tuple) -> str | None:
+        """Concrete family of an abstract value inside function ``fq``."""
+        kind = value[0]
+        if kind == "fam":
+            return value[1]
+        if kind == "param":
+            return self.params.get((fq, value[1]))
+        if kind == "ret":
+            fn = self.index.functions.get(fq)
+            if fn is None or value[1] >= len(fn.calls):
+                return None
+            call = fn.calls[value[1]]
+            callee = self.index.resolve_call(fq, call["target"])
+            if callee is None:
+                return None
+            return self.returns.get(callee)
+        return None
+
+    def describe(self, fq: str, value: tuple) -> str:
+        """Human-readable provenance of an abstract value."""
+        kind = value[0]
+        if kind == "fam":
+            return "this expression"
+        if kind == "param":
+            return f"parameter {value[1]!r}"
+        if kind == "ret":
+            fn = self.index.functions.get(fq)
+            if fn is not None and value[1] < len(fn.calls):
+                call = fn.calls[value[1]]
+                callee = self.index.resolve_call(fq, call["target"])
+                if callee is not None:
+                    return f"the return value of {callee}()"
+            return "a call result"
+        return "this value"
+
+
+def check_unit_flow(index: ProjectIndex) -> list[Diagnostic]:
+    """Run the inference and emit ``unit-flow-*`` diagnostics."""
+    flow = UnitFlow(index)
+    flow.solve()
+    diagnostics: list[Diagnostic] = []
+    for fq, fn in index.functions.items():
+        path = index.paths[fq]
+        diagnostics.extend(_check_mixes(flow, fq, fn, path))
+        diagnostics.extend(_check_calls(flow, fq, fn, path))
+    return diagnostics
+
+
+def _check_mixes(
+    flow: UnitFlow, fq: str, fn: FunctionSummary, path: str
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for mix in fn.mixes:
+        left = flow.resolve(fq, mix["left"])
+        right = flow.resolve(fq, mix["right"])
+        if left is None or right is None or compatible(left, right):
+            continue
+        out.append(Diagnostic(
+            path=path, line=mix["line"], column=mix["col"],
+            rule="unit-flow-mix",
+            message=(
+                f"{fn.name}() combines {left} "
+                f"(from {flow.describe(fq, mix['left'])}) with {right} "
+                f"(from {flow.describe(fq, mix['right'])}) in a "
+                f"{mix['op']}; convert one side explicitly "
+                "(repro.units documents which family applies where)"
+            ),
+            severity=Severity.ERROR,
+        ))
+    return out
+
+
+def _check_calls(
+    flow: UnitFlow, fq: str, fn: FunctionSummary, path: str
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for call in fn.calls:
+        callee = flow.index.resolve_call(fq, call["target"])
+        if callee is None:
+            continue
+        target = flow.index.functions.get(callee)
+        if target is None:
+            continue
+        pairs = list(zip(target.params, call["args"]))
+        pairs += [
+            (name, value)
+            for name, value in call["kwargs"].items()
+            if name in target.params
+        ]
+        for param, value in pairs:
+            declared = target.param_seeds.get(param)
+            if declared is None:
+                continue
+            actual = flow.resolve(fq, value)
+            if actual is None or compatible(actual, declared):
+                continue
+            out.append(Diagnostic(
+                path=path, line=call["line"], column=call["col"],
+                rule="unit-flow-call",
+                message=(
+                    f"{fn.name}() passes {actual} "
+                    f"(from {flow.describe(fq, value)}) to parameter "
+                    f"{param!r} of {callee}(), which expects {declared}"
+                ),
+                severity=Severity.ERROR,
+            ))
+    return out

@@ -8,7 +8,7 @@ from pathlib import Path
 
 from repro.errors import BonsaiError
 from repro.lint.registry import all_rules
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.runner import run
 
 #: directories linted when no paths are given and they exist
@@ -22,7 +22,7 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src benchmarks)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
     )
     parser.add_argument(
@@ -32,6 +32,15 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--disable", default=None, metavar="RULES",
         help="comma-separated rules to skip",
+    )
+    parser.add_argument(
+        "--require-justification", action="store_true",
+        help="warn on suppression directives without a '-- reason' "
+        "justification (on in CI)",
+    )
+    parser.add_argument(
+        "--sarif-file", default=None, metavar="FILE",
+        help="additionally write a SARIF 2.1.0 log to FILE",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -52,9 +61,20 @@ def run_from_args(args: argparse.Namespace) -> int:
             print(f"{name:18} [{rule.severity.value:7}] {rule.description}")
         return 0
     paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).is_dir()]
-    result = run(paths, select=_split(args.select), disable=_split(args.disable))
+    result = run(
+        paths,
+        select=_split(args.select),
+        disable=_split(args.disable),
+        require_justification=args.require_justification,
+    )
+    if args.sarif_file:
+        Path(args.sarif_file).write_text(
+            render_sarif(result) + "\n", encoding="utf-8"
+        )
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result))
     return result.exit_code

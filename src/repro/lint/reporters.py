@@ -45,3 +45,34 @@ def render_json(result: LintResult) -> str:
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 log via the reporter shared with ``bonsai check``."""
+    from repro.lint.registry import all_rules
+    from repro.lint.runner import (
+        PARSE_ERROR_RULE,
+        UNJUSTIFIED_SUPPRESSION_RULE,
+        USELESS_SUPPRESSION_RULE,
+    )
+    from repro.lint.sarif import render_sarif as _render_sarif
+
+    descriptions = {
+        name: (rule.description, rule.severity.value)
+        for name, rule in all_rules().items()
+    }
+    descriptions[PARSE_ERROR_RULE] = (
+        "file could not be read or parsed", "error",
+    )
+    descriptions[USELESS_SUPPRESSION_RULE] = (
+        "suppression directive that silenced nothing this run", "warning",
+    )
+    descriptions[UNJUSTIFIED_SUPPRESSION_RULE] = (
+        "suppression directive without a '-- reason' justification",
+        "warning",
+    )
+    return _render_sarif(
+        result.diagnostics,
+        tool_name="bonsai-lint",
+        rule_descriptions=descriptions,
+    )

@@ -16,12 +16,18 @@ from typing import Iterable, Sequence
 from repro.errors import LintError
 from repro.lint.context import build_context
 from repro.lint.diagnostics import Diagnostic, Severity
-from repro.lint.registry import Rule, resolve_rules
-from repro.lint.suppressions import Suppressions
+from repro.lint.registry import Rule, all_rules, resolve_rules
+from repro.lint.suppressions import Directive, Suppressions
 
-#: rule name attached to syntax errors (not a registered rule; it cannot
-#: be disabled, because an unparseable file can hide anything)
+#: rule name attached to unreadable/unparseable files (not a registered
+#: rule; it cannot be disabled, because a broken file can hide anything)
 PARSE_ERROR_RULE = "parse-error"
+
+#: warning for directives that silenced nothing this run
+USELESS_SUPPRESSION_RULE = "useless-suppression"
+
+#: warning for directives without a ``-- reason`` justification
+UNJUSTIFIED_SUPPRESSION_RULE = "unjustified-suppression"
 
 _SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist", "results"}
 
@@ -67,27 +73,90 @@ def collect_files(paths: Sequence[str | Path]) -> list[Path]:
     return sorted(found)
 
 
-def lint_file(path: Path, rules: Iterable[Rule]) -> tuple[list[Diagnostic], int]:
+def _parse_error(path: Path, line: int, column: int, message: str) -> Diagnostic:
+    return Diagnostic(
+        path=str(path), line=line, column=column,
+        rule=PARSE_ERROR_RULE, message=message, severity=Severity.ERROR,
+    )
+
+
+def _directive_findings(
+    path: Path,
+    directives: Iterable[Directive],
+    active: frozenset[str],
+    require_justification: bool,
+) -> list[Diagnostic]:
+    """Meta-findings about the suppression directives themselves.
+
+    Staleness is judged only against rules that actually ran:
+    ``--select`` runs do not flag directives for the rules they skipped,
+    and directives naming whole-program ``bonsai check`` rules are left
+    to that tool.  ``disable=all`` is stale only when every rule ran and
+    the directive still silenced nothing.
+    """
+    out: list[Diagnostic] = []
+    full_set = active >= frozenset(all_rules())
+    for directive in directives:
+        scope = "file" if directive.kind == "disable-file" else "line"
+        for rule in sorted(directive.rules - {"all"}):
+            if rule in active and rule not in directive.used:
+                out.append(Diagnostic(
+                    path=str(path), line=directive.line, column=0,
+                    rule=USELESS_SUPPRESSION_RULE,
+                    message=(
+                        f"suppression of '{rule}' ({scope} scope) matched "
+                        "no finding; remove the stale directive"
+                    ),
+                    severity=Severity.WARNING,
+                ))
+        if "all" in directive.rules and full_set and not directive.used:
+            out.append(Diagnostic(
+                path=str(path), line=directive.line, column=0,
+                rule=USELESS_SUPPRESSION_RULE,
+                message=(
+                    f"suppression of 'all' ({scope} scope) matched no "
+                    "finding; remove the stale directive"
+                ),
+                severity=Severity.WARNING,
+            ))
+        if require_justification and not directive.justified:
+            out.append(Diagnostic(
+                path=str(path), line=directive.line, column=0,
+                rule=UNJUSTIFIED_SUPPRESSION_RULE,
+                message=(
+                    "suppression directive has no '-- reason' "
+                    "justification; say why the finding is acceptable"
+                ),
+                severity=Severity.WARNING,
+            ))
+    return out
+
+
+def lint_file(
+    path: Path,
+    rules: Iterable[Rule],
+    *,
+    require_justification: bool = False,
+) -> tuple[list[Diagnostic], int]:
     """Run ``rules`` over one file.
 
-    Returns ``(surviving diagnostics, suppressed count)``.
+    Returns ``(surviving diagnostics, suppressed count)``.  Files that
+    cannot be read, decoded, or parsed yield a single ``parse-error``
+    diagnostic instead of raising, so the run reports them and exits 1.
     """
     try:
         ctx = build_context(path)
     except SyntaxError as error:
         return (
-            [
-                Diagnostic(
-                    path=str(path),
-                    line=error.lineno or 1,
-                    column=(error.offset or 1) - 1,
-                    rule=PARSE_ERROR_RULE,
-                    message=f"file does not parse: {error.msg}",
-                    severity=Severity.ERROR,
-                )
-            ],
+            [_parse_error(
+                path, error.lineno or 1, (error.offset or 1) - 1,
+                f"file does not parse: {error.msg}",
+            )],
             0,
         )
+    except LintError as error:
+        return [_parse_error(path, 1, 0, str(error))], 0
+    rules = list(rules)
     suppressions = Suppressions.scan(ctx.source)
     kept: list[Diagnostic] = []
     suppressed = 0
@@ -99,6 +168,10 @@ def lint_file(path: Path, rules: Iterable[Rule]) -> tuple[list[Diagnostic], int]
                 suppressed += 1
             else:
                 kept.append(diagnostic)
+    kept.extend(_directive_findings(
+        path, suppressions.directives,
+        frozenset(rule.name for rule in rules), require_justification,
+    ))
     return kept, suppressed
 
 
@@ -106,6 +179,7 @@ def run(
     paths: Sequence[str | Path],
     select: Iterable[str] | None = None,
     disable: Iterable[str] | None = None,
+    require_justification: bool = False,
 ) -> LintResult:
     """Lint ``paths`` with the (optionally filtered) rule set."""
     rules = resolve_rules(select=select, disable=disable)
@@ -113,7 +187,9 @@ def run(
     diagnostics: list[Diagnostic] = []
     suppressed = 0
     for path in files:
-        found, hidden = lint_file(path, rules)
+        found, hidden = lint_file(
+            path, rules, require_justification=require_justification
+        )
         diagnostics.extend(found)
         suppressed += hidden
     return LintResult(

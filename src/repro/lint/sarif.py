@@ -1,0 +1,119 @@
+"""SARIF 2.1.0 reporter shared by ``bonsai lint`` and ``bonsai check``.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what CI systems ingest to annotate pull-request diffs.  One ``run`` is
+emitted per invocation, with the full rule table in the tool driver and
+one ``result`` per diagnostic.  Baseline-accepted findings are included
+with an ``external`` suppression — SARIF consumers show them greyed out
+instead of failing the check, mirroring the analyzer's exit-code
+behaviour.
+
+The emitted subset is pinned by ``tests/lint/test_sarif.py`` against a
+vendored 2.1.0 schema extract; widen the schema when widening the
+output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from repro._version import __version__
+from repro.lint.diagnostics import Diagnostic, Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_entry(name: str, description: str, severity: str) -> dict:
+    return {
+        "id": name,
+        "shortDescription": {"text": description},
+        "defaultConfiguration": {"level": severity},
+    }
+
+
+def _result(diagnostic: Diagnostic, suppressed: bool) -> dict:
+    uri = diagnostic.path.replace("\\", "/")
+    entry: dict = {
+        "ruleId": diagnostic.rule,
+        "level": _LEVELS[diagnostic.severity],
+        "message": {"text": diagnostic.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {
+                        "startLine": max(1, diagnostic.line),
+                        "startColumn": diagnostic.column + 1,
+                    },
+                }
+            }
+        ],
+    }
+    if suppressed:
+        entry["suppressions"] = [{"kind": "external"}]
+    return entry
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    *,
+    tool_name: str,
+    rule_descriptions: Mapping[str, tuple[str, str]],
+    suppressed: Sequence[Diagnostic] = (),
+) -> str:
+    """Serialise findings as a SARIF 2.1.0 log.
+
+    Parameters
+    ----------
+    diagnostics:
+        Findings that fail the run.
+    tool_name:
+        ``bonsai-lint`` or ``bonsai-check`` (the driver name).
+    rule_descriptions:
+        ``rule name -> (one-line description, default level)`` for the
+        driver's rule table; rules that fired but are not listed (e.g.
+        ``parse-error``) get a generated entry.
+    suppressed:
+        Baseline-accepted findings, emitted with a suppression marker.
+    """
+    rules = {
+        name: _rule_entry(name, description, level)
+        for name, (description, level) in sorted(rule_descriptions.items())
+    }
+    for diagnostic in list(diagnostics) + list(suppressed):
+        if diagnostic.rule not in rules:
+            rules[diagnostic.rule] = _rule_entry(
+                diagnostic.rule,
+                "diagnostic outside the registered rule set",
+                _LEVELS[diagnostic.severity],
+            )
+    results = [_result(d, suppressed=False) for d in diagnostics]
+    results += [_result(d, suppressed=True) for d in suppressed]
+    payload = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "version": __version__,
+                        "informationUri": (
+                            "https://github.com/bonsai-repro/bonsai"
+                        ),
+                        "rules": [rules[name] for name in sorted(rules)],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -15,7 +15,11 @@ from repro.lint import (
     run,
 )
 from repro.lint.context import module_name
-from repro.lint.runner import PARSE_ERROR_RULE
+from repro.lint.runner import (
+    PARSE_ERROR_RULE,
+    UNJUSTIFIED_SUPPRESSION_RULE,
+    USELESS_SUPPRESSION_RULE,
+)
 from repro.lint.suppressions import Suppressions
 
 EXPECTED_RULES = {
@@ -70,6 +74,46 @@ class TestSuppressions:
         sup = Suppressions.scan("x = 1  # noqa: E501\n# plain comment\n")
         assert sup.file_rules == frozenset()
         assert sup.line_rules == {}
+        assert sup.directives == []
+
+    def test_comment_only_directive_skips_decorators(self):
+        source = (
+            "# bonsai-lint: disable=model-purity -- cache is memoisation\n"
+            "@functools.lru_cache(\n"
+            "    maxsize=None,\n"
+            ")\n"
+            "def f():\n"
+            "    pass\n"
+        )
+        sup = Suppressions.scan(source)
+        assert sup.covers(_diag("model-purity", 5))  # the def line
+        assert not sup.covers(_diag("model-purity", 2))
+
+    def test_comment_only_directive_skips_blank_and_comment_lines(self):
+        source = (
+            "# bonsai-lint: disable=unit-mix -- explained below\n"
+            "# this constant is a raw sector size\n"
+            "\n"
+            "SECTOR = 512\n"
+        )
+        sup = Suppressions.scan(source)
+        assert sup.covers(_diag("unit-mix", 4))
+
+    def test_justification_is_recorded(self):
+        sup = Suppressions.scan(
+            "x = 1  # bonsai-lint: disable=all -- generated table\n"
+            "y = 2  # bonsai-lint: disable=unit-mix\n"
+        )
+        first, second = sup.directives
+        assert first.rules == frozenset({"all"}) and first.justified
+        assert second.rules == frozenset({"unit-mix"}) and not second.justified
+
+    def test_covers_records_directive_usage(self):
+        sup = Suppressions.scan("x = 1  # bonsai-lint: disable=unit-mix -- why\n")
+        directive = sup.directives[0]
+        assert directive.used == set()
+        assert sup.covers(_diag("unit-mix", 1))
+        assert directive.used == {"unit-mix"}
 
 
 class TestCollectFiles:
@@ -150,6 +194,83 @@ class TestModuleName:
         assert module_name(tmp_path / relpath) == expected
 
 
+class TestDirectiveFindings:
+    def _write(self, tmp_path, source: str):
+        target = tmp_path / "repro" / "mod.py"
+        target.parent.mkdir(exist_ok=True)
+        target.write_text(source)
+        return target
+
+    def test_stale_directive_warns_useless_suppression(self, tmp_path):
+        target = self._write(
+            tmp_path, "x = 1  # bonsai-lint: disable=unit-mix -- outdated\n"
+        )
+        kept, suppressed = lint_file(target, resolve_rules())
+        assert suppressed == 0
+        assert [d.rule for d in kept] == [USELESS_SUPPRESSION_RULE]
+        assert kept[0].severity is Severity.WARNING
+        assert "unit-mix" in kept[0].message
+
+    def test_used_directive_is_not_stale(self, tmp_path):
+        target = self._write(
+            tmp_path,
+            "import random\n"
+            "r = random.random()  # bonsai-lint: disable=determinism -- demo\n",
+        )
+        kept, suppressed = lint_file(target, resolve_rules())
+        assert suppressed == 1
+        assert kept == []
+
+    def test_select_run_does_not_flag_unselected_rules(self, tmp_path):
+        # the directive names a rule this run never executed, so its
+        # staleness is unknowable — stay quiet instead of lying
+        target = self._write(
+            tmp_path, "x = 1  # bonsai-lint: disable=determinism -- other\n"
+        )
+        kept, _ = lint_file(target, resolve_rules(select=["unit-mix"]))
+        assert kept == []
+
+    def test_check_rule_names_are_left_to_bonsai_check(self, tmp_path):
+        target = self._write(
+            tmp_path, "x = 1  # bonsai-lint: disable=unit-flow-mix -- reviewed\n"
+        )
+        kept, _ = lint_file(target, resolve_rules())
+        assert kept == []
+
+    def test_stale_disable_all_is_flagged_on_full_runs_only(self, tmp_path):
+        target = self._write(
+            tmp_path, "x = 1  # bonsai-lint: disable=all -- generated\n"
+        )
+        kept, _ = lint_file(target, resolve_rules())
+        assert [d.rule for d in kept] == [USELESS_SUPPRESSION_RULE]
+        kept, _ = lint_file(target, resolve_rules(select=["unit-mix"]))
+        assert kept == []
+
+    def test_require_justification_flags_bare_directives(self, tmp_path):
+        target = self._write(
+            tmp_path,
+            "import random\n"
+            "r = random.random()  # bonsai-lint: disable=determinism\n",
+        )
+        kept, suppressed = lint_file(
+            target, resolve_rules(), require_justification=True
+        )
+        assert suppressed == 1
+        assert [d.rule for d in kept] == [UNJUSTIFIED_SUPPRESSION_RULE]
+        kept, _ = lint_file(target, resolve_rules())
+        assert kept == []  # opt-in flag, quiet by default
+
+    def test_run_passes_require_justification_through(self, tmp_path):
+        self._write(
+            tmp_path, "x = 1  # bonsai-lint: disable-file=error-taxonomy\n"
+        )
+        result = run([tmp_path], require_justification=True)
+        assert UNJUSTIFIED_SUPPRESSION_RULE in {
+            d.rule for d in result.diagnostics
+        }
+        assert result.exit_code == 1
+
+
 class TestRunner:
     def test_syntax_error_becomes_parse_error_diagnostic(self, tmp_path):
         broken = tmp_path / "broken.py"
@@ -180,6 +301,32 @@ class TestRunner:
         assert result.diagnostics == ()
         assert result.exit_code == 0
         assert result.files_scanned == 1
+
+    def test_undecodable_file_becomes_parse_error(self, tmp_path):
+        target = tmp_path / "binary.py"
+        target.write_bytes(b"\xff\xfe\x00bad")
+        kept, suppressed = lint_file(target, resolve_rules())
+        assert suppressed == 0
+        assert [d.rule for d in kept] == [PARSE_ERROR_RULE]
+        assert "decode" in kept[0].message
+        result = run([tmp_path])
+        assert result.exit_code == 1
+
+    def test_null_bytes_become_parse_error(self, tmp_path):
+        target = tmp_path / "nulls.py"
+        target.write_text("x = 1\x00\n")
+        kept, _ = lint_file(target, resolve_rules())
+        assert [d.rule for d in kept] == [PARSE_ERROR_RULE]
+
+    def test_unreadable_file_becomes_parse_error(self, tmp_path):
+        missing = tmp_path / "gone.py"
+        missing.write_text("x = 1\n")
+        kept_before, _ = lint_file(missing, resolve_rules())
+        assert kept_before == []
+        missing.unlink()
+        kept, _ = lint_file(missing, resolve_rules())
+        assert [d.rule for d in kept] == [PARSE_ERROR_RULE]
+        assert kept[0].severity is Severity.ERROR
 
 
 class TestDiagnostic:

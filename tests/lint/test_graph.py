@@ -1,0 +1,461 @@
+"""Whole-program ``bonsai check`` tests.
+
+Every seeded violation here is deliberately invisible to the per-file
+rules: the offending flows cross module boundaries through at least one
+call hop, which is exactly the gap the graph analyses close.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint.diagnostics import Severity
+from repro.lint.graph import SUMMARY_VERSION, analyze
+from repro.lint.graph.baseline import Baseline
+from repro.lint.runner import PARSE_ERROR_RULE
+
+
+@pytest.fixture
+def check_tree(tmp_path):
+    """Write a ``src/repro``-shaped tree and analyze it.
+
+    ``files`` maps repo-relative paths to source snippets; extra keyword
+    arguments are forwarded to :func:`analyze`.  ``__init__.py`` files
+    are created for every package directory automatically.
+    """
+
+    def _check(files: dict[str, str], **kwargs):
+        for relpath, source in files.items():
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+            package = path.parent
+            while package != tmp_path and "repro" in package.parts:
+                init = package / "__init__.py"
+                if not init.exists():
+                    # distinct content per package: identical empty files
+                    # would share one entry in the content-hash cache and
+                    # skew the hit/miss counts the cache tests assert on
+                    init.write_text(
+                        f'"""Package {package.name}."""\n', encoding="utf-8"
+                    )
+                package = package.parent
+        return analyze([tmp_path / "src"], **kwargs)
+
+    return _check
+
+
+SIZES = """
+    from repro.units import KB, KiB
+
+
+    def disk_chunk():
+        return 4 * KB
+
+
+    def bram_chunk():
+        return 2 * KiB
+"""
+
+
+class TestUnitFlow:
+    def test_two_hop_cross_module_mix(self, check_tree):
+        result = check_tree({
+            "src/repro/util/sizes.py": SIZES,
+            "src/repro/util/mixer.py": """
+                from repro.util.sizes import bram_chunk, disk_chunk
+
+
+                def staging_total():
+                    return disk_chunk() + disk_chunk()
+
+
+                def footprint():
+                    return staging_total() + bram_chunk()
+            """,
+        })
+        rules = [d.rule for d in result.diagnostics]
+        assert rules == ["unit-flow-mix"]
+        message = result.diagnostics[0].message
+        assert "bytes-decimal" in message and "bytes-binary" in message
+        assert "staging_total" in message  # provenance names the hop
+        assert result.exit_code == 1
+
+    def test_call_argument_family_mismatch(self, check_tree):
+        result = check_tree({
+            "src/repro/util/sizes.py": SIZES,
+            "src/repro/util/caller.py": """
+                from repro.util.sizes import disk_chunk
+
+
+                def reserve(buffer_kib):
+                    return buffer_kib * 2
+
+
+                def bad_call():
+                    return reserve(disk_chunk())
+            """,
+        })
+        assert [d.rule for d in result.diagnostics] == ["unit-flow-call"]
+        assert "buffer_kib" in result.diagnostics[0].message
+
+    def test_generic_bytes_compatible_with_both_families(self, check_tree):
+        result = check_tree({
+            "src/repro/util/sizes.py": SIZES,
+            "src/repro/util/ok.py": """
+                from repro.util.sizes import bram_chunk, disk_chunk
+
+
+                def pad(total_bytes):
+                    return total_bytes + 64
+
+
+                def fine():
+                    return pad(disk_chunk()) + pad(bram_chunk())
+            """,
+        })
+        assert result.diagnostics == ()
+        assert result.exit_code == 0
+
+    def test_inline_suppression_is_honoured(self, check_tree):
+        result = check_tree({
+            "src/repro/util/sizes.py": SIZES,
+            "src/repro/util/mixer.py": """
+                from repro.util.sizes import bram_chunk, disk_chunk
+
+
+                def footprint():
+                    # bonsai-lint: disable=unit-flow-mix -- reviewed: display only
+                    return disk_chunk() + bram_chunk()
+            """,
+        })
+        assert result.diagnostics == ()
+        assert result.suppressed == 1
+
+
+HW_PARTS = """
+    class Widget:
+        def __init__(self):
+            self.level = 0
+            self.other = None
+
+        def tick(self):
+            pass
+
+
+    class Gauge:
+        def __init__(self):
+            self.reading = 0
+
+        def tick(self):
+            pass
+"""
+
+
+class TestTransitivePurity:
+    def test_core_reaches_hw_mutation_through_two_hops(self, check_tree):
+        result = check_tree({
+            "src/repro/hw/parts.py": HW_PARTS,
+            "src/repro/core/model.py": """
+                from repro.hw.parts import Widget
+
+
+                def poke(w: Widget):
+                    w.level = 3
+
+
+                def evaluate(w: Widget):
+                    return chain(w)
+
+
+                def chain(w: Widget):
+                    poke(w)
+                    return 1
+            """,
+        })
+        flagged = {d.rule for d in result.diagnostics}
+        assert flagged == {"transitive-purity"}
+        evaluate = [
+            d for d in result.diagnostics if "evaluate()" in d.message
+        ]
+        assert len(evaluate) == 1
+        assert "-> repro.core.model.chain -> repro.core.model.poke" in (
+            evaluate[0].message
+        )
+
+    def test_validation_bridge_is_exempt(self, check_tree):
+        result = check_tree({
+            "src/repro/hw/parts.py": HW_PARTS,
+            "src/repro/core/validation.py": """
+                from repro.hw.parts import Widget
+
+
+                def drive(w: Widget):
+                    w.level = 3
+            """,
+        })
+        assert result.diagnostics == ()
+
+    def test_pure_module_reaching_io_via_helper(self, check_tree):
+        result = check_tree({
+            "src/repro/util/dump.py": """
+                def snapshot(value):
+                    with open("/tmp/snap", "w") as fh:
+                        fh.write(str(value))
+            """,
+            "src/repro/core/performance.py": """
+                from repro.util.dump import snapshot
+
+
+                def sort_throughput(n):
+                    snapshot(n)
+                    return n * 2
+            """,
+        })
+        assert [d.rule for d in result.diagnostics] == ["transitive-purity"]
+        assert "I/O" in result.diagnostics[0].message
+
+
+class TestFifoDiscipline:
+    def test_remote_mutation_through_free_function(self, check_tree):
+        result = check_tree({
+            "src/repro/hw/parts.py": """
+                class Widget:
+                    def __init__(self):
+                        self.other = None
+
+                    def tick(self):
+                        poke(self.other)
+
+
+                class Gauge:
+                    def __init__(self):
+                        self.reading = 0
+
+                    def tick(self):
+                        pass
+
+
+                def poke(gauge: "Gauge"):
+                    gauge.reading = 7
+            """,
+        })
+        assert [d.rule for d in result.diagnostics] == ["fifo-discipline"]
+        assert "Widget.tick" in result.diagnostics[0].message
+        assert "Gauge" in result.diagnostics[0].message
+
+    def test_construction_inside_tick_is_wiring_not_mutation(self, check_tree):
+        result = check_tree({
+            "src/repro/hw/rearm.py": """
+                class Merger:
+                    def __init__(self, fanin):
+                        self.fanin = fanin
+                        self.slots = [None] * fanin
+
+                    def tick(self):
+                        pass
+
+
+                class Sorter:
+                    def __init__(self):
+                        self.tree = None
+
+                    def tick(self):
+                        if self.tree is None:
+                            self.tree = Merger(4)
+            """,
+        })
+        assert result.diagnostics == ()
+
+    def test_tick_delegation_to_child_component_is_sanctioned(self, check_tree):
+        result = check_tree({
+            "src/repro/hw/wrap.py": """
+                class Loader:
+                    def __init__(self):
+                        self.issued = 0
+
+                    def tick(self):
+                        self.issued += 1
+
+
+                class PausingLoader:
+                    def __init__(self):
+                        self.inner = Loader()
+
+                    def tick(self):
+                        self.inner.tick()
+            """,
+        })
+        assert result.diagnostics == ()
+
+    def test_peer_field_access_outside_port_surface(self, check_tree):
+        result = check_tree({
+            "src/repro/hw/peek.py": """
+                class Gauge:
+                    def __init__(self):
+                        self.reading = 0
+
+                    def tick(self):
+                        pass
+
+
+                class Widget:
+                    def __init__(self):
+                        self.gauge = Gauge()
+
+                    def tick(self):
+                        self.refresh()
+
+                    def refresh(self):
+                        return self.gauge.reading
+            """,
+        })
+        assert [d.rule for d in result.diagnostics] == ["fifo-discipline"]
+        assert "self.gauge.reading" in result.diagnostics[0].message
+
+
+BROKEN_TREE = {
+    "src/repro/util/sizes.py": SIZES,
+    "src/repro/util/broken.py": "def f(:\n",
+}
+
+
+class TestParseErrors:
+    def test_syntax_error_is_reported_not_skipped(self, check_tree):
+        result = check_tree(BROKEN_TREE)
+        assert [d.rule for d in result.diagnostics] == [PARSE_ERROR_RULE]
+        assert result.diagnostics[0].severity is Severity.ERROR
+        assert result.exit_code == 1
+
+    def test_undecodable_file_is_reported(self, check_tree, tmp_path):
+        target = tmp_path / "src" / "repro" / "binary.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(b"\xff\xfe\x00bad")
+        result = check_tree({"src/repro/util/sizes.py": SIZES})
+        assert [d.rule for d in result.diagnostics] == [PARSE_ERROR_RULE]
+        assert "binary.py" in result.diagnostics[0].path
+        assert result.exit_code == 1
+
+
+class TestBaseline:
+    def test_baselined_findings_do_not_fail_the_run(self, check_tree, tmp_path):
+        files = {
+            "src/repro/util/sizes.py": SIZES,
+            "src/repro/util/mixer.py": """
+                from repro.util.sizes import bram_chunk, disk_chunk
+
+
+                def footprint():
+                    return disk_chunk() + bram_chunk()
+            """,
+        }
+        first = check_tree(files)
+        assert first.exit_code == 1
+        baseline_file = tmp_path / "baseline.json"
+        Baseline.from_diagnostics(first.diagnostics).save(baseline_file)
+        baseline = Baseline.load(baseline_file)
+        second = check_tree(files, baseline=baseline)
+        assert second.diagnostics == ()
+        assert len(second.baselined) == 1
+        assert second.exit_code == 0
+
+    def test_new_finding_still_fails_with_baseline(self, check_tree, tmp_path):
+        files = {
+            "src/repro/util/sizes.py": SIZES,
+            "src/repro/util/mixer.py": """
+                from repro.util.sizes import bram_chunk, disk_chunk
+
+
+                def footprint():
+                    return disk_chunk() + bram_chunk()
+            """,
+        }
+        first = check_tree(files)
+        baseline_file = tmp_path / "baseline.json"
+        Baseline.from_diagnostics(first.diagnostics).save(baseline_file)
+        files["src/repro/util/mixer.py"] = """
+            from repro.util.sizes import bram_chunk, disk_chunk
+
+
+            def footprint():
+                return disk_chunk() + bram_chunk()
+
+
+            def second():
+                return disk_chunk() + bram_chunk()
+        """
+        second = check_tree(files, baseline=Baseline.load(baseline_file))
+        assert len(second.diagnostics) == 1
+        assert len(second.baselined) == 1
+        assert second.exit_code == 1
+
+    def test_fingerprints_survive_line_shifts(self, check_tree, tmp_path):
+        files = {
+            "src/repro/util/sizes.py": SIZES,
+            "src/repro/util/mixer.py": """
+                from repro.util.sizes import bram_chunk, disk_chunk
+
+
+                def footprint():
+                    return disk_chunk() + bram_chunk()
+            """,
+        }
+        first = check_tree(files)
+        baseline_file = tmp_path / "baseline.json"
+        Baseline.from_diagnostics(first.diagnostics).save(baseline_file)
+        files["src/repro/util/mixer.py"] = (
+            "\n\n\n" + files["src/repro/util/mixer.py"]
+        )
+        shifted = check_tree(files, baseline=Baseline.load(baseline_file))
+        assert shifted.diagnostics == ()
+        assert len(shifted.baselined) == 1
+
+
+class TestSummaryCache:
+    FILES = {
+        "src/repro/util/sizes.py": SIZES,
+        "src/repro/util/mixer.py": """
+            from repro.util.sizes import bram_chunk, disk_chunk
+
+
+            def footprint():
+                return disk_chunk() + bram_chunk()
+        """,
+    }
+
+    def test_warm_run_reanalyzes_nothing_and_is_fast(self, check_tree, tmp_path):
+        cache_dir = tmp_path / "cache"
+        cold = check_tree(self.FILES, cache_dir=cache_dir)
+        assert cold.from_cache == 0
+        assert cold.reanalyzed == cold.files_scanned > 0
+        warm = check_tree(self.FILES, cache_dir=cache_dir)
+        assert warm.reanalyzed == 0
+        assert warm.from_cache == warm.files_scanned
+        assert warm.elapsed_seconds < 2.0
+        assert [d.render() for d in warm.diagnostics] == [
+            d.render() for d in cold.diagnostics
+        ]
+
+    def test_editing_one_file_reextracts_only_it(self, check_tree, tmp_path):
+        cache_dir = tmp_path / "cache"
+        check_tree(self.FILES, cache_dir=cache_dir)
+        edited = dict(self.FILES)
+        edited["src/repro/util/mixer.py"] = (
+            edited["src/repro/util/mixer.py"] + "            # trailing\n"
+        )
+        warm = check_tree(edited, cache_dir=cache_dir)
+        assert warm.reanalyzed == 1
+
+    def test_version_bump_invalidates_entries(self, check_tree, tmp_path):
+        cache_dir = tmp_path / "cache"
+        check_tree(self.FILES, cache_dir=cache_dir)
+        for entry in cache_dir.glob("*.json"):
+            entry.rename(entry.with_name(
+                entry.name.replace(
+                    f"-v{SUMMARY_VERSION}", f"-v{SUMMARY_VERSION + 1}"
+                )
+            ))
+        warm = check_tree(self.FILES, cache_dir=cache_dir)
+        assert warm.from_cache == 0

@@ -1,0 +1,194 @@
+"""SARIF and golden-file reporter tests.
+
+The goldens under ``tests/lint/golden/`` pin the exact bytes the
+reporters emit for a fixed fixture; regenerate them after an intended
+shape change with::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/lint/test_sarif.py
+
+Every SARIF document is additionally validated against the vendored
+2.1.0 subset schema (``sarif-2.1.0-subset.schema.json``), so a golden
+update cannot silently drift off the OASIS format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.lint import render_json, render_sarif, run
+from repro.lint.graph import analyze
+from repro.lint.graph.baseline import Baseline
+from repro.lint.graph.main import render_json as render_check_json
+from repro.lint.graph.main import render_sarif_report
+
+HERE = Path(__file__).parent
+GOLDEN_DIR = HERE / "golden"
+SCHEMA = json.loads(
+    (HERE / "sarif-2.1.0-subset.schema.json").read_text(encoding="utf-8")
+)
+
+LINT_FIXTURE = """\
+import time
+
+
+def jitter():
+    return time.time()
+
+
+def sampled():
+    return time.time()  # bonsai-lint: disable=determinism -- golden: suppressed on purpose
+
+
+# bonsai-lint: disable=determinism
+def quiet():
+    return 1
+"""
+
+CHECK_SIZES = """\
+from repro.units import KB, KiB
+
+
+def disk_chunk():
+    return 4 * KB
+
+
+def bram_chunk():
+    return 2 * KiB
+"""
+
+CHECK_MIXER = """\
+from repro.util.sizes import bram_chunk, disk_chunk
+
+
+def footprint():
+    return disk_chunk() + bram_chunk()
+
+
+def reserve(buffer_kib):
+    return buffer_kib * 2
+
+
+def bad_call():
+    return reserve(disk_chunk())
+"""
+
+
+def _assert_matches_golden(actual: str, name: str) -> None:
+    golden = GOLDEN_DIR / name
+    if os.environ.get("REGEN_GOLDEN") == "1":
+        golden.parent.mkdir(parents=True, exist_ok=True)
+        golden.write_text(actual + "\n", encoding="utf-8")
+    expected = golden.read_text(encoding="utf-8")
+    assert actual + "\n" == expected, (
+        f"{name} drifted; regenerate with REGEN_GOLDEN=1 if intended"
+    )
+
+
+def _normalise_sarif(document: str) -> str:
+    """Replace the tool version so goldens survive release bumps."""
+    payload = json.loads(document)
+    for entry in payload["runs"]:
+        entry["tool"]["driver"]["version"] = "0.0.0"
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _validate_sarif(document: str) -> dict:
+    payload = json.loads(document)
+    jsonschema.validate(payload, SCHEMA)
+    return payload
+
+
+@pytest.fixture
+def lint_result(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "src" / "repro" / "hw" / "golden.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(LINT_FIXTURE, encoding="utf-8")
+    return run(["src"], require_justification=True)
+
+
+@pytest.fixture
+def check_result(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    for relpath, source in (
+        ("src/repro/util/sizes.py", CHECK_SIZES),
+        ("src/repro/util/mixer.py", CHECK_MIXER),
+    ):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    first = analyze(["src"])
+    accepted = [d for d in first.diagnostics if d.rule == "unit-flow-mix"]
+    baseline = Baseline.from_diagnostics(accepted)
+    return analyze(["src"], baseline=baseline)
+
+
+class TestLintGoldens:
+    def test_fixture_produces_the_expected_mix(self, lint_result):
+        rules = sorted(d.rule for d in lint_result.diagnostics)
+        assert rules == [
+            "determinism", "unjustified-suppression", "useless-suppression",
+        ]
+        assert lint_result.suppressed == 1
+
+    def test_json_golden(self, lint_result):
+        _assert_matches_golden(render_json(lint_result), "lint.json")
+
+    def test_sarif_golden_and_schema(self, lint_result):
+        document = render_sarif(lint_result)
+        payload = _validate_sarif(document)
+        results = payload["runs"][0]["results"]
+        assert {r["ruleId"] for r in results} == {
+            "determinism", "unjustified-suppression", "useless-suppression",
+        }
+        rule_ids = {
+            rule["id"] for rule in payload["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert "parse-error" in rule_ids  # full rule table, not just fired
+        _assert_matches_golden(_normalise_sarif(document), "lint.sarif")
+
+
+class TestCheckGoldens:
+    def test_fixture_produces_new_and_baselined(self, check_result):
+        assert [d.rule for d in check_result.diagnostics] == ["unit-flow-call"]
+        assert [d.rule for d in check_result.baselined] == ["unit-flow-mix"]
+
+    def test_json_golden(self, check_result):
+        _assert_matches_golden(render_check_json(check_result), "check.json")
+
+    def test_sarif_golden_and_schema(self, check_result):
+        document = render_sarif_report(check_result)
+        payload = _validate_sarif(document)
+        results = payload["runs"][0]["results"]
+        by_rule = {r["ruleId"]: r for r in results}
+        assert "suppressions" not in by_rule["unit-flow-call"]
+        assert by_rule["unit-flow-mix"]["suppressions"] == [
+            {"kind": "external"}
+        ]
+        _assert_matches_golden(_normalise_sarif(document), "check.sarif")
+
+
+class TestSchemaPin:
+    def test_schema_rejects_wrong_version(self):
+        with pytest.raises(jsonschema.ValidationError):
+            jsonschema.validate(
+                {"$schema": "x/sarif-schema-2.1.0.json",
+                 "version": "2.0.0", "runs": []},
+                SCHEMA,
+            )
+
+    def test_schema_rejects_zero_start_line(self, lint_result):
+        payload = json.loads(render_sarif(lint_result))
+        region = (
+            payload["runs"][0]["results"][0]["locations"][0]
+            ["physicalLocation"]["region"]
+        )
+        region["startLine"] = 0
+        with pytest.raises(jsonschema.ValidationError):
+            jsonschema.validate(payload, SCHEMA)
