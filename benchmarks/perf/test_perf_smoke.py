@@ -1,0 +1,103 @@
+"""Perf-trajectory smoke suite (quick-mode ``bonsai bench``).
+
+Runs the benchmark harness in quick mode, which *also* differentially
+verifies on every scenario that the event-driven engine and the naive
+stepper produce identical outputs and statistics (the runner raises if
+they diverge).  Speedup floors here are deliberately conservative —
+about half the full-run targets recorded in ``BENCH_simulator.json`` —
+so CI noise cannot flake them; the committed trajectory carries the
+headline numbers.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+
+import pytest
+
+from repro.bench import SCENARIOS, compare_to_baseline, run_suite
+from repro.bench.runner import SCHEMA, build_report
+from repro.bench.scenarios import BY_NAME
+from repro.errors import ConfigurationError
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "baseline.json"
+
+
+@pytest.fixture(scope="module")
+def quick_results():
+    """One quick run of the bandwidth-bound + optimizer scenarios."""
+    names = [s.name for s in SCENARIOS if s.bandwidth_bound] + ["optimizer_sweep"]
+    return run_suite(names=names, quick=True)
+
+
+def test_bandwidth_bound_shapes_speed_up(quick_results):
+    """The fast engine beats the stepper on every bandwidth-bound shape.
+
+    The runner has already asserted bit-identical outputs; this checks
+    the speedups that motivate the engine, at noise-proof floors.
+    """
+    for result in quick_results:
+        if result.kind == "optimizer":
+            continue
+        floor = (BY_NAME[result.name].target_speedup or 2.0) / 2
+        assert result.speedup >= floor, (
+            f"{result.name}: {result.speedup:.1f}x under quick-mode "
+            f"floor {floor:.1f}x"
+        )
+
+
+def test_end_to_end_figure_benchmark_speeds_up(quick_results):
+    """The Fig. 13-regime full sort clears the end-to-end floor."""
+    by_name = {result.name: result for result in quick_results}
+    assert by_name["e2e_hdd_sort"].speedup >= 1.5
+    assert by_name["e2e_hdd_sort"].extra["stages"] >= 2  # genuinely multi-stage
+
+
+def test_optimizer_memoization_speeds_up(quick_results):
+    """A warm shared Bonsai beats fresh instances, with identical ranks."""
+    by_name = {result.name: result for result in quick_results}
+    sweep = by_name["optimizer_sweep"]
+    assert sweep.speedup >= 1.5  # runner asserts the rankings match
+
+
+def test_report_schema(quick_results):
+    report = build_report(quick_results, quick=True)
+    assert report["schema"] == SCHEMA
+    assert report["quick"] is True
+    for name, payload in report["scenarios"].items():
+        assert name in BY_NAME
+        for key in ("kind", "naive_seconds", "fast_seconds", "speedup"):
+            assert key in payload, f"{name} missing {key}"
+
+
+def test_committed_baseline_is_coherent():
+    """The CI gate's baseline names real scenarios and quick mode."""
+    baseline = json.loads(BASELINE_PATH.read_text())
+    assert baseline["schema"] == SCHEMA
+    assert baseline["quick"] is True
+    assert set(baseline["scenarios"]) == set(BY_NAME)
+    for payload in baseline["scenarios"].values():
+        assert payload["fast_seconds"] > 0
+
+
+def test_baseline_gate_catches_slowdowns():
+    baseline = json.loads(BASELINE_PATH.read_text())
+    assert compare_to_baseline(baseline, baseline) == []
+    slowed = copy.deepcopy(baseline)
+    name = next(iter(slowed["scenarios"]))
+    slowed["scenarios"][name]["fast_seconds"] = (
+        3 * baseline["scenarios"][name]["fast_seconds"]
+    )
+    problems = compare_to_baseline(slowed, baseline, max_slowdown=2.0)
+    assert len(problems) == 1 and name in problems[0]
+    # Scenarios unknown to the baseline are ignored, not failed.
+    extra = copy.deepcopy(baseline)
+    extra["scenarios"]["brand_new_shape"] = {"fast_seconds": 99.0}
+    assert compare_to_baseline(extra, baseline) == []
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ConfigurationError, match="unknown scenario"):
+        run_suite(names=["no_such_shape"])

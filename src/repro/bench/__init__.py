@@ -1,0 +1,27 @@
+"""Performance-trajectory benchmark harness (``bonsai bench``).
+
+Times representative :func:`~repro.hw.tree.simulate_merge` shapes and
+optimizer sweeps under both simulation engines — the event-driven fast
+path and the naive per-cycle stepper — verifying on every run that the
+two produce identical results, and records the wall-clock trajectory in
+``BENCH_simulator.json`` so performance regressions are visible in CI.
+
+See ``docs/performance.md`` for how to run and read the numbers.
+"""
+
+from repro.bench.runner import (
+    BenchResult,
+    compare_to_baseline,
+    run_suite,
+    write_report,
+)
+from repro.bench.scenarios import SCENARIOS, Scenario
+
+__all__ = [
+    "BenchResult",
+    "SCENARIOS",
+    "Scenario",
+    "compare_to_baseline",
+    "run_suite",
+    "write_report",
+]

@@ -1,0 +1,238 @@
+# bonsai-lint: disable-file=determinism -- the harness times host wall-clock
+# by design; everything it times is seeded and engine-verified deterministic.
+"""Benchmark runner: times scenarios, verifies engines agree, emits JSON.
+
+This is the only module in the package that reads the host clock.  Every
+simulator scenario is executed under **both** engines — the event-driven
+fast path and the naive per-cycle stepper — and the run fails loudly if
+their outputs or statistics differ, so the recorded speedups can never
+come from a divergent simulation.  The optimizer scenario compares a
+cache-cold instance per sweep against one shared (memoized) instance and
+checks the rankings are identical.
+
+Timing uses the best of ``reps`` repetitions of ``time.perf_counter``
+(wall clock, per the perf-trajectory contract); quick mode shrinks the
+workloads and repetitions for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from repro.bench.scenarios import (
+    BY_NAME,
+    SCENARIOS,
+    Scenario,
+    make_optimizer,
+    run_end_to_end,
+    run_micro,
+    run_optimizer_sweep,
+)
+from repro.errors import ConfigurationError, SimulationError
+
+#: Report schema tag; bump when the JSON layout changes.
+SCHEMA = "bonsai-bench/v1"
+
+#: CI gate: fail when a scenario's fast-engine time exceeds the committed
+#: baseline by more than this factor.
+DEFAULT_MAX_SLOWDOWN = 2.0
+
+
+@dataclass
+class BenchResult:
+    """One scenario's timings (seconds) and verification payload."""
+
+    name: str
+    kind: str
+    summary: str
+    naive_seconds: float
+    fast_seconds: float
+    cycles: int | None = None
+    bandwidth_bound: bool = False
+    target_speedup: float | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        """Naive-over-fast wall-clock ratio (cold-over-memoized for the
+        optimizer scenario)."""
+        return self.naive_seconds / self.fast_seconds if self.fast_seconds else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "summary": self.summary,
+            "naive_seconds": round(self.naive_seconds, 4),
+            "fast_seconds": round(self.fast_seconds, 4),
+            "speedup": round(self.speedup, 2),
+            "cycles": self.cycles,
+            "bandwidth_bound": self.bandwidth_bound,
+            "target_speedup": self.target_speedup,
+            **({"extra": self.extra} if self.extra else {}),
+        }
+
+
+def _best_of(fn: Callable[[], object], reps: int) -> tuple[float, object]:
+    """Minimum wall-clock over ``reps`` calls, plus the last result."""
+    best = None
+    result = None
+    for _ in range(reps):
+        started = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return best or 0.0, result
+
+
+def _run_simulator_scenario(scenario: Scenario, quick: bool) -> BenchResult:
+    reps = 2 if quick else 3
+    if scenario.kind == "micro":
+        runs = scenario.make_runs(quick)
+        naive_seconds, naive_out = _best_of(
+            lambda: run_micro(scenario, runs, "naive"), reps
+        )
+        fast_seconds, fast_out = _best_of(
+            lambda: run_micro(scenario, runs, "fast"), reps
+        )
+        if naive_out[0] != fast_out[0] or naive_out[1] != fast_out[1]:
+            raise SimulationError(
+                f"{scenario.name}: engines diverged (output or StageStats)"
+            )
+        cycles = fast_out[1].cycles
+        extra = {"records": fast_out[1].records_in}
+    else:
+        records = scenario.make_records(quick)
+        naive_seconds, naive_out = _best_of(
+            lambda: run_end_to_end(scenario, records, "naive"), reps
+        )
+        fast_seconds, fast_out = _best_of(
+            lambda: run_end_to_end(scenario, records, "fast"), reps
+        )
+        if naive_out != fast_out:
+            raise SimulationError(
+                f"{scenario.name}: engines diverged on the end-to-end sort"
+            )
+        if fast_out[0] != sorted(records):
+            raise SimulationError(f"{scenario.name}: end-to-end output unsorted")
+        cycles = fast_out[2]
+        extra = {"records": len(records), "stages": fast_out[1]}
+    return BenchResult(
+        name=scenario.name,
+        kind=scenario.kind,
+        summary=scenario.summary,
+        naive_seconds=naive_seconds,
+        fast_seconds=fast_seconds,
+        cycles=cycles,
+        bandwidth_bound=scenario.bandwidth_bound,
+        target_speedup=scenario.target_speedup,
+        extra=extra,
+    )
+
+
+def _run_optimizer_scenario(scenario: Scenario, quick: bool) -> BenchResult:
+    reps = 2 if quick else 3
+    # Cold: a fresh Bonsai per sweep re-derives Eq. 1-10 throughout.
+    cold_seconds, cold_result = _best_of(
+        lambda: run_optimizer_sweep(make_optimizer()), reps
+    )
+    # Memoized: one shared instance; the first repetition fills the
+    # caches, min-of-reps then reflects the steady (warm) cost.
+    shared = make_optimizer()
+    warm_seconds, warm_result = _best_of(
+        lambda: run_optimizer_sweep(shared), max(2, reps)
+    )
+    if cold_result != warm_result:
+        raise SimulationError(
+            f"{scenario.name}: memoized optimizer ranked differently"
+        )
+    return BenchResult(
+        name=scenario.name,
+        kind=scenario.kind,
+        summary=scenario.summary,
+        naive_seconds=cold_seconds,
+        fast_seconds=warm_seconds,
+        bandwidth_bound=scenario.bandwidth_bound,
+        target_speedup=scenario.target_speedup,
+        extra={"sizes_gb": [entry[0] for entry in (cold_result or [])]},
+    )
+
+
+def run_scenario(scenario: Scenario, quick: bool = False) -> BenchResult:
+    """Time one scenario under both engines and verify they agree."""
+    if scenario.kind in ("micro", "end_to_end"):
+        return _run_simulator_scenario(scenario, quick)
+    if scenario.kind == "optimizer":
+        return _run_optimizer_scenario(scenario, quick)
+    raise ConfigurationError(f"unknown scenario kind {scenario.kind!r}")
+
+
+def run_suite(
+    names: Iterable[str] | None = None, quick: bool = False
+) -> list[BenchResult]:
+    """Run the selected scenarios (all of them by default) in order."""
+    if names:
+        unknown = sorted(set(names) - set(BY_NAME))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(BY_NAME))}"
+            )
+        selected = [scenario for scenario in SCENARIOS if scenario.name in set(names)]
+    else:
+        selected = list(SCENARIOS)
+    return [run_scenario(scenario, quick=quick) for scenario in selected]
+
+
+# ----------------------------------------------------------------------
+# report + baseline gate
+# ----------------------------------------------------------------------
+def build_report(results: Iterable[BenchResult], quick: bool) -> dict:
+    """The ``BENCH_simulator.json`` payload."""
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "scenarios": {result.name: result.to_json() for result in results},
+    }
+
+
+def write_report(results: Iterable[BenchResult], path: str | Path, quick: bool) -> dict:
+    """Serialise the report to ``path`` and return it."""
+    report = build_report(results, quick)
+    Path(path).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report
+
+
+def compare_to_baseline(
+    report: Mapping,
+    baseline: Mapping,
+    max_slowdown: float = DEFAULT_MAX_SLOWDOWN,
+) -> list[str]:
+    """Regression messages for scenarios slower than baseline allows.
+
+    Compares fast-engine wall-clock per scenario; scenarios present only
+    on one side are ignored (new scenarios enter the gate when the
+    baseline is regenerated — see ``docs/performance.md``).
+    """
+    problems = []
+    current = report.get("scenarios", {})
+    reference = baseline.get("scenarios", {})
+    for name in sorted(set(current) & set(reference)):
+        now = current[name].get("fast_seconds")
+        then = reference[name].get("fast_seconds")
+        if not now or not then:
+            continue
+        if now > max_slowdown * then:
+            problems.append(
+                f"{name}: fast engine took {now:.3f}s vs baseline "
+                f"{then:.3f}s (>{max_slowdown:.1f}x slowdown)"
+            )
+    return problems
+
+
+def load_baseline(path: str | Path) -> dict:
+    """Read a committed baseline report."""
+    return json.loads(Path(path).read_text())

@@ -98,6 +98,19 @@ class Bonsai:
     performance: PerformanceModel = field(init=False)
     resources: ResourceModel = field(init=False)
 
+    # Memoization (§III-C is an exhaustive search, and callers ranking a
+    # sweep of arrays re-evaluate the same configurations over and
+    # over).  Every input dataclass is frozen and the models are pure
+    # functions of construction-time parameters, so results are cached
+    # per key and shared across ``rank_by_latency``,
+    # ``rank_by_throughput`` and the ``*_optimal`` helpers.  The caches
+    # assume the optimizer's parameters are not mutated after
+    # construction — build a new ``Bonsai`` for new hardware.
+    _resource_cache: dict = field(init=False, default_factory=dict, repr=False)
+    _feasible_cache: dict = field(init=False, default_factory=dict, repr=False)
+    _latency_cache: dict = field(init=False, default_factory=dict, repr=False)
+    _throughput_cache: dict = field(init=False, default_factory=dict, repr=False)
+
     def __post_init__(self) -> None:
         for label, value in (
             ("p_max", self.p_max),
@@ -126,8 +139,27 @@ class Bonsai:
             yield value
             value *= 2
 
+    def _resource_figures(self, config: AmtConfig) -> tuple[bool, float, int]:
+        """Memoized ``(fits, lut_usage, bram_bytes)`` for a config."""
+        cached = self._resource_cache.get(config)
+        if cached is None:
+            cached = (
+                self.resources.fits(config),
+                self.resources.lut_usage(config),
+                self.resources.bram_bytes(config),
+            )
+            self._resource_cache[config] = cached
+        return cached
+
     def feasible_configs(self, include_pipelines: bool = False) -> Iterator[AmtConfig]:
         """All configurations satisfying Eq. 9 and Eq. 10."""
+        cached = self._feasible_cache.get(include_pipelines)
+        if cached is None:
+            cached = tuple(self._enumerate_feasible(include_pipelines))
+            self._feasible_cache[include_pipelines] = cached
+        yield from cached
+
+    def _enumerate_feasible(self, include_pipelines: bool) -> Iterator[AmtConfig]:
         leaves_limit = self.leaves_max
         if self.leaves_cap is not None:
             leaves_limit = min(leaves_limit, self.leaves_cap)
@@ -137,7 +169,7 @@ class Bonsai:
                 # Cheap monotone pruning: if the single tree already
                 # violates a bound, wider λ only makes it worse.
                 base = AmtConfig(p=p, leaves=leaves)
-                if not self.resources.fits(base):
+                if not self._resource_figures(base)[0]:
                     continue
                 for lambda_pipe in pipe_range:
                     for lambda_unroll in self._powers(1, self.unroll_max):
@@ -147,16 +179,31 @@ class Bonsai:
                             lambda_unroll=lambda_unroll,
                             lambda_pipe=lambda_pipe,
                         )
-                        if self.resources.fits(config):
+                        if self._resource_figures(config)[0]:
                             yield config
 
     # ------------------------------------------------------------------
     # latency optimization (§III-C, first program)
     # ------------------------------------------------------------------
-    def _latency(self, config: AmtConfig, array: ArrayParams, mode: UnrollMode) -> float:
-        if mode == "address_range":
-            return self.performance.latency_unrolled_address_range(config, array)
-        return self.performance.latency_unrolled(config, array)
+    def _latency(self, config: AmtConfig, array: ArrayParams, mode: str) -> float:
+        key = (config, array, mode)
+        cached = self._latency_cache.get(key)
+        if cached is None:
+            if mode == "address_range":
+                cached = self.performance.latency_unrolled_address_range(config, array)
+            elif mode == "combined":
+                cached = self.performance.latency_combined(config, array)
+            else:
+                cached = self.performance.latency_unrolled(config, array)
+            self._latency_cache[key] = cached
+        return cached
+
+    def _throughput(self, config: AmtConfig) -> float:
+        cached = self._throughput_cache.get(config)
+        if cached is None:
+            cached = self.performance.throughput_combined(config)
+            self._throughput_cache[config] = cached
+        return cached
 
     def rank_by_latency(
         self,
@@ -172,13 +219,14 @@ class Bonsai:
         ranked = []
         for config in self.feasible_configs(include_pipelines=False):
             latency = self._latency(config, array, unroll_mode)
+            _, lut_usage, bram_bytes = self._resource_figures(config)
             ranked.append(
                 RankedConfig(
                     config=config,
                     latency_seconds=latency,
                     throughput_bytes=array.total_bytes / latency,
-                    lut_usage=self.resources.lut_usage(config),
-                    bram_bytes=self.resources.bram_bytes(config),
+                    lut_usage=lut_usage,
+                    bram_bytes=bram_bytes,
                 )
             )
         # Equal-latency ties prefer more leaves (robustness to larger N:
@@ -221,14 +269,15 @@ class Bonsai:
         for config in self.feasible_configs(include_pipelines=True):
             if not self.pipeline_can_sort(config, array):
                 continue
-            throughput = self.performance.throughput_combined(config)
+            throughput = self._throughput(config)
+            _, lut_usage, bram_bytes = self._resource_figures(config)
             ranked.append(
                 RankedConfig(
                     config=config,
-                    latency_seconds=self.performance.latency_combined(config, array),
+                    latency_seconds=self._latency(config, array, "combined"),
                     throughput_bytes=throughput,
-                    lut_usage=self.resources.lut_usage(config),
-                    bram_bytes=self.resources.bram_bytes(config),
+                    lut_usage=lut_usage,
+                    bram_bytes=bram_bytes,
                 )
             )
         ranked.sort(key=lambda r: (-r.throughput_bytes, r.lut_usage, r.bram_bytes))

@@ -6,6 +6,18 @@ item pushed in cycle ``c`` is observed by its consumer no earlier than
 cycle ``c + 1`` — the standard one-register-per-stage pipeline discipline.
 The resulting pipeline fill latency matches the datapath depth, and
 steady-state throughput is one tuple per component per cycle.
+
+Two execution engines drive the same component graph:
+
+* the **naive stepper** ticks every component on every cycle;
+* the **event-driven fast path** (:mod:`repro.hw.fastpath`) puts
+  provably-stalled components to sleep, wakes them on FIFO traffic or
+  self-scheduled timers, and bulk-applies the skipped cycles' stall and
+  idle accounting on wake; when the whole graph sleeps, the clock jumps
+  straight to the next timer.  The two engines are cycle-exact
+  equivalents — same final cycle count, same statistics, same data —
+  which the differential suite in ``tests/hw/test_fastpath.py``
+  verifies across randomized shapes.
 """
 
 from __future__ import annotations
@@ -14,6 +26,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 from repro.errors import SimulationError
+from repro.hw import fastpath
+
+#: Default ``run_until`` cycle budget, shared by every stage driver
+#: (:func:`repro.hw.tree.simulate_merge` threads it through unchanged).
+#: Sized for the largest simulated stage plus an order of magnitude of
+#: headroom: a timeout at this budget means deadlock, not slowness.
+DEFAULT_MAX_CYCLES = 50_000_000
 
 
 class Component(Protocol):
@@ -33,10 +52,19 @@ class Simulation:
     components:
         Tick order; producers of a FIFO should appear *after* its
         consumer for one-cycle-per-stage semantics.
+    fast_forward:
+        When true (the default) and every component implements the
+        quiescence protocol of :mod:`repro.hw.fastpath`, ``run_until``
+        uses the event-driven scheduler, which skips provably-stalled
+        component ticks instead of executing them.  Cycle counts and
+        statistics are identical either way; set false to force the
+        naive stepper (e.g. when comparing the engines or stepping
+        through a bug).
     """
 
     components: list = field(default_factory=list)
     cycle: int = 0
+    fast_forward: bool = True
 
     def add(self, component: Component) -> None:
         """Append a component at the end of the tick order."""
@@ -49,7 +77,7 @@ class Simulation:
         self.cycle += 1
 
     def run_until(
-        self, done: Callable[[], bool], max_cycles: int = 10_000_000
+        self, done: Callable[[], bool], max_cycles: int = DEFAULT_MAX_CYCLES
     ) -> int:
         """Step until ``done()`` is true; returns the elapsed cycle count.
 
@@ -58,14 +86,28 @@ class Simulation:
         SimulationError
             When ``max_cycles`` elapse first — almost always a deadlock
             in the component graph (a FIFO sized too small, or a
-            terminal that never arrived).
+            terminal that never arrived).  The error message carries a
+            stall snapshot: every FIFO's occupancy and high-water mark
+            plus each merger's run state.
         """
         start = self.cycle
+        limit = start + max_cycles
+        components = self.components
+        if self.fast_forward and fastpath.supports_fast_forward(components):
+            try:
+                self.cycle = fastpath.run_event_driven(
+                    components, start, done, limit, max_cycles
+                )
+            except SimulationError:
+                self.cycle = limit
+                raise
+            return self.cycle - start
         while not done():
-            if self.cycle - start >= max_cycles:
+            if self.cycle >= limit:
                 raise SimulationError(
                     f"simulation did not complete within {max_cycles} cycles; "
-                    "likely deadlock or missing terminal"
+                    "likely deadlock or missing terminal\n"
+                    + fastpath.format_stall_report(components, self.cycle)
                 )
             self.step()
         return self.cycle - start

@@ -81,3 +81,28 @@ class Coupler:
         self.output.push(self._held + tuple(item))
         self._held = None
         self.emitted_tuples += 1
+
+    # ------------------------------------------------------------------
+    # quiescence protocol (repro.hw.fastpath)
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> int | None:
+        """``cycle`` when this tick would move an item, else ``None``.
+
+        The coupler is purely reactive: with a full output or an empty
+        input its tick is a complete no-op (it counts nothing), so it
+        stays quiescent until a neighbour pushes or pops.
+        """
+        if self.output.is_full or self.input.is_empty:
+            return None
+        return cycle
+
+    def stall_tag(self) -> str | None:
+        """Stalled coupler ticks perform no bookkeeping at all."""
+        return None
+
+    def apply_stall(self, tag: str | None, n_cycles: int) -> None:
+        """Skipped coupler stalls have nothing to account."""
+
+    def skip_cycles(self, n_cycles: int) -> None:
+        """Immediate form of :meth:`apply_stall` (see fastpath docs)."""
+        self.apply_stall(self.stall_tag(), n_cycles)

@@ -1,0 +1,322 @@
+"""Cycle-exact event-driven fast path for the simulator.
+
+The naive :class:`~repro.hw.clock.Simulation` loop ticks every component
+on every cycle.  In the memory-bound configurations the paper cares most
+about (§IV, Eq. 1-3) almost all of those ticks are *stall ticks*: the
+loader is mid-way through a multi-cycle batch transfer, most of the tree
+is starved or back-pressured, and each tick only increments a stall or
+idle counter.  This engine skips those ticks without changing a single
+observable number: cycle counts, per-merger statistics, loader/writer
+statistics and the merged output are bit-identical to the naive stepper
+(the differential suite in ``tests/hw/test_fastpath.py`` verifies this
+across randomized shapes).
+
+The quiescence protocol
+-----------------------
+
+A component opts in by implementing three methods next to ``tick``:
+
+``next_event_cycle(cycle) -> int | None``
+    The earliest cycle at which this component's ``tick`` might do real
+    work — move an item, change shared state, branch differently —
+    assuming **no other component mutates shared state in between**.
+    ``cycle`` (or smaller) means "I may act right now"; a future cycle
+    is a self-scheduled timer (the loader's in-flight batch transfer,
+    the writer's bandwidth-credit refill); ``None`` means "only another
+    component's push or pop can wake me".
+
+``stall_tag() -> str | None``
+    A label classifying what the component's stall ticks would count
+    *under the current frozen state* (``"stall_output"`` vs
+    ``"idle_cycles"``, bandwidth-limited vs idle, ...).  Captured once
+    when the component goes to sleep, because by the time the skipped
+    window is accounted for, the FIFO state that justified the
+    classification may already have changed.
+
+``apply_stall(tag, n) -> None``
+    Bulk-apply ``n`` skipped stall ticks' worth of bookkeeping for a
+    captured ``tag``: the same counters a naive tick would have
+    incremented ``n`` times, the same deterministic local state
+    evolution (credit refill, transfer countdown), and nothing else.
+
+``skip_cycles(n)`` (``= apply_stall(stall_tag(), n)``) is the immediate
+form used when the state is known to still be frozen.
+
+The engine
+----------
+
+:func:`run_event_driven` keeps a per-component *awake* flag.  Awake
+components tick normally, in list order, preserving the naive stepper's
+intra-cycle semantics exactly.  A component whose tick moved no data
+(its adjacent FIFOs' push/pop counters are unchanged) is asked for its
+next event; if that is not the next cycle, the component goes to sleep,
+recording the cycle it slept from, its stall tag, and an optional timer.
+
+Sleeping components are woken by
+
+* **FIFO traffic**: when an awake component's tick changes a FIFO, every
+  sleeping component adjacent to that FIFO is woken — effective the
+  same cycle for components later in tick order (they have not ticked
+  yet this cycle), the next cycle for earlier ones (their turn already
+  passed, correctly, as a stall);
+* **timers**: the self-scheduled ``next_event_cycle`` hints;
+* **termination**: when the run completes or hits its cycle budget,
+  every sleeper is settled up to the final cycle.
+
+On wake, the skipped window is charged in one ``apply_stall`` call.
+When *no* component is awake the clock jumps straight to the earliest
+timer (or the cycle budget, turning silent deadlocks into instant,
+fully-accounted timeouts).  Spurious wakes are harmless: the component
+ticks once — counting its stall exactly as the naive stepper would —
+and goes back to sleep.
+
+Components that do not implement the protocol (trace recorders, fault
+injectors, pausing wrappers) disable the fast path for the whole run;
+:class:`~repro.hw.clock.Simulation` silently degrades to the naive
+loop.  See ``docs/performance.md`` for the full contract and the
+argument for why the engines cannot diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+from typing import Callable
+
+from repro.errors import SimulationError
+from repro.hw.fifo import Fifo
+
+_PROTOCOL = ("next_event_cycle", "stall_tag", "apply_stall")
+
+#: Consecutive no-movement ticks before a component is put to sleep.
+#: Sleeping costs a wake/re-sleep round trip (several times a plain
+#: stall tick), so it only pays off for stall windows longer than a few
+#: cycles; components on the fringe of an active region — woken by a
+#: neighbour's push every cycle or two — should keep ticking naively.
+SLEEP_AFTER_STALLS = 8
+
+
+def supports_fast_forward(components: list) -> bool:
+    """True when every component implements the quiescence protocol."""
+    return all(
+        all(hasattr(component, method) for method in _PROTOCOL)
+        for component in components
+    )
+
+
+def _component_fifos(component: object) -> list[Fifo]:
+    """FIFOs referenced by a component's dataclass fields (one level)."""
+    if not is_dataclass(component):
+        return []
+    out: list[Fifo] = []
+    for spec in fields(component):
+        try:
+            value = getattr(component, spec.name)
+        except AttributeError:
+            continue
+        if isinstance(value, Fifo):
+            out.append(value)
+        elif isinstance(value, list):
+            out.extend(item for item in value if isinstance(item, Fifo))
+    return out
+
+
+def _watched_fifos(component: object) -> list[Fifo]:
+    """The FIFOs whose traffic must wake a sleeping component.
+
+    Components whose ports are not direct dataclass fields (the loader
+    reaches its leaf FIFOs through feed records) override the default
+    via a ``wake_fifos()`` hook.
+    """
+    hook = getattr(component, "wake_fifos", None)
+    if hook is not None:
+        return list(hook())
+    return _component_fifos(component)
+
+
+def run_event_driven(
+    components: list,
+    cycle: int,
+    done: Callable[[], bool],
+    limit: int,
+    max_cycles: int,
+) -> int:
+    """Run the event-driven scheduler; returns the final cycle number.
+
+    Semantically identical to ticking every component on every cycle
+    from ``cycle`` until ``done()`` or ``limit``: same final cycle, same
+    statistics, same data movement.  Raises the same budget-exhausted
+    :class:`~repro.errors.SimulationError` as the naive loop, with a
+    stall snapshot appended.
+    """
+    n_components = len(components)
+    order = list(components)
+
+    # Wiring: one slot per distinct FIFO; per-component adjacency for
+    # movement detection; per-slot watcher lists for wake propagation.
+    slot_of: dict[int, int] = {}
+    fifo_list: list[Fifo] = []
+    watchers: list[list[int]] = []
+    adjacency: list[list[tuple[Fifo, int]]] = []
+    for index, component in enumerate(order):
+        pairs: list[tuple[Fifo, int]] = []
+        for fifo in _watched_fifos(component):
+            slot = slot_of.get(id(fifo))
+            if slot is None:
+                slot = len(fifo_list)
+                slot_of[id(fifo)] = slot
+                fifo_list.append(fifo)
+                watchers.append([])
+            watchers[slot].append(index)
+            pairs.append((fifo, slot))
+        adjacency.append(pairs)
+    traffic = [fifo.pushes + fifo.pops for fifo in fifo_list]
+
+    awake = [True] * n_components
+    sleep_since = [0] * n_components
+    sleep_tag: list = [None] * n_components
+    timers: list = [None] * n_components
+    last_move = [cycle] * n_components
+    awake_count = n_components
+    next_timer: int | None = None
+
+    def wake(index: int, at_cycle: int) -> None:
+        nonlocal awake_count
+        skipped = at_cycle - sleep_since[index]
+        if skipped > 0:
+            order[index].apply_stall(sleep_tag[index], skipped)
+        awake[index] = True
+        timers[index] = None
+        last_move[index] = at_cycle
+        awake_count += 1
+
+    def settle_all(at_cycle: int) -> None:
+        for index in range(n_components):
+            if not awake[index]:
+                wake(index, at_cycle)
+
+    while True:
+        if next_timer is not None and next_timer <= cycle:
+            next_timer = None
+            for index in range(n_components):
+                due = timers[index]
+                if awake[index] or due is None:
+                    continue
+                if due <= cycle:
+                    wake(index, cycle)
+                elif next_timer is None or due < next_timer:
+                    next_timer = due
+        if done():
+            settle_all(cycle)
+            return cycle
+        if cycle >= limit:
+            settle_all(cycle)
+            raise SimulationError(
+                f"simulation did not complete within {max_cycles} cycles; "
+                "likely deadlock or missing terminal\n"
+                + format_stall_report(order, cycle)
+            )
+        if awake_count == 0:
+            # Global quiescence: jump to the earliest self-scheduled
+            # event, or straight to the budget boundary (deadlock).
+            cycle = limit if next_timer is None else min(next_timer, limit)
+            continue
+        # ``enumerate(awake)`` reads each flag at iteration time, so a
+        # component woken mid-cycle by an earlier neighbour still gets
+        # its tick this cycle, while one that just slept is skipped.
+        ops_before = Fifo.total_ops
+        for index, is_awake in enumerate(awake):
+            if not is_awake:
+                continue
+            component = order[index]
+            component.tick(cycle)
+            ops_after = Fifo.total_ops
+            if ops_after != ops_before:
+                # The tick moved data: remember, and wake any watchers.
+                ops_before = ops_after
+                last_move[index] = cycle
+                if awake_count != n_components:
+                    # Per-FIFO attribution is only needed while someone
+                    # sleeps; with everyone awake the caches may go
+                    # stale (counters are monotonic, so staleness can
+                    # only cause a harmless spurious wake later).
+                    for fifo, slot in adjacency[index]:
+                        seen = fifo.pushes + fifo.pops
+                        if seen != traffic[slot]:
+                            traffic[slot] = seen
+                            for watcher in watchers[slot]:
+                                if not awake[watcher]:
+                                    # Later in tick order: still ticks
+                                    # this cycle.  Earlier: its turn
+                                    # has passed (as a stall); it
+                                    # resumes next cycle.
+                                    wake(
+                                        watcher,
+                                        cycle if watcher > index else cycle + 1,
+                                    )
+                continue
+            if cycle - last_move[index] < SLEEP_AFTER_STALLS:
+                continue
+            hint = component.next_event_cycle(cycle + 1)
+            if hint is not None and hint <= cycle + 1:
+                last_move[index] = cycle
+                continue
+            awake[index] = False
+            awake_count -= 1
+            sleep_since[index] = cycle + 1
+            sleep_tag[index] = component.stall_tag()
+            timers[index] = hint
+            if hint is not None and (next_timer is None or hint < next_timer):
+                next_timer = hint
+        cycle += 1
+
+
+# ----------------------------------------------------------------------
+# Stall diagnostics (for the run_until timeout error)
+# ----------------------------------------------------------------------
+def format_stall_report(components: list, cycle: int) -> str:
+    """Human-readable snapshot of why the simulation is not progressing.
+
+    Lists every reachable FIFO's occupancy/capacity/high-water mark and
+    each merger's run state (done flags, feedback register), so a
+    ``max_cycles`` timeout is diagnosable without re-running under a
+    trace recorder.
+    """
+    fifos: dict[int, Fifo] = {}
+    merger_lines: list[str] = []
+    other_lines: list[str] = []
+    for component in components:
+        for fifo in _watched_fifos(component):
+            fifos[id(fifo)] = fifo
+        if hasattr(component, "_done_a") and hasattr(component, "_feedback"):
+            merger_lines.append(
+                f"    {getattr(component, 'name', type(component).__name__)}: "
+                f"done_a={component._done_a} done_b={component._done_b} "
+                f"feedback={'held' if component._feedback is not None else 'empty'} "
+                f"run_in_progress={component.run_in_progress}"
+            )
+        elif hasattr(component, "_inflight_cycles_left"):
+            exhausted = sum(1 for feed in component.feeds if feed.exhausted)
+            other_lines.append(
+                f"    loader: inflight_cycles_left={component._inflight_cycles_left} "
+                f"parked_leaves={sorted(component._parked)} "
+                f"feeds_exhausted={exhausted}/{len(component.feeds)}"
+            )
+        elif hasattr(component, "expected_runs"):
+            other_lines.append(
+                f"    writer: runs={len(component.runs)}/{component.expected_runs} "
+                f"credit={component._credit:.1f}"
+            )
+    lines = [f"stall snapshot at cycle {cycle}:"]
+    if fifos:
+        lines.append("  fifos (occupancy/capacity, high-water):")
+        for fifo in sorted(fifos.values(), key=lambda f: f.name):
+            lines.append(
+                f"    {fifo.name}: {len(fifo)}/{fifo.capacity} hw={fifo.high_water}"
+            )
+    if merger_lines:
+        lines.append("  mergers:")
+        lines.extend(sorted(merger_lines))
+    if other_lines:
+        lines.append("  endpoints:")
+        lines.extend(other_lines)
+    return "\n".join(lines)

@@ -73,6 +73,7 @@ class DataLoader:
 
     _cursor: int = field(init=False, default=0)
     _inflight_feed: _LeafFeed | None = field(init=False, default=None, repr=False)
+    _inflight_index: int = field(init=False, default=0)
     _inflight_items: list = field(init=False, default_factory=list, repr=False)
     _inflight_cycles_left: int = field(init=False, default=0)
     #: per-feed skid buffers: transferred items awaiting FIFO space
@@ -124,12 +125,68 @@ class DataLoader:
             self._deliver()
 
     # ------------------------------------------------------------------
-    def _pick_feed(self) -> _LeafFeed | None:
+    # quiescence protocol (repro.hw.fastpath)
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> int | None:
+        """Next cycle this loader does real work, or ``None`` if starved.
+
+        The only time-based event the loader owns is the in-flight batch
+        timer: a transfer with ``t`` bandwidth-cycles left delivers on
+        the tick ``t - 1`` cycles from now.  Everything else — skid
+        buffers draining, a new batch issuing — depends on FIFO space
+        and fires immediately or not at all under frozen FIFOs.
+        """
+        if self._parked:
+            for index in self._parked:
+                if self.feeds[index].fifo.has_space:
+                    return cycle
+        if self._inflight_feed is not None:
+            remaining = self._inflight_cycles_left
+            return cycle if remaining <= 1 else cycle + remaining - 1
+        if self._find_feed() is not None:
+            return cycle
+        return None
+
+    def stall_tag(self) -> str:
+        """What the loader's skipped ticks account as right now.
+
+        Valid while the leaf FIFOs are frozen: a transfer stays in
+        flight (only the loader's own tick delivers it), and an idle
+        loader stays idle (a feed only becomes startable when a leaf
+        FIFO frees space, which wakes the loader).
+        """
+        return "bandwidth" if self._inflight_feed is not None else "idle"
+
+    def apply_stall(self, tag: str, n_cycles: int) -> None:
+        """Bulk-apply ``n_cycles`` quiescent ticks: advance the batch
+        timer (bandwidth-limited cycles) or count idle cycles."""
+        if tag == "bandwidth":
+            self._inflight_cycles_left -= n_cycles
+            self.stats.cycles_bandwidth_limited += n_cycles
+        else:
+            self.stats.cycles_idle += n_cycles
+
+    def skip_cycles(self, n_cycles: int) -> None:
+        """Immediate form of :meth:`apply_stall` (see fastpath docs)."""
+        self.apply_stall(self.stall_tag(), n_cycles)
+
+    def wake_fifos(self) -> list[Fifo]:
+        """FIFOs whose traffic affects this loader (fastpath wiring).
+
+        The leaf FIFOs are reached through feed records rather than
+        direct fields, so the default dataclass-field scan cannot see
+        them.
+        """
+        return [feed.fifo for feed in self.feeds]
+
+    # ------------------------------------------------------------------
+    def _find_feed(self) -> int | None:
         """Round-robin scan for a leaf with pending data and buffer space.
 
         "Enough free space to hold a new read batch" (§V-A) is measured
         against the typical batch footprint; the rare batch carrying many
-        run terminals overflows into the skid buffer instead.
+        run terminals overflows into the skid buffer instead.  Pure scan:
+        the cursor moves only when :meth:`_pick_feed` commits to a feed.
         """
         n_feeds = len(self.feeds)
         batch_tuples = -(-self.batch_records // self.tuple_width)
@@ -139,9 +196,17 @@ class DataLoader:
             if feed.exhausted or index in self._parked:
                 continue
             if feed.fifo.free_slots() >= batch_tuples + 1:
-                self._cursor = (index + 1) % n_feeds
-                return feed
+                return index
         return None
+
+    def _pick_feed(self) -> _LeafFeed | None:
+        """Commit to the next feed chosen by :meth:`_find_feed`."""
+        index = self._find_feed()
+        if index is None:
+            return None
+        self._cursor = (index + 1) % len(self.feeds)
+        self._inflight_index = index
+        return self.feeds[index]
 
     def _start_batch(self, feed: _LeafFeed) -> None:
         """Carve the next batch out of the feed's pending runs.
@@ -186,10 +251,9 @@ class DataLoader:
     def _deliver(self) -> None:
         """Push the completed batch into its leaf FIFO; park any overflow."""
         feed = self._inflight_feed
-        index = self.feeds.index(feed)
         leftover = self._push_items(feed, self._inflight_items)
         if leftover:
-            self._parked[index] = leftover
+            self._parked[self._inflight_index] = leftover
         self._inflight_feed = None
         self._inflight_items = []
 
@@ -205,12 +269,17 @@ class DataLoader:
 
     @staticmethod
     def _push_items(feed: _LeafFeed, items: list) -> list:
-        """Push items until the FIFO fills; return the remainder."""
-        position = 0
-        while position < len(items) and feed.fifo.has_space:
-            feed.fifo.push(items[position])
-            position += 1
-        return items[position:]
+        """Push items until the FIFO fills; return the remainder.
+
+        One bulk transfer per call: statistics and ordering are
+        identical to pushing item by item, without the per-item
+        handshake overhead.
+        """
+        count = min(len(items), feed.fifo.free_slots())
+        if not count:
+            return items
+        feed.fifo.push_many(items[:count])
+        return items[count:]
 
 
 def _bit_reverse(value: int, bits: int) -> int:
@@ -286,23 +355,94 @@ class OutputWriter:
         return len(self.runs) >= self.expected_runs
 
     def tick(self, cycle: int = 0) -> None:
-        """Pop as many items as this cycle's write budget allows."""
-        self._credit = min(
-            self._credit + self.write_bytes_per_cycle,
-            4 * self.write_bytes_per_cycle,
-        )
-        while not self.source.is_empty:
-            head = self.source.peek()
+        """Pop as many items as this cycle's write budget allows.
+
+        The affordable prefix of the source FIFO is computed first, then
+        moved in one bulk ``pop_many`` — credit arithmetic runs in the
+        same item order as a per-item drain, so the float credit state
+        (and therefore every future pop cycle) is bit-identical.
+        """
+        rate = self.write_bytes_per_cycle
+        credit = min(self._credit + rate, 4 * rate)
+        source = self.source
+        record_bytes = self.record_bytes
+        count = 0
+        for head in source.peek_many(len(source)):
             if is_terminal(head):
-                self.source.pop()
-                self.runs.append(self._current)
-                self._current = []
+                count += 1
                 continue
-            cost = len(head) * self.record_bytes
-            if self._credit < cost:
+            cost = len(head) * record_bytes
+            if credit < cost:
                 break
-            self._credit -= cost
-            self.source.pop()
+            credit -= cost
+            count += 1
+        self._credit = credit
+        if not count:
+            return
+        current = self._current
+        for head in source.pop_many(count):
+            if is_terminal(head):
+                self.runs.append(current)
+                current = []
+                continue
             kept = [key for key in head if key != SENTINEL_KEY]
-            self._current.extend(kept)
-            self.bytes_written += len(kept) * self.record_bytes
+            current.extend(kept)
+            self.bytes_written += len(kept) * record_bytes
+        self._current = current
+
+    # ------------------------------------------------------------------
+    # quiescence protocol (repro.hw.fastpath)
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> int | None:
+        """Next cycle a pop becomes affordable, or ``None`` if starved.
+
+        With the source frozen, the only self-scheduled event is the
+        bandwidth-credit refill reaching the head tuple's cost.  The
+        refill is iterated with the exact per-tick float arithmetic
+        (``min(credit + rate, 4 * rate)``) so the predicted pop cycle
+        matches the naive stepper bit for bit; the loop saturates within
+        four iterations because the credit cap is four ticks' worth.
+        """
+        source = self.source
+        if source.is_empty:
+            return None
+        head = source.peek()
+        if is_terminal(head):
+            return cycle
+        rate = self.write_bytes_per_cycle
+        cap = 4 * rate
+        cost = len(head) * self.record_bytes
+        credit = self._credit
+        waited = 0
+        while True:
+            credit = min(credit + rate, cap)
+            if credit >= cost:
+                return cycle + waited
+            if credit >= cap:
+                return None  # head costs more than the cap: stuck for good
+            waited += 1
+
+    def stall_tag(self) -> str:
+        """Writer stalls always account the same way: credit accrual."""
+        return "accrue"
+
+    def apply_stall(self, tag: str, n_cycles: int) -> None:
+        """Bulk-apply ``n_cycles`` of credit refill (no pops possible).
+
+        Iterates the exact per-tick float arithmetic rather than closing
+        the form, so the credit register lands on the bit pattern the
+        naive stepper would produce; the loop saturates at the cap
+        within four iterations regardless of ``n_cycles``.
+        """
+        rate = self.write_bytes_per_cycle
+        cap = 4 * rate
+        credit = self._credit
+        for _ in range(n_cycles):
+            if credit >= cap:
+                break
+            credit = min(credit + rate, cap)
+        self._credit = credit
+
+    def skip_cycles(self, n_cycles: int) -> None:
+        """Immediate form of :meth:`apply_stall` (see fastpath docs)."""
+        self.apply_stall(self.stall_tag(), n_cycles)

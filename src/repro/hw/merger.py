@@ -83,19 +83,27 @@ class KMerger:
 
     def tick(self, cycle: int = 0) -> None:
         """Advance one clock cycle."""
+        stats = self.stats
         if self.output.is_full:
-            self.stats.stall_output += 1
+            # A full output port only *stalls* a run that is underway;
+            # before the first tuple arrives the merger is merely idle.
+            if self.run_in_progress:
+                stats.stall_output += 1
+            else:
+                stats.idle_cycles += 1
             return
 
+        input_a = self.input_a
+        input_b = self.input_b
         # Terminal recognition is a tag check on the port registers and
         # happens in parallel with the datapath (§V-B's scheme costs one
         # cycle per *flush*, not per consumed terminal): retire at most
         # one terminal per port without spending the cycle.
-        if not self._done_a and not self.input_a.is_empty and is_terminal(self.input_a.peek()):
-            self.input_a.pop()
+        if not self._done_a and not input_a.is_empty and is_terminal(input_a.peek()):
+            input_a.pop()
             self._done_a = True
-        if not self._done_b and not self.input_b.is_empty and is_terminal(self.input_b.peek()):
-            self.input_b.pop()
+        if not self._done_b and not input_b.is_empty and is_terminal(input_b.peek()):
+            input_b.pop()
             self._done_b = True
 
         if self._done_a and self._done_b:
@@ -104,21 +112,69 @@ class KMerger:
 
         source = self._select_port()
         if source is None:
-            self.stats.stall_input += 1 if self.run_in_progress else 0
-            self.stats.idle_cycles += 0 if self.run_in_progress else 1
+            if self.run_in_progress:
+                stats.stall_input += 1
+            else:
+                stats.idle_cycles += 1
             return
 
         incoming = source.pop()
         self._check_tuple(incoming)
+        if incoming.__class__ is not tuple:
+            incoming = tuple(incoming)
         if self._feedback is None:
             # Priming cycle: the register latches the first tuple.
-            self._feedback = tuple(incoming)
-            self.stats.prime_cycles += 1
+            self._feedback = incoming
+            stats.prime_cycles += 1
             return
-        lower, upper = self._merge(self._feedback, tuple(incoming))
+        lower, upper = self._merge(self._feedback, incoming)
         self._feedback = upper
         self.output.push(lower)
-        self.stats.active_cycles += 1
+        stats.active_cycles += 1
+
+    # ------------------------------------------------------------------
+    # quiescence protocol (repro.hw.fastpath)
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> int | None:
+        """``cycle`` when this tick would move data, else ``None``.
+
+        Mirrors ``tick``'s branch order exactly: a full output port or
+        an un-servable input pattern is a pure counter tick, and stays
+        one for as long as the surrounding FIFOs are frozen — the
+        merger schedules no time-based events of its own.
+        """
+        if self.output.is_full:
+            return None
+        if not self._done_a and not self.input_a.is_empty and is_terminal(self.input_a.peek()):
+            return cycle
+        if not self._done_b and not self.input_b.is_empty and is_terminal(self.input_b.peek()):
+            return cycle
+        if self._done_a and self._done_b:
+            return cycle
+        if self._select_port() is None:
+            return None
+        return cycle
+
+    def stall_tag(self) -> str:
+        """Which counter this merger's stalled ticks increment right now.
+
+        Valid for as long as the surrounding FIFOs are frozen: the output
+        port's fullness can only change through a consumer pop (which
+        wakes the merger) and ``run_in_progress`` only through the
+        merger's own tick.
+        """
+        if self.output.is_full:
+            return "stall_output" if self.run_in_progress else "idle_cycles"
+        return "stall_input" if self.run_in_progress else "idle_cycles"
+
+    def apply_stall(self, tag: str, n_cycles: int) -> None:
+        """Bulk-apply ``n_cycles`` stalled ticks for a captured tag."""
+        stats = self.stats
+        setattr(stats, tag, getattr(stats, tag) + n_cycles)
+
+    def skip_cycles(self, n_cycles: int) -> None:
+        """Immediate form of :meth:`apply_stall` (see fastpath docs)."""
+        self.apply_stall(self.stall_tag(), n_cycles)
 
     # ------------------------------------------------------------------
     def _select_port(self) -> Fifo | None:
@@ -140,13 +196,25 @@ class KMerger:
         return self.input_a if head_a[0] <= head_b[0] else self.input_b
 
     def _merge(self, left: tuple, right: tuple) -> tuple[tuple, tuple]:
-        """Merge two sorted k-tuples, returning (lower k, upper k)."""
+        """Merge two sorted k-tuples, returning (lower k, upper k).
+
+        The datapath is the 2k bitonic half-merger network; evaluating
+        the compare-exchange stages element by element per cycle is the
+        simulator's hottest loop, and for integer keys the network's
+        output is simply the sorted permutation of the 2k inputs — so
+        the model computes it with the native sort (Timsort's galloping
+        merge of two sorted runs), which is bit-identical and an order
+        of magnitude faster.  ``tests/network`` verifies the network
+        itself produces the same sorted output over exhaustive and
+        randomized inputs.
+        """
         if self.k == 1:
             if right[0] < left[0]:
                 return right, left
             return left, right
-        merged = self._half_merger.merge(left, right)
-        return tuple(merged[: self.k]), tuple(merged[self.k :])
+        merged = sorted(left + right)
+        k = self.k
+        return tuple(merged[:k]), tuple(merged[k:])
 
     def _finish_run(self) -> None:
         """Flush the feedback register, then emit the terminal and reset."""

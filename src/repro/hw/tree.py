@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.hw.clock import Simulation
+from repro.hw.clock import DEFAULT_MAX_CYCLES, Simulation
 from repro.hw.coupler import Coupler
 from repro.hw.fifo import Fifo
 from repro.hw.loader import DataLoader, OutputWriter, make_feeds
@@ -162,9 +162,10 @@ def simulate_merge(
     read_bytes_per_cycle: float | None = None,
     write_bytes_per_cycle: float | None = None,
     batch_bytes: int = 1024,
-    max_cycles: int = 50_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
     check_sorted_inputs: bool = True,
     auto_shrink: bool = True,
+    engine: str = "fast",
 ) -> tuple[list[list[int]], StageStats]:
     """Run one merge stage of AMT(p, l) over ``runs``.
 
@@ -181,6 +182,15 @@ def simulate_merge(
         at its natural ``p`` records/cycle.
     batch_bytes:
         Data-loader read batch size ``b`` (1-4 KB per §II).
+    max_cycles:
+        ``run_until`` budget before declaring deadlock; one shared
+        default (:data:`repro.hw.clock.DEFAULT_MAX_CYCLES`) for every
+        stage driver.
+    engine:
+        ``"fast"`` (default) runs the quiescence fast-forward scheduler;
+        ``"naive"`` forces the per-cycle stepper.  Both produce
+        identical outputs, cycle counts and statistics — see
+        ``docs/performance.md``.
     auto_shrink:
         When a stage has fewer runs than leaves, merge through the
         equivalently-shaped shallower tree AMT(p, 2^ceil(log2(runs))).
@@ -195,6 +205,10 @@ def simulate_merge(
     (output_runs, stats):
         Merged runs in group order, and cycle-level stage statistics.
     """
+    if engine not in ("fast", "naive"):
+        raise ConfigurationError(
+            f"unknown simulation engine {engine!r}; expected 'fast' or 'naive'"
+        )
     if check_sorted_inputs:
         for index, run in enumerate(runs):
             for left, right in zip(run, run[1:]):
@@ -234,7 +248,7 @@ def simulate_merge(
         write_bytes_per_cycle=write_bytes_per_cycle,
         expected_runs=n_groups,
     )
-    sim = Simulation()
+    sim = Simulation(fast_forward=engine == "fast")
     sim.add(writer)
     for component in tree.components:
         sim.add(component)

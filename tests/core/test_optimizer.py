@@ -166,3 +166,42 @@ class TestOptimizerClaims:
         narrow = model.latency_single(AmtConfig(p=32, leaves=64), array)
         wide = model.latency_single(AmtConfig(p=32, leaves=256), array)
         assert wide < narrow
+
+
+class TestMemoization:
+    """Repeated rankings reuse cached evaluations, bit for bit."""
+
+    def test_warm_rankings_identical_to_fresh_instance(self, f1_bonsai):
+        array = ArrayParams.from_bytes(16 * GB)
+        warm_latency = f1_bonsai.rank_by_latency(array, top=10)
+        warm_latency_again = f1_bonsai.rank_by_latency(array, top=10)
+        warm_throughput = f1_bonsai.rank_by_throughput(array, top=10)
+        fresh = presets.aws_f1().bonsai()
+        assert warm_latency == warm_latency_again
+        assert warm_latency == fresh.rank_by_latency(array, top=10)
+        assert warm_throughput == fresh.rank_by_throughput(array, top=10)
+
+    def test_caches_populate_and_are_reused(self, f1_bonsai):
+        array = ArrayParams.from_bytes(4 * GB)
+        assert not f1_bonsai._latency_cache
+        first = f1_bonsai.rank_by_latency(array)
+        n_latency = len(f1_bonsai._latency_cache)
+        n_resource = len(f1_bonsai._resource_cache)
+        assert n_latency > 0 and n_resource > 0
+        second = f1_bonsai.rank_by_latency(array)
+        # A repeat pass adds no new entries and returns equal results.
+        assert len(f1_bonsai._latency_cache) == n_latency
+        assert len(f1_bonsai._resource_cache) == n_resource
+        assert first == second
+
+    def test_caches_keyed_per_array(self, f1_bonsai):
+        small = ArrayParams.from_bytes(1 * GB)
+        large = ArrayParams.from_bytes(64 * GB)
+        f1_bonsai.rank_by_latency(small)
+        entries_after_small = len(f1_bonsai._latency_cache)
+        f1_bonsai.rank_by_latency(large)
+        # Different arrays are distinct keys, never stale hits.
+        assert len(f1_bonsai._latency_cache) > entries_after_small
+        best_small = f1_bonsai.latency_optimal(small)
+        best_fresh = presets.aws_f1().bonsai().latency_optimal(small)
+        assert best_small == best_fresh

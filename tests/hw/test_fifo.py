@@ -53,6 +53,75 @@ class TestStallSemantics:
         assert not fifo.has_space
 
 
+class TestBulkOperations:
+    """push_many/pop_many/peek_many == the equivalent single-item loop."""
+
+    def test_push_many_preserves_order_and_stats(self):
+        fifo = Fifo(capacity=6)
+        fifo.push(0)
+        fifo.push_many([1, 2, 3])
+        assert fifo.pushes == 4
+        assert fifo.high_water == 4
+        assert [fifo.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_push_many_all_or_nothing(self):
+        fifo = Fifo(capacity=3)
+        fifo.push(0)
+        with pytest.raises(SimulationError, match="overflows"):
+            fifo.push_many([1, 2, 3])
+        assert len(fifo) == 1  # nothing was enqueued
+        assert fifo.pushes == 1
+
+    def test_push_many_empty_batch(self):
+        fifo = Fifo(capacity=1)
+        fifo.push_many([])
+        assert fifo.is_empty and fifo.pushes == 0
+
+    def test_pop_many_in_order(self):
+        fifo = Fifo(capacity=8)
+        fifo.push_many(list(range(5)))
+        assert fifo.pop_many(3) == [0, 1, 2]
+        assert fifo.pops == 3
+        assert len(fifo) == 2
+
+    def test_pop_many_underflow_raises(self):
+        fifo = Fifo(capacity=4)
+        fifo.push(1)
+        with pytest.raises(SimulationError, match="pop of 2"):
+            fifo.pop_many(2)
+        assert len(fifo) == 1  # nothing was dequeued
+        with pytest.raises(SimulationError):
+            fifo.pop_many(-1)
+
+    def test_peek_many_never_removes(self):
+        fifo = Fifo(capacity=8)
+        fifo.push_many([1, 2, 3])
+        assert fifo.peek_many(2) == [1, 2]
+        assert fifo.peek_many(9) == [1, 2, 3]
+        assert fifo.peek_many(0) == []
+        assert len(fifo) == 3 and fifo.pops == 0
+        with pytest.raises(SimulationError):
+            fifo.peek_many(-1)
+
+    def test_total_ops_counts_all_movement(self):
+        """The class-wide movement counter the fast path snapshots."""
+        before = Fifo.total_ops
+        fifo = Fifo(capacity=8)
+        fifo.push(1)
+        fifo.push_many([2, 3])
+        fifo.pop()
+        fifo.pop_many(2)
+        fifo.push(4)
+        fifo.drain()
+        assert Fifo.total_ops - before == 8
+        # Peeks are not movement.
+        fifo.push(5)
+        mid = Fifo.total_ops
+        fifo.peek()
+        fifo.peek_many(1)
+        assert Fifo.total_ops == mid
+
+
 class TestStatistics:
     def test_counters(self):
         fifo = Fifo(capacity=4)

@@ -169,3 +169,53 @@ class TestLint:
     def test_missing_path_is_clean_error(self, tmp_path, capsys):
         assert main(["lint", str(tmp_path / "missing")]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_list_scenarios(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "micro_hdd_read_starved" in out
+        assert "e2e_hdd_sort" in out
+        assert "optimizer_sweep" in out
+
+    def test_quick_single_scenario_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "bench.json"
+        code = main([
+            "bench", "--quick", "--scenario", "micro_ssd_read_starved",
+            "--output", str(report_path),
+        ])
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["quick"] is True
+        scenario = payload["scenarios"]["micro_ssd_read_starved"]
+        assert scenario["fast_seconds"] > 0
+        assert scenario["cycles"] > 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_baseline_gate_return_codes(self, tmp_path, capsys):
+        report_path = tmp_path / "bench.json"
+        baseline_path = tmp_path / "baseline.json"
+        assert main([
+            "bench", "--quick", "--scenario", "micro_unconstrained",
+            "--output", str(report_path),
+        ]) == 0
+        # Gating against our own run passes...
+        report_path.rename(baseline_path)
+        assert main([
+            "bench", "--quick", "--scenario", "micro_unconstrained",
+            "--output", str(report_path), "--baseline", str(baseline_path),
+        ]) == 0
+        # ...and an absurdly tight slowdown threshold fails loudly.
+        capsys.readouterr()
+        code = main([
+            "bench", "--quick", "--scenario", "micro_unconstrained",
+            "--output", str(report_path), "--baseline", str(baseline_path),
+            "--max-slowdown", "0.0001",
+        ])
+        assert code == 1
+        assert "regression" in capsys.readouterr().err
+
+    def test_unknown_scenario_is_clean_error(self, capsys):
+        assert main(["bench", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
