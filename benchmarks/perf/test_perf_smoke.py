@@ -12,6 +12,7 @@ headline numbers.
 from __future__ import annotations
 
 import copy
+import dataclasses
 import json
 import pathlib
 
@@ -96,6 +97,66 @@ def test_baseline_gate_catches_slowdowns():
     extra = copy.deepcopy(baseline)
     extra["scenarios"]["brand_new_shape"] = {"fast_seconds": 99.0}
     assert compare_to_baseline(extra, baseline) == []
+
+
+@pytest.fixture(scope="module")
+def parallel_results():
+    """One quick worker-count scan of both parallel scenarios."""
+    results = run_suite(
+        names=["parallel_unrolled_sort", "parallel_optimizer_sweep"], quick=True
+    )
+    return {result.name: result for result in results}
+
+
+def test_scenarios_carry_one_explicit_seed():
+    """Every scenario is seeded (no unseeded data paths) and the suite
+    shares one default, so ``--seed`` overrides apply uniformly."""
+    assert {scenario.seed for scenario in SCENARIOS} == {1}
+
+
+def test_workload_generators_are_seed_deterministic():
+    micro = BY_NAME["micro_balanced"]
+    assert micro.make_runs(quick=True) == micro.make_runs(quick=True)
+    assert (
+        dataclasses.replace(micro, seed=99).make_runs(quick=True)
+        != micro.make_runs(quick=True)
+    )
+    e2e = BY_NAME["e2e_hdd_sort"]
+    assert e2e.make_records(quick=True) == e2e.make_records(quick=True)
+    assert (
+        dataclasses.replace(e2e, seed=99).make_records(quick=True)
+        != e2e.make_records(quick=True)
+    )
+
+
+def test_suite_seed_override_reaches_the_workload(parallel_results):
+    """``run_suite(seed=N)`` must rewrite the scenario's data, not just
+    its label: the output digest moves with the seed and is stable for
+    repeated runs at the same seed."""
+    base = parallel_results["parallel_unrolled_sort"]
+    (reseeded,) = run_suite(names=["parallel_unrolled_sort"], quick=True, seed=2)
+    assert reseeded.extra["digest"] != base.extra["digest"]
+    (again,) = run_suite(names=["parallel_unrolled_sort"], quick=True, seed=2)
+    assert reseeded.extra["digest"] == again.extra["digest"]
+
+
+def test_parallel_scenarios_stay_bit_identical(parallel_results):
+    """The runner raises on any serial/parallel divergence; `identical`
+    records that every jobs setting was actually compared."""
+    for result in parallel_results.values():
+        assert result.extra["identical"] is True
+        assert set(result.extra["jobs_seconds"]) == {"1", "2", "4", "auto"}
+        assert result.extra["host_cpus"] >= 1
+    assert parallel_results["parallel_unrolled_sort"].extra["digest"]
+
+
+def test_parallel_sort_speedup_floor_on_multicore(parallel_results):
+    """Half the full-run 2.5x target, and only where 4 workers can
+    physically exist; single-core hosts record honest <1x numbers."""
+    result = parallel_results["parallel_unrolled_sort"]
+    if result.extra["host_cpus"] < 4:
+        pytest.skip("speedup floor needs >= 4 host CPUs")
+    assert result.speedup >= 1.25
 
 
 def test_unknown_scenario_rejected():

@@ -17,22 +17,31 @@ workloads and repetitions for CI smoke runs.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Mapping
 
+import numpy as np
+
 from repro.bench.scenarios import (
     BY_NAME,
+    JOBS_SCAN,
     SCENARIOS,
     Scenario,
+    make_bounded_optimizer,
     make_optimizer,
+    make_unrolled_sorter,
     run_end_to_end,
     run_micro,
     run_optimizer_sweep,
+    run_parallel_optimizer_sweep,
 )
 from repro.errors import ConfigurationError, SimulationError
+from repro.parallel import ParallelPlan, available_cpus
 
 #: Report schema tag; bump when the JSON layout changes.
 SCHEMA = "bonsai-bench/v1"
@@ -161,19 +170,133 @@ def _run_optimizer_scenario(scenario: Scenario, quick: bool) -> BenchResult:
     )
 
 
+def _digest(values) -> str:
+    """Order-sensitive content digest of a sorted output."""
+    return hashlib.sha256(
+        np.asarray(list(values), dtype=np.uint64).tobytes()
+    ).hexdigest()[:16]
+
+
+def _run_parallel_sort_scenario(scenario: Scenario, quick: bool) -> BenchResult:
+    """Worker-count scan over the λ_unrl cycle-simulated unrolled sort.
+
+    The plan-free joint simulation is the reference; every ``jobs``
+    setting must reproduce its output bytes, cycle counts and stage
+    count exactly (the determinism contract of ``repro.parallel``), and
+    the recorded figures are jobs=1 vs jobs=4 wall-clock.
+    """
+    reps = 1 if quick else 2
+    records = scenario.make_records(quick)
+    data = np.asarray(records, dtype=np.uint64)
+
+    reference = make_unrolled_sorter(scenario, jobs=None).simulate(data)
+    reference_digest = _digest(reference.data)
+    jobs_seconds: dict[str, float] = {}
+    for jobs in JOBS_SCAN:
+        sorter = make_unrolled_sorter(scenario, jobs=jobs)
+        seconds, outcome = _best_of(lambda: sorter.simulate(data), reps)
+        jobs_seconds[str(jobs)] = seconds
+        if (
+            _digest(outcome.data) != reference_digest
+            or outcome.seconds != reference.seconds
+            or outcome.stages != reference.stages
+            or outcome.detail != reference.detail
+        ):
+            raise SimulationError(
+                f"{scenario.name}: jobs={jobs} diverged from the serial "
+                "reference (output, cycles or stages)"
+            )
+    return BenchResult(
+        name=scenario.name,
+        kind=scenario.kind,
+        summary=scenario.summary,
+        naive_seconds=jobs_seconds["1"],
+        fast_seconds=jobs_seconds["4"],
+        cycles=reference.detail["parallel_cycles"]
+        + reference.detail["final_merge_cycles"],
+        bandwidth_bound=scenario.bandwidth_bound,
+        target_speedup=scenario.target_speedup,
+        extra={
+            "jobs_seconds": {k: round(v, 4) for k, v in jobs_seconds.items()},
+            "digest": reference_digest,
+            "identical": True,
+            "host_cpus": available_cpus(),
+            "records": int(data.size),
+            "parallel_cycles": reference.detail["parallel_cycles"],
+            "final_merge_cycles": reference.detail["final_merge_cycles"],
+        },
+    )
+
+
+def _run_parallel_optimizer_scenario(scenario: Scenario, quick: bool) -> BenchResult:
+    """Worker-count scan over the bounded design-space ranking.
+
+    Every ``jobs`` setting must produce the exact
+    :class:`~repro.core.optimizer.RankedConfig` sequences of the serial
+    sweep — order, ties, figures of merit and all.
+    """
+    reps = 2 if quick else 3
+    reference = run_parallel_optimizer_sweep(make_bounded_optimizer(None))
+    jobs_seconds: dict[str, float] = {}
+    for jobs in JOBS_SCAN:
+        # A fresh (cold) instance per repetition times evaluation, not
+        # cache hits.
+        seconds, result = _best_of(
+            lambda: run_parallel_optimizer_sweep(make_bounded_optimizer(jobs)),
+            reps,
+        )
+        jobs_seconds[str(jobs)] = seconds
+        if result != reference:
+            raise SimulationError(
+                f"{scenario.name}: jobs={jobs} ranked differently from serial"
+            )
+    space = make_bounded_optimizer(None)
+    return BenchResult(
+        name=scenario.name,
+        kind=scenario.kind,
+        summary=scenario.summary,
+        naive_seconds=jobs_seconds["1"],
+        fast_seconds=jobs_seconds["4"],
+        bandwidth_bound=scenario.bandwidth_bound,
+        target_speedup=scenario.target_speedup,
+        extra={
+            "jobs_seconds": {k: round(v, 4) for k, v in jobs_seconds.items()},
+            "identical": True,
+            "host_cpus": available_cpus(),
+            "latency_configs": len(list(space.feasible_configs(False))),
+            "pipeline_configs": len(list(space.feasible_configs(True))),
+        },
+    )
+
+
 def run_scenario(scenario: Scenario, quick: bool = False) -> BenchResult:
     """Time one scenario under both engines and verify they agree."""
     if scenario.kind in ("micro", "end_to_end"):
         return _run_simulator_scenario(scenario, quick)
     if scenario.kind == "optimizer":
         return _run_optimizer_scenario(scenario, quick)
+    if scenario.kind == "parallel_sort":
+        return _run_parallel_sort_scenario(scenario, quick)
+    if scenario.kind == "parallel_optimizer":
+        return _run_parallel_optimizer_scenario(scenario, quick)
     raise ConfigurationError(f"unknown scenario kind {scenario.kind!r}")
 
 
 def run_suite(
-    names: Iterable[str] | None = None, quick: bool = False
+    names: Iterable[str] | None = None,
+    quick: bool = False,
+    jobs: int | str | None = None,
+    seed: int | None = None,
 ) -> list[BenchResult]:
-    """Run the selected scenarios (all of them by default) in order."""
+    """Run the selected scenarios (all of them by default) in order.
+
+    ``jobs`` shards whole scenarios across a worker pool — each
+    scenario's naive/fast engine pair stays pinned to one worker so its
+    speedup ratio is timed on a single core either way.  ``seed``
+    overrides every scenario's workload seed uniformly, which is how
+    serial and parallel suite runs are made comparable record for
+    record.  Results come back in scenario order regardless of ``jobs``.
+    """
     if names:
         unknown = sorted(set(names) - set(BY_NAME))
         if unknown:
@@ -184,7 +307,18 @@ def run_suite(
         selected = [scenario for scenario in SCENARIOS if scenario.name in set(names)]
     else:
         selected = list(SCENARIOS)
-    return [run_scenario(scenario, quick=quick) for scenario in selected]
+    plan = ParallelPlan.from_jobs(jobs)
+    if plan is not None and plan.wants_processes(len(selected)):
+        from repro.parallel.workers import worker_bench_scenario
+
+        tasks = [(scenario.name, quick, seed) for scenario in selected]
+        return plan.map(worker_bench_scenario, tasks)
+    results = []
+    for scenario in selected:
+        if seed is not None:
+            scenario = dataclasses.replace(scenario, seed=seed)
+        results.append(run_scenario(scenario, quick=quick))
+    return results
 
 
 # ----------------------------------------------------------------------

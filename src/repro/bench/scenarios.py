@@ -35,9 +35,16 @@ class Scenario:
     :func:`~repro.hw.tree.simulate_merge` stage, ``"end_to_end"`` a full
     multi-stage sort down to one run (the figure-benchmark regime of
     Fig. 13 / Table V: a storage-bound stage sequence), ``"optimizer"``
-    a ranked design-space sweep.  ``bandwidth_bound`` marks the shapes
+    a ranked design-space sweep, ``"parallel_sort"`` /
+    ``"parallel_optimizer"`` a worker-count scan (1/2/4/auto) over the
+    process-pool execution layer that also asserts bit-identical
+    results at every setting.  ``bandwidth_bound`` marks the shapes
     that carry the fast-path speedup claim; ``target_speedup`` is the
     floor asserted by ``benchmarks/perf``.
+
+    ``seed`` drives every workload generator; the runner can override
+    it uniformly (``bonsai bench --seed N``) so serial and parallel
+    runs of the same suite are comparable record for record.
     """
 
     name: str
@@ -53,6 +60,7 @@ class Scenario:
     batch_bytes: int = 1024
     record_bytes: int = 4
     seed: int = 1
+    lambda_unroll: int = 1
     bandwidth_bound: bool = False
     target_speedup: float | None = None
 
@@ -160,6 +168,84 @@ def make_optimizer():
     return presets.aws_f1().bonsai(record_bytes=4, presort_run=PRESORT_RUN)
 
 
+#: Worker counts scanned by the ``parallel_*`` scenarios.
+JOBS_SCAN: tuple = (1, 2, 4, "auto")
+
+
+def make_unrolled_sorter(scenario: Scenario, jobs):
+    """A λ_unrl cycle-simulated unrolled sorter for one jobs setting.
+
+    ``jobs=None`` returns the plan-free sorter (the joint-loop
+    reference); any other value attaches a
+    :class:`~repro.parallel.plan.ParallelPlan` so the λ units simulate
+    in worker processes.
+    """
+    from repro.core import presets
+    from repro.core.configuration import AmtConfig
+    from repro.core.parameters import MergerArchParams
+    from repro.engine.unrolled import UnrolledSorter
+    from repro.parallel import ParallelPlan
+
+    platform = presets.aws_f1_measured()
+    return UnrolledSorter(
+        config=AmtConfig(
+            p=scenario.p,
+            leaves=scenario.leaves,
+            lambda_unroll=scenario.lambda_unroll,
+        ),
+        hardware=platform.hardware,
+        arch=MergerArchParams(record_bytes=scenario.record_bytes),
+        presort_run=PRESORT_RUN,
+        parallel=None if jobs is None else ParallelPlan.from_jobs(jobs),
+    )
+
+
+def make_bounded_optimizer(jobs):
+    """A search-space-bounded Bonsai for the parallel sweep scenario.
+
+    The bounds keep the latency space at roughly 64 configurations —
+    large enough to chunk across workers, small enough for a smoke run.
+    """
+    from repro.core import presets
+    from repro.core.optimizer import Bonsai
+    from repro.core.parameters import MergerArchParams
+    from repro.parallel import ParallelPlan
+
+    platform = presets.aws_f1()
+    return Bonsai(
+        hardware=platform.hardware,
+        arch=MergerArchParams(),
+        presort_run=PRESORT_RUN,
+        p_max=8,
+        leaves_max=64,
+        unroll_max=4,
+        pipe_max=4,
+        parallel=None if jobs is None else ParallelPlan.from_jobs(jobs),
+    )
+
+
+def run_parallel_optimizer_sweep(bonsai) -> list[tuple]:
+    """Full latency + throughput rankings over two array sizes.
+
+    Returns the complete :class:`RankedConfig` lists (not just the
+    winners) so the runner's cross-jobs comparison pins the *entire*
+    ranking order, ties included.
+    """
+    from repro.core.parameters import ArrayParams
+
+    results = []
+    for size_gb in (1, 4):
+        array = ArrayParams.from_bytes(size_gb * GB)
+        results.append(
+            (
+                size_gb,
+                tuple(bonsai.rank_by_latency(array)),
+                tuple(bonsai.rank_by_throughput(array)),
+            )
+        )
+    return results
+
+
 #: The benchmark suite.  Micro shapes first (single stage), then the
 #: end-to-end figure-benchmark sorts, then the optimizer sweep.
 SCENARIOS: tuple[Scenario, ...] = (
@@ -221,6 +307,17 @@ SCENARIOS: tuple[Scenario, ...] = (
         name="optimizer_sweep",
         kind="optimizer",
         summary="rank_by_latency + rank_by_throughput over 1-64 GB, cold vs memoized",
+    ),
+    Scenario(
+        name="parallel_unrolled_sort",
+        kind="parallel_sort",
+        summary="λ_unrl=4 cycle-simulated unrolled sort, worker scan 1/2/4/auto",
+        p=8, leaves=8, n_records=12000, batch_bytes=512, lambda_unroll=4,
+    ),
+    Scenario(
+        name="parallel_optimizer_sweep",
+        kind="parallel_optimizer",
+        summary="bounded Bonsai ranking (~64 latency configs), worker scan 1/2/4/auto",
     ),
 )
 

@@ -49,6 +49,29 @@ def _parse_size(text: str) -> int:
     return int(text)
 
 
+def _parse_jobs(text: str) -> int | str:
+    """Parse ``--jobs``: a positive worker count or ``auto``."""
+    text = text.strip().lower()
+    if text == "auto":
+        return "auto"
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be a positive integer or 'auto', got {text!r}"
+        ) from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_parse_jobs, default=None, metavar="N",
+        help="worker processes for independent work (a count or 'auto'; "
+             "default: serial, results are identical either way)")
+
+
 def _configure_optimize(opt: argparse.ArgumentParser) -> None:
     opt.add_argument("--platform", choices=sorted(PLATFORMS), default="aws-f1")
     opt.add_argument("--size", type=_parse_size, default=16 * GB,
@@ -60,6 +83,7 @@ def _configure_optimize(opt: argparse.ArgumentParser) -> None:
     opt.add_argument("--leaves-cap", type=int, default=None)
     opt.add_argument("--top", type=int, default=5,
                      help="how many ranked configurations to print")
+    _add_jobs_flag(opt)
 
 
 def _configure_sort(srt: argparse.ArgumentParser) -> None:
@@ -75,6 +99,7 @@ def _configure_sort(srt: argparse.ArgumentParser) -> None:
                      help="flat binary file of little-endian u32 keys")
     srt.add_argument("--output", default=None,
                      help="write sorted keys to this file")
+    _add_jobs_flag(srt)
 
 
 def _configure_scalability(sca: argparse.ArgumentParser) -> None:
@@ -114,6 +139,10 @@ def _configure_bench(ben: argparse.ArgumentParser) -> None:
                      metavar="NAME", help="run only this scenario (repeatable)")
     ben.add_argument("--list", action="store_true", dest="list_scenarios",
                      help="list scenarios and exit")
+    ben.add_argument("--seed", type=int, default=None,
+                     help="override every scenario's workload seed (keeps "
+                          "serial and parallel runs comparable)")
+    _add_jobs_flag(ben)
 
 
 def _configure_lint(parser: argparse.ArgumentParser) -> None:
@@ -155,12 +184,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 # ----------------------------------------------------------------------
 def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.parallel import ParallelPlan
+
     platform = PLATFORMS[args.platform]()
     bonsai = platform.bonsai(
         record_bytes=args.record_bytes,
         presort_run=args.presort,
         leaves_cap=args.leaves_cap,
     )
+    bonsai.parallel = ParallelPlan.from_jobs(args.jobs)
     array = ArrayParams.from_bytes(args.size)
     if args.objective == "latency":
         ranked = bonsai.rank_by_latency(array, top=args.top)
@@ -198,11 +230,14 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         data = generate(WorkloadSpec(kind=args.workload, n_records=args.records,
                                      seed=args.seed))
         source = args.workload
+    from repro.parallel import ParallelPlan
+
     sorter = AmtSorter(
         config=AmtConfig(p=args.p, leaves=args.leaves),
         hardware=platform.hardware,
         arch=MergerArchParams(),
         mode=args.mode,
+        parallel=ParallelPlan.from_jobs(args.jobs),
     )
     outcome = sorter.sort(data)
     summary = validate_sort(data, outcome.data)  # raises on any corruption
@@ -406,7 +441,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             [(s.name, s.kind, s.summary) for s in SCENARIOS],
         ))
         return 0
-    results = run_suite(names=args.scenario, quick=args.quick)
+    results = run_suite(
+        names=args.scenario, quick=args.quick, jobs=args.jobs, seed=args.seed
+    )
     rows = [
         (
             result.name,

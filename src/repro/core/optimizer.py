@@ -32,6 +32,7 @@ from repro.core.parameters import ArrayParams, HardwareParams, MergerArchParams
 from repro.core.performance import PerformanceModel
 from repro.core.resources import ResourceModel
 from repro.errors import ConfigurationError, NoFeasibleConfigError
+from repro.parallel.plan import ParallelPlan
 from repro.units import GB
 
 UnrollMode = Literal["partition", "address_range"]
@@ -83,6 +84,12 @@ class Bonsai:
         :class:`~repro.core.frequency.FrequencyModel` that degrades each
         configuration's clock past its congestion thresholds, letting
         the implemented l = 64 choice *emerge* from the search.
+    parallel:
+        Optional :class:`~repro.parallel.plan.ParallelPlan` evaluating
+        configuration chunks in worker processes.  Workers return
+        evaluation tuples and the parent folds them into its frozen-key
+        caches before ranking, so the ranking loop itself — and with it
+        the order, ties and all — is byte-for-byte the serial one.
     """
 
     hardware: HardwareParams
@@ -94,6 +101,7 @@ class Bonsai:
     pipe_max: int = 8
     leaves_cap: int | None = None
     frequency_model: object | None = None
+    parallel: ParallelPlan | None = None
 
     performance: PerformanceModel = field(init=False)
     resources: ResourceModel = field(init=False)
@@ -205,6 +213,75 @@ class Bonsai:
             self._throughput_cache[config] = cached
         return cached
 
+    # ------------------------------------------------------------------
+    # parallel cache prefetch
+    # ------------------------------------------------------------------
+    def _worker_kwargs(self) -> dict:
+        """Constructor kwargs for a worker-side replica of this optimizer.
+
+        Everything except ``parallel`` (workers never nest pools), so
+        the replica evaluates the exact same models over the exact same
+        search space.
+        """
+        return {
+            "hardware": self.hardware,
+            "arch": self.arch,
+            "presort_run": self.presort_run,
+            "p_max": self.p_max,
+            "leaves_max": self.leaves_max,
+            "unroll_max": self.unroll_max,
+            "pipe_max": self.pipe_max,
+            "leaves_cap": self.leaves_cap,
+            "frequency_model": self.frequency_model,
+        }
+
+    def _prefetch_latencies(self, array: ArrayParams, unroll_mode: str) -> None:
+        """Fill ``_latency_cache`` for every feasible config via the pool."""
+        if self.parallel is None:
+            return
+        configs = [
+            config
+            for config in self.feasible_configs(include_pipelines=False)
+            if (config, array, unroll_mode) not in self._latency_cache
+        ]
+        if not self.parallel.wants_processes(len(configs)):
+            return
+        from repro.parallel.workers import worker_eval_latency
+
+        kwargs = self._worker_kwargs()
+        tasks = [
+            (kwargs, tuple(configs[i] for i in chunk), array, unroll_mode)
+            for chunk in self.parallel.chunks(len(configs))
+        ]
+        for pairs in self.parallel.map(worker_eval_latency, tasks):
+            for config, latency in pairs:
+                self._latency_cache[(config, array, unroll_mode)] = latency
+
+    def _prefetch_throughputs(self, array: ArrayParams) -> None:
+        """Fill throughput/latency caches for the Eq. 5-feasible configs."""
+        if self.parallel is None:
+            return
+        configs = [
+            config
+            for config in self.feasible_configs(include_pipelines=True)
+            if config not in self._throughput_cache
+        ]
+        if not self.parallel.wants_processes(len(configs)):
+            return
+        from repro.parallel.workers import worker_eval_throughput
+
+        kwargs = self._worker_kwargs()
+        tasks = [
+            (kwargs, tuple(configs[i] for i in chunk), array)
+            for chunk in self.parallel.chunks(len(configs))
+        ]
+        for rows in self.parallel.map(worker_eval_throughput, tasks):
+            for config, can_sort, throughput, latency in rows:
+                if not can_sort:
+                    continue
+                self._throughput_cache[config] = throughput
+                self._latency_cache[(config, array, "combined")] = latency
+
     def rank_by_latency(
         self,
         array: ArrayParams,
@@ -216,6 +293,7 @@ class Bonsai:
         Pipelining is excluded: "Pipelining is not used in the latency
         optimization model, because it does not improve sorting time."
         """
+        self._prefetch_latencies(array, unroll_mode)
         ranked = []
         for config in self.feasible_configs(include_pipelines=False):
             latency = self._latency(config, array, unroll_mode)
@@ -265,6 +343,7 @@ class Bonsai:
         Enforces the Eq. 5 capacity constraint
         ``min(C_DRAM/(λ_pipe λ_unrl), l**λ_pipe) >= N``.
         """
+        self._prefetch_throughputs(array)
         ranked = []
         for config in self.feasible_configs(include_pipelines=True):
             if not self.pipeline_can_sort(config, array):

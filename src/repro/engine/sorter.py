@@ -25,6 +25,7 @@ from repro.engine.stage import merge_stage, split_into_runs
 from repro.errors import ConfigurationError
 from repro.hw.tree import simulate_merge
 from repro.memory.traffic import TrafficMeter
+from repro.parallel.plan import ParallelPlan
 
 
 @dataclass
@@ -43,6 +44,12 @@ class AmtSorter:
         Bitonic presorter run length (1 disables; §VI-C uses 16).
     mode:
         ``"model"`` or ``"simulate"``.
+    parallel:
+        Optional :class:`~repro.parallel.plan.ParallelPlan` sharding
+        each stage's independent merge groups across a worker pool.
+        Model-mode results are bit-identical with or without a plan;
+        simulate mode switches to the per-group cycle decomposition
+        (identical for every plan, see ``docs/performance.md``).
     """
 
     config: AmtConfig
@@ -50,6 +57,7 @@ class AmtSorter:
     arch: MergerArchParams = field(default_factory=MergerArchParams)
     presort_run: int = 16
     mode: str = "model"
+    parallel: ParallelPlan | None = None
 
     def __post_init__(self) -> None:
         if self.config.lambda_unroll != 1 or self.config.lambda_pipe != 1:
@@ -91,7 +99,7 @@ class AmtSorter:
             if self.mode == "simulate":
                 runs, stage_seconds = self._run_stage_simulated(runs)
             else:
-                runs = merge_stage(runs, self.config.leaves)
+                runs = self._run_stage_model(runs)
                 stage_seconds = data.size * record_bytes / self.stage_rate
             stages += 1
             seconds += stage_seconds
@@ -108,12 +116,38 @@ class AmtSorter:
         )
 
     # ------------------------------------------------------------------
+    def _run_stage_model(self, runs: list[np.ndarray]) -> list[np.ndarray]:
+        """One functional merge stage, sharded when a plan is attached."""
+        if self.parallel is None:
+            return merge_stage(runs, self.config.leaves)
+        from repro.parallel.api import merge_stage_sharded
+
+        return merge_stage_sharded(runs, self.config.leaves, self.parallel)
+
     def _run_stage_simulated(
         self, runs: list[np.ndarray]
     ) -> tuple[list[np.ndarray], float]:
         """One stage through the cycle simulator."""
         frequency = self.arch.frequency_hz
         budget = self.hardware.beta_dram / frequency
+        dtype = runs[0].dtype if runs else np.uint64
+        if self.parallel is not None:
+            from repro.parallel.api import simulate_stage_sharded
+
+            out_runs, cycles = simulate_stage_sharded(
+                runs,
+                p=self.config.p,
+                leaves=self.config.leaves,
+                record_bytes=self.arch.record_bytes,
+                read_bytes_per_cycle=budget,
+                write_bytes_per_cycle=budget,
+                batch_bytes=min(self.hardware.batch_bytes, 1024),
+                plan=self.parallel,
+            )
+            return (
+                [np.asarray(run, dtype=dtype) for run in out_runs],
+                cycles / frequency,
+            )
         int_runs = [[int(x) for x in run] for run in runs]
         out_runs, stats = simulate_merge(
             p=self.config.p,
@@ -125,7 +159,6 @@ class AmtSorter:
             batch_bytes=min(self.hardware.batch_bytes, 1024),
             check_sorted_inputs=False,
         )
-        dtype = runs[0].dtype if runs else np.uint64
         return (
             [np.asarray(run, dtype=dtype) for run in out_runs],
             stats.cycles / frequency,

@@ -27,17 +27,25 @@ from repro.engine.sorter import AmtSorter
 from repro.engine.stage import merge_runs_numpy
 from repro.errors import ConfigurationError
 from repro.memory.traffic import TrafficMeter
+from repro.parallel.plan import ParallelPlan
 
 
 @dataclass
 class UnrolledSorter:
-    """λ_unrl independent AMTs over one array."""
+    """λ_unrl independent AMTs over one array.
+
+    ``parallel`` optionally shards the independent trees across a
+    process pool (one worker per partition in model mode, one per
+    cycle-simulated unit in :meth:`simulate`); results are bit-identical
+    to the serial loops for every ``jobs`` setting.
+    """
 
     config: AmtConfig
     hardware: HardwareParams
     arch: MergerArchParams = field(default_factory=MergerArchParams)
     presort_run: int = 16
     partitioning: Literal["range", "address"] = "range"
+    parallel: ParallelPlan | None = None
 
     def __post_init__(self) -> None:
         if self.config.lambda_unroll < 2:
@@ -83,6 +91,8 @@ class UnrolledSorter:
                 data=data.copy(), seconds=0.0, stages=0,
                 record_bytes=self.arch.record_bytes, mode="simulate",
             )
+        if self.parallel is not None:
+            return self._simulate_sharded(data)
         simulation = UnrolledSimulation(
             p=self.config.p,
             leaves=self.config.leaves,
@@ -105,6 +115,63 @@ class UnrolledSorter:
             },
         )
 
+    def _simulate_sharded(self, data: np.ndarray) -> SortOutcome:
+        """Per-unit worker simulation, bit-identical to the joint loop.
+
+        A finished unit's tick is a no-op in
+        :meth:`~repro.hw.banks.UnrolledSimulation.run`'s joint loop, so
+        simulating each unit alone visits exactly the same cycles;
+        ``parallel_cycles`` is recovered as the ``max()`` of per-unit
+        completion counts and the final merges run in the parent.
+        """
+        from repro.parallel.api import simulate_unrolled_sharded
+
+        output, stages_done, parallel_cycles, final_cycles = simulate_unrolled_sharded(
+            [int(x) for x in data],
+            p=self.config.p,
+            leaves=self.config.leaves,
+            lambda_unroll=self.config.lambda_unroll,
+            record_bytes=self.arch.record_bytes,
+            presort_run=self.presort_run,
+            total_bytes_per_cycle=self.hardware.beta_dram / self.arch.frequency_hz,
+            batch_bytes=min(self.hardware.batch_bytes, 1024),
+            plan=self.parallel,
+        )
+        cycles = parallel_cycles + final_cycles
+        return SortOutcome(
+            data=np.asarray(output, dtype=data.dtype),
+            seconds=cycles / self.arch.frequency_hz,
+            stages=stages_done + 1,
+            record_bytes=self.arch.record_bytes,
+            mode="simulate",
+            detail={
+                "parallel_cycles": parallel_cycles,
+                "final_merge_cycles": final_cycles,
+            },
+        )
+
+    def _sort_partitions(self, partitions: list[np.ndarray]) -> list[SortOutcome]:
+        """Model-mode sort of the λ independent partitions, in order.
+
+        Shards one worker per partition when a plan is attached; the
+        worker runs the same single-tree :class:`AmtSorter` as the
+        serial loop, so outcomes are identical either way.
+        """
+        if self.parallel is not None:
+            from repro.parallel.api import sort_partitions_sharded
+
+            outcomes = sort_partitions_sharded(
+                partitions,
+                config=self._tree_sorter.config,
+                hardware=self._tree_sorter.hardware,
+                arch=self.arch,
+                presort_run=self.presort_run,
+                plan=self.parallel,
+            )
+            if outcomes is not None:
+                return outcomes
+        return [self._tree_sorter.sort(partition) for partition in partitions]
+
     def sort(self, data: np.ndarray) -> SortOutcome:
         """Sort an array across the unrolled AMTs; returns data + timing."""
         data = np.asarray(data)
@@ -126,7 +193,7 @@ class UnrolledSorter:
         boundaries = np.concatenate(
             ([data.min()], order_stats.astype(data.dtype), [data.max()])
         )
-        outcomes = []
+        partitions = []
         for index in range(lam):
             low = boundaries[index]
             high = boundaries[index + 1]
@@ -136,7 +203,8 @@ class UnrolledSorter:
                 mask = data > low
             else:
                 mask = (data > low) & (data <= high)
-            outcomes.append(self._tree_sorter.sort(data[mask]))
+            partitions.append(data[mask])
+        outcomes = self._sort_partitions(partitions)
         merged = np.concatenate([outcome.data for outcome in outcomes])
         seconds = max(outcome.seconds for outcome in outcomes) if outcomes else 0.0
         traffic = TrafficMeter()
@@ -156,10 +224,9 @@ class UnrolledSorter:
     def _sort_address_ranges(self, data: np.ndarray) -> SortOutcome:
         lam = self.config.lambda_unroll
         chunk = -(-data.size // lam)
-        outcomes = [
-            self._tree_sorter.sort(data[start : start + chunk])
-            for start in range(0, data.size, chunk)
-        ]
+        outcomes = self._sort_partitions(
+            [data[start : start + chunk] for start in range(0, data.size, chunk)]
+        )
         seconds = max(outcome.seconds for outcome in outcomes)
         stages = max(outcome.stages for outcome in outcomes)
         traffic = TrafficMeter()

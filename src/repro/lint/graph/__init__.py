@@ -18,6 +18,9 @@ interprocedural analyses on top of them:
 ``fifo-discipline``       a ``repro.hw`` component touches a peer
                           component's state other than through the
                           FIFO/bus/coupler port protocol
+``worker-entry``          a ``repro.parallel`` pool entry is not a
+                          module-level single-task function, or the
+                          workers module does work at import time
 ========================  ==================================================
 
 The operational layer makes whole-program analysis adoptable:
@@ -56,6 +59,11 @@ CHECK_RULES: dict[str, str] = {
     "fifo-discipline": (
         "repro.hw component reaches into a peer component's state "
         "outside the FIFO/bus/coupler port protocol"
+    ),
+    "worker-entry": (
+        "repro.parallel pool entry is not a module-level single-task "
+        "function, or its workers module does import-time work or "
+        "eager heavy imports"
     ),
 }
 

@@ -30,6 +30,7 @@ from repro.lint.graph.purity import check_purity
 from repro.lint.graph.summary import FileSummary, extract_summary
 from repro.lint.graph.symbols import ProjectIndex
 from repro.lint.graph.unitflow import check_unit_flow
+from repro.lint.graph.workercheck import check_worker_entries
 from repro.lint.runner import PARSE_ERROR_RULE, collect_files
 
 
@@ -126,6 +127,7 @@ def analyze(
     raw.extend(check_unit_flow(index))
     raw.extend(check_purity(index))
     raw.extend(check_fifo_discipline(index))
+    raw.extend(check_worker_entries(index))
 
     by_path = {summary.path: summary for summary in collected.summaries}
     kept: list[Diagnostic] = []

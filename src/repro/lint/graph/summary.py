@@ -35,7 +35,7 @@ from repro.lint.suppressions import Suppressions
 
 #: bump on any change to the summary shape or extraction logic; a bumped
 #: version invalidates every cache entry
-SUMMARY_VERSION = 1
+SUMMARY_VERSION = 2
 
 # --- unit families ---------------------------------------------------------
 
@@ -219,6 +219,10 @@ class FileSummary:
     classes: dict[str, ClassSummary] = field(default_factory=dict)
     #: module-level names seeded with a unit family (``CAP = 8 * GB``)
     constant_families: dict[str, str] = field(default_factory=dict)
+    #: calls executed at import time: {"name", "line", "col"} per call
+    #: found in module-level expression/assignment statements (decorators
+    #: and class bodies excluded) — the worker-entry import-purity check
+    module_calls: list[dict] = field(default_factory=list)
     #: inline suppression directives, for filtering check diagnostics
     file_suppressions: list[str] = field(default_factory=list)
     line_suppressions: dict[int, list[str]] = field(default_factory=dict)
@@ -244,6 +248,7 @@ class FileSummary:
             "functions": {k: f.to_json() for k, f in self.functions.items()},
             "classes": {k: c.to_json() for k, c in self.classes.items()},
             "constant_families": self.constant_families,
+            "module_calls": self.module_calls,
             "file_suppressions": self.file_suppressions,
             "line_suppressions": {
                 str(k): v for k, v in self.line_suppressions.items()
@@ -264,6 +269,7 @@ class FileSummary:
                 k: ClassSummary.from_json(c) for k, c in data["classes"].items()
             },
             constant_families=dict(data["constant_families"]),
+            module_calls=list(data.get("module_calls", [])),
             file_suppressions=list(data["file_suppressions"]),
             line_suppressions={
                 int(k): list(v) for k, v in data["line_suppressions"].items()
@@ -619,6 +625,27 @@ def extract_summary(path: str, source: str, tree: ast.Module) -> FileSummary:
     return out
 
 
+def _module_call_name(node: ast.Call) -> str:
+    """Syntactic callee label of a module-level call, for diagnostics."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    chain = _attribute_chain(node.func)
+    if chain is not None:
+        return ".".join([chain[0]] + chain[1])
+    return "<expression>"
+
+
+def _record_module_calls(out: FileSummary, value: ast.AST) -> None:
+    """Record every call a module-level statement executes at import."""
+    for node in ast.walk(value):
+        if isinstance(node, ast.Call):
+            out.module_calls.append({
+                "name": _module_call_name(node),
+                "line": node.lineno,
+                "col": node.col_offset,
+            })
+
+
 def _extract_top_level(out: FileSummary, node: ast.stmt, module: str | None) -> None:
     if isinstance(node, ast.Import):
         for alias in node.names:
@@ -640,6 +667,10 @@ def _extract_top_level(out: FileSummary, node: ast.stmt, module: str | None) -> 
         out.classes[node.name] = _extract_class(node)
     elif isinstance(node, (ast.Assign, ast.AnnAssign)):
         _extract_constant(out, node)
+        if node.value is not None:
+            _record_module_calls(out, node.value)
+    elif isinstance(node, ast.Expr):
+        _record_module_calls(out, node.value)
     elif isinstance(node, (ast.If, ast.Try)):
         # TYPE_CHECKING guards and import fallbacks
         bodies: list[list[ast.stmt]] = []

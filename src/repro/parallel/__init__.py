@@ -1,0 +1,26 @@
+"""Process-pool execution layer for independent merges, trees and sweeps.
+
+The paper's performance story is built on *independent* units of work —
+λ_unrl trees over disjoint partitions, per-group merges within a stage,
+per-configuration optimizer evaluations — and this package runs them
+side by side on host cores without changing a single result:
+
+* :class:`ParallelPlan` is the one policy object (worker count, backend,
+  chunking, per-task timeout with serial fallback) and its
+  :meth:`~ParallelPlan.map` the one execution entry point;
+* :mod:`repro.parallel.shm` ships numpy arrays through POSIX shared
+  memory instead of pickles;
+* :mod:`repro.parallel.workers` holds the module-level, import-pure
+  worker entries (enforced by ``bonsai check``'s ``worker-entry`` rule);
+* :mod:`repro.parallel.api` reproduces each serial hot loop with an
+  order-stable sharded equivalent.
+
+Determinism contract: same task list + same worker function +
+order-stable reduction ⇒ bit-identical results for every ``jobs``
+setting, pinned by the differential suite in ``tests/parallel``.
+"""
+
+from repro.parallel.plan import ParallelPlan, available_cpus
+from repro.parallel.shm import ShmArrays
+
+__all__ = ["ParallelPlan", "ShmArrays", "available_cpus"]

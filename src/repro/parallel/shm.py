@@ -1,0 +1,138 @@
+"""Shared-memory transport for numpy record arrays.
+
+Process workers receive their tasks by pickling; for the model-mode
+merge path the tasks *are* large record arrays, and pickling them twice
+(parent -> worker, worker -> parent) would dominate the wall-clock the
+pool is supposed to save.  This module ships arrays through
+``multiprocessing.shared_memory`` instead:
+
+* the parent packs every input run into one shared block and sends
+  workers only a tiny :class:`ShmArrays` descriptor (block name, dtype,
+  per-array lengths);
+* the parent pre-allocates one *output* block — merge outputs have
+  exactly known sizes (a merged group is as long as the sum of its
+  inputs) — and each worker writes its group's result into its own
+  disjoint slice, returning nothing but an acknowledgement.
+
+Workers attach read-only by convention: tasks partition both blocks, so
+no two workers ever touch the same output slice and no lock is needed.
+The parent owns both blocks' lifetimes (``close`` + ``unlink`` in a
+``finally``); workers only ever ``close`` their attachment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ShmArrays:
+    """Picklable descriptor of arrays packed end-to-end in one block."""
+
+    name: str
+    dtype: str
+    lengths: tuple[int, ...]
+
+    @property
+    def offsets(self) -> tuple[int, ...]:
+        """Element offset of each array inside the block."""
+        out = []
+        position = 0
+        for length in self.lengths:
+            out.append(position)
+            position += length
+        return tuple(out)
+
+    @property
+    def total(self) -> int:
+        return sum(self.lengths)
+
+
+def pack_arrays(
+    arrays: list[np.ndarray],
+) -> tuple[shared_memory.SharedMemory, ShmArrays]:
+    """Copy ``arrays`` into one fresh shared block; caller owns cleanup."""
+    if not arrays:
+        raise ConfigurationError("cannot pack zero arrays into shared memory")
+    dtype = np.result_type(*arrays)
+    total = sum(int(a.size) for a in arrays)
+    block = shared_memory.SharedMemory(
+        create=True, size=max(1, total * dtype.itemsize)
+    )
+    flat = np.ndarray((total,), dtype=dtype, buffer=block.buf)
+    position = 0
+    for array in arrays:
+        flat[position : position + array.size] = array
+        position += array.size
+    descriptor = ShmArrays(
+        name=block.name,
+        dtype=dtype.str,
+        lengths=tuple(int(a.size) for a in arrays),
+    )
+    return block, descriptor
+
+
+def alloc_arrays(
+    lengths: list[int], dtype: np.dtype | str
+) -> tuple[shared_memory.SharedMemory, ShmArrays]:
+    """Allocate an uninitialised shared block for arrays of known sizes."""
+    dtype = np.dtype(dtype)
+    total = sum(int(n) for n in lengths)
+    block = shared_memory.SharedMemory(
+        create=True, size=max(1, total * dtype.itemsize)
+    )
+    descriptor = ShmArrays(
+        name=block.name, dtype=dtype.str, lengths=tuple(int(n) for n in lengths)
+    )
+    return block, descriptor
+
+
+def read_array(descriptor: ShmArrays, index: int) -> np.ndarray:
+    """Copy array ``index`` out of the block (safe after the block dies)."""
+    block = shared_memory.SharedMemory(name=descriptor.name)
+    try:
+        view = view_array(descriptor, index, block)
+        return view.copy()
+    finally:
+        block.close()
+
+
+def view_array(
+    descriptor: ShmArrays, index: int, block: shared_memory.SharedMemory
+) -> np.ndarray:
+    """Zero-copy view of array ``index`` inside an attached block."""
+    offset = descriptor.offsets[index]
+    length = descriptor.lengths[index]
+    dtype = np.dtype(descriptor.dtype)
+    return np.ndarray(
+        (length,), dtype=dtype, buffer=block.buf,
+        offset=offset * dtype.itemsize,
+    )
+
+
+def write_array(descriptor: ShmArrays, index: int, values: np.ndarray) -> None:
+    """Fill slot ``index`` of a (freshly attached) block with ``values``."""
+    if values.size != descriptor.lengths[index]:
+        raise ConfigurationError(
+            f"shared slot {index} holds {descriptor.lengths[index]} elements, "
+            f"got {values.size}"
+        )
+    block = shared_memory.SharedMemory(name=descriptor.name)
+    try:
+        view_array(descriptor, index, block)[:] = values
+    finally:
+        block.close()
+
+
+def release(block: shared_memory.SharedMemory) -> None:
+    """Close and unlink a parent-owned block, tolerating double release."""
+    try:
+        block.close()
+        block.unlink()
+    except FileNotFoundError:  # already unlinked (e.g. crashed cleanup ran)
+        pass

@@ -1,0 +1,237 @@
+"""Process-pool worker entry points.
+
+Every function here is a *worker entry*: a module-level function taking
+one picklable task tuple, imported by qualified name inside pool
+processes.  Two invariants keep the pool deterministic and safe, and
+``bonsai check``'s ``worker-entry`` rule enforces both:
+
+* entries are **module-level** (nested functions and lambdas cannot be
+  pickled by reference, and would silently capture parent state);
+* this module is **import-pure** — importing it runs no code beyond
+  ``def``/``import``, so a forked or spawned worker observes exactly the
+  same module as the parent and results cannot depend on import order.
+
+Entries return plain data (tuples of ints/floats, lists, small frozen
+dataclasses); large numpy arrays travel through
+:mod:`repro.parallel.shm` descriptors instead of pickles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.shm import ShmArrays, read_array, view_array, write_array
+
+
+# ----------------------------------------------------------------------
+# model-mode merge stage (engine/stage.py)
+# ----------------------------------------------------------------------
+def worker_merge_group(task: tuple) -> int:
+    """Merge one group of runs: shared block in, shared slot out.
+
+    ``task = (in_desc, out_desc, group_index, start, stop)`` — merge
+    input runs ``[start, stop)`` through the binary tournament and write
+    the result into output slot ``group_index``.  Returns the group
+    index as an acknowledgement (the data never rides the pickle).
+    """
+    from multiprocessing import shared_memory
+
+    from repro.engine.stage import merge_runs_numpy
+
+    in_desc, out_desc, group_index, start, stop = task
+    block = shared_memory.SharedMemory(name=in_desc.name)
+    try:
+        runs = [view_array(in_desc, i, block) for i in range(start, stop)]
+        merged = merge_runs_numpy(runs)
+        write_array(out_desc, group_index, merged)
+    finally:
+        block.close()
+    return group_index
+
+
+# ----------------------------------------------------------------------
+# model-mode unrolled partitions (engine/unrolled.py)
+# ----------------------------------------------------------------------
+def worker_sort_partition(task: tuple) -> tuple:
+    """Sort one partition through a single-tree :class:`AmtSorter`.
+
+    ``task = (in_desc, out_desc, index, config, hardware, arch,
+    presort_run, mode)``; the partition lives in input slot ``index``
+    and the sorted data is written back to output slot ``index``.
+    Returns the timing/traffic metadata the parent needs to rebuild the
+    partition's :class:`~repro.engine.results.SortOutcome`.
+    """
+    from repro.engine.sorter import AmtSorter
+
+    in_desc, out_desc, index, config, hardware, arch, presort_run, mode = task
+    data = read_array(in_desc, index)
+    sorter = AmtSorter(
+        config=config, hardware=hardware, arch=arch,
+        presort_run=presort_run, mode=mode,
+    )
+    outcome = sorter.sort(data)
+    write_array(out_desc, index, np.asarray(outcome.data, dtype=data.dtype))
+    return (index, outcome.seconds, outcome.stages, outcome.traffic, outcome.detail)
+
+
+# ----------------------------------------------------------------------
+# simulate-mode stage groups (engine/sorter.py)
+# ----------------------------------------------------------------------
+def worker_simulate_group(task: tuple) -> tuple:
+    """Cycle-simulate one merge group on its own tree.
+
+    ``task = (p, leaves, runs, record_bytes, read_bytes_per_cycle,
+    write_bytes_per_cycle, batch_bytes)`` with ``runs`` as plain int
+    lists (simulate-scale inputs are small; no shared memory needed).
+    Returns ``(output_runs, cycles)``.
+    """
+    from repro.hw.tree import simulate_merge
+
+    p, leaves, runs, record_bytes, read_bpc, write_bpc, batch_bytes = task
+    out_runs, stats = simulate_merge(
+        p=p,
+        leaves=leaves,
+        runs=runs,
+        record_bytes=record_bytes,
+        read_bytes_per_cycle=read_bpc,
+        write_bytes_per_cycle=write_bpc,
+        batch_bytes=batch_bytes,
+        check_sorted_inputs=False,
+    )
+    return (out_runs, stats.cycles)
+
+
+# ----------------------------------------------------------------------
+# simulate-mode unrolled units (hw/banks.py)
+# ----------------------------------------------------------------------
+def worker_simulate_unit(task: tuple) -> tuple:
+    """Run one unrolled sorter unit's full cycle loop.
+
+    ``task = (p, leaves, record_bytes, bytes_per_cycle, batch_bytes,
+    presort_run, chunk, max_cycles)``.  Ticks the unit exactly as
+    :meth:`UnrolledSimulation.run`'s joint loop would — a done unit's
+    tick is a no-op there, so per-unit cycle counts are identical and
+    the parent recovers ``parallel_cycles`` as their ``max()``.
+    Returns ``(output, busy_cycles, stages_done, cycles)``.
+    """
+    from repro.errors import SimulationError
+    from repro.hw.banks import _SorterUnit
+
+    p, leaves, record_bytes, bytes_per_cycle, batch_bytes, presort_run, chunk, max_cycles = task
+    unit = _SorterUnit(
+        p=p,
+        leaves=leaves,
+        record_bytes=record_bytes,
+        bytes_per_cycle=bytes_per_cycle,
+        batch_bytes=batch_bytes,
+        presort_run=presort_run,
+    )
+    unit.load(list(chunk))
+    cycle = 0
+    while not unit.done:
+        if cycle >= max_cycles:
+            raise SimulationError(
+                f"unrolled phase did not finish within {max_cycles} cycles"
+            )
+        unit.tick(cycle)
+        cycle += 1
+    return (unit.output, unit.busy_cycles, unit.stages_done, cycle)
+
+
+# ----------------------------------------------------------------------
+# optimizer sweeps (core/optimizer.py)
+# ----------------------------------------------------------------------
+def worker_eval_latency(task: tuple) -> list[tuple]:
+    """Evaluate §III-C latency for a chunk of configurations.
+
+    ``task = (bonsai_kwargs, configs, array, unroll_mode)``.  Builds a
+    fresh :class:`Bonsai` from the parent's constructor kwargs so the
+    evaluation runs the *same* code path as the serial loop, then
+    returns ``(config, latency_seconds)`` pairs for the parent to fold
+    into its frozen-key memoization cache.
+    """
+    from repro.core.optimizer import Bonsai
+
+    bonsai_kwargs, configs, array, unroll_mode = task
+    bonsai = Bonsai(**bonsai_kwargs)
+    return [
+        (config, bonsai._latency(config, array, unroll_mode))
+        for config in configs
+    ]
+
+
+def worker_eval_throughput(task: tuple) -> list[tuple]:
+    """Evaluate Eq. 5 + throughput/latency for a chunk of configurations.
+
+    ``task = (bonsai_kwargs, configs, array)``.  Mirrors the serial
+    ``rank_by_throughput`` loop: configurations failing
+    ``pipeline_can_sort`` are skipped (their objective is never
+    computed, exactly like serial).  Returns
+    ``(config, can_sort, throughput_bytes, latency_seconds)`` with
+    ``None`` objectives for skipped configs.
+    """
+    from repro.core.optimizer import Bonsai
+
+    bonsai_kwargs, configs, array = task
+    bonsai = Bonsai(**bonsai_kwargs)
+    results = []
+    for config in configs:
+        if not bonsai.pipeline_can_sort(config, array):
+            results.append((config, False, None, None))
+            continue
+        results.append(
+            (
+                config,
+                True,
+                bonsai._throughput(config),
+                bonsai._latency(config, array, "combined"),
+            )
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# benchmark scenarios (bench/runner.py)
+# ----------------------------------------------------------------------
+def worker_bench_scenario(task: tuple):
+    """Run one benchmark scenario, naive/fast pair pinned together.
+
+    ``task = (name, quick, seed)``.  Both engine timings of a scenario
+    run inside the same worker (same core, same cache state), so the
+    recorded speedup ratio stays honest under ``bench --jobs N``.
+    Imported lazily: the runner imports this module, not vice versa.
+    """
+    import dataclasses
+
+    from repro.bench.runner import run_scenario
+    from repro.bench.scenarios import BY_NAME
+
+    name, quick, seed = task
+    scenario = BY_NAME[name]
+    if seed is not None:
+        scenario = dataclasses.replace(scenario, seed=seed)
+    return run_scenario(scenario, quick=quick)
+
+
+#: Names re-exported for the ``worker-entry`` check's allow-list tests.
+WORKER_ENTRIES = (
+    worker_merge_group,
+    worker_sort_partition,
+    worker_simulate_group,
+    worker_simulate_unit,
+    worker_eval_latency,
+    worker_eval_throughput,
+    worker_bench_scenario,
+)
+
+__all__ = [
+    "ShmArrays",
+    "WORKER_ENTRIES",
+    "worker_bench_scenario",
+    "worker_eval_latency",
+    "worker_eval_throughput",
+    "worker_merge_group",
+    "worker_simulate_group",
+    "worker_simulate_unit",
+    "worker_sort_partition",
+]

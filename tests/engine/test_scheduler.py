@@ -107,6 +107,57 @@ class TestKeepOrSwitch:
         assert adaptive_total <= frozen_total + 1e-9
 
 
+class TestBreakEvenBoundary:
+    """The keep-or-switch comparison is strict: ties reuse the bitstream."""
+
+    def _keep_and_best(self, bonsai, loaded, array):
+        probe = AdaptiveScheduler(bonsai=bonsai, initial_config=loaded)
+        keep = probe.latency_with(loaded, array)
+        best = bonsai.latency_optimal(array).latency_seconds
+        assert keep > best  # loaded config must be genuinely suboptimal
+        return keep, best
+
+    def test_exact_tie_keeps_loaded_config(self):
+        bonsai = presets.aws_f1().bonsai()
+        array = ArrayParams.from_bytes(2 * GB)
+        loaded = AmtConfig(p=1, leaves=4)
+        keep, best = self._keep_and_best(bonsai, loaded, array)
+        tie = AdaptiveScheduler(
+            bonsai=bonsai, reprogram_seconds=keep - best, initial_config=loaded
+        )
+        schedule = tie.plan([array])
+        assert not schedule.jobs[0].reprogrammed
+        assert schedule.jobs[0].total_seconds == pytest.approx(keep)
+
+    def test_epsilon_below_break_even_reprograms(self):
+        bonsai = presets.aws_f1().bonsai()
+        array = ArrayParams.from_bytes(2 * GB)
+        loaded = AmtConfig(p=1, leaves=4)
+        keep, best = self._keep_and_best(bonsai, loaded, array)
+        eager = AdaptiveScheduler(
+            bonsai=bonsai,
+            reprogram_seconds=(keep - best) * (1 - 1e-9),
+            initial_config=loaded,
+        )
+        schedule = eager.plan([array])
+        assert schedule.jobs[0].reprogrammed
+        assert schedule.jobs[0].total_seconds < keep
+
+    def test_free_reprogramming_always_runs_the_optimum(self):
+        bonsai = presets.aws_f1().bonsai()
+        scheduler = AdaptiveScheduler(
+            bonsai=bonsai,
+            reprogram_seconds=0.0,
+            initial_config=AmtConfig(p=1, leaves=4),
+        )
+        arrays = [ArrayParams.from_bytes(size) for size in (GB, 8 * GB)]
+        schedule = scheduler.plan(arrays)
+        for job, array in zip(schedule.jobs, arrays):
+            assert job.sort_seconds == pytest.approx(
+                bonsai.latency_optimal(array).latency_seconds
+            )
+
+
 class TestStaticBaseline:
     def test_static_uses_one_config(self, scheduler):
         arrays = [ArrayParams.from_bytes(size) for size in (4 * GB, 32 * GB)]

@@ -7,7 +7,8 @@ import pytest
 
 from repro.core import presets
 from repro.core.configuration import AmtConfig
-from repro.core.parameters import MergerArchParams
+from repro.core.parameters import ArrayParams, MergerArchParams
+from repro.core.performance import PerformanceModel
 from repro.engine.unrolled import UnrolledSorter
 from repro.errors import ConfigurationError
 from repro.records.workloads import duplicate_heavy, uniform_random
@@ -109,6 +110,70 @@ class TestSimulateBridge:
         sorter = make_unrolled(hbm_hardware, lam=2, p=4, leaves=4)
         outcome = sorter.simulate(np.array([], dtype=np.uint32))
         assert outcome.n_records == 0
+
+
+class TestTimingAgainstModel:
+    """Pin both partitioning modes' timing against the performance model.
+
+    The parallel phase must reduce per-partition times with ``max()``
+    — the λ trees run concurrently — in *both* modes; summing would
+    overcharge by ~λx.  Range mode pins against Eq. 2
+    (:meth:`PerformanceModel.latency_unrolled`), address mode against
+    the §IV-B variant with its idling final merges.
+    """
+
+    def model(self, hardware):
+        return PerformanceModel(
+            hardware=hardware, arch=MergerArchParams(), presort_run=16
+        )
+
+    def test_range_mode_matches_eq2(self, hbm_hardware):
+        # A permutation of 0..N-1 with N divisible by lambda quantile-
+        # splits into exactly equal partitions, so the engine's
+        # max()-reduced time must equal Eq. 2 on the nose.  A sum()
+        # reduction would land ~4x higher.
+        data = np.random.default_rng(13).permutation(4096).astype(np.uint32)
+        outcome = make_unrolled(hbm_hardware, lam=4).sort(data)
+        expected = self.model(hbm_hardware).latency_unrolled(
+            AmtConfig(p=8, leaves=16, lambda_unroll=4),
+            ArrayParams(n_records=data.size),
+        )
+        assert outcome.seconds == pytest.approx(expected, rel=1e-12)
+
+    def test_address_mode_matches_model_exactly(self, hbm_hardware):
+        # N divisible by lambda: every address chunk is exactly
+        # ceil(N/lambda) records, so parallel phase plus final merges
+        # must reproduce the model to rounding.
+        data = uniform_random(4096, seed=11)
+        outcome = make_unrolled(hbm_hardware, lam=4, partitioning="address").sort(data)
+        expected = self.model(hbm_hardware).latency_unrolled_address_range(
+            AmtConfig(p=8, leaves=16, lambda_unroll=4),
+            ArrayParams(n_records=data.size),
+        )
+        assert outcome.seconds == pytest.approx(expected, rel=1e-12)
+
+    def test_address_mode_unequal_chunks_take_max_not_sum(self, hbm_hardware):
+        # N = 4097 leaves a short last chunk (1025/1025/1025/1022).  The
+        # engine must charge the slowest chunk only, plus the final
+        # merges — never the sum of all four sorts.
+        sorter = make_unrolled(hbm_hardware, lam=4, partitioning="address")
+        data = uniform_random(4097, seed=12)
+        outcome = sorter.sort(data)
+        chunk = -(-data.size // 4)
+        per_chunk = [
+            sorter._tree_sorter.sort(data[start : start + chunk]).seconds
+            for start in range(0, data.size, chunk)
+        ]
+        final_merge_seconds = outcome.seconds - max(per_chunk)
+        assert final_merge_seconds > 0
+        assert outcome.seconds < sum(per_chunk)
+        # The model's per-AMT-record ceiling equals the largest chunk, so
+        # the closed form still pins the unequal case exactly.
+        expected = self.model(hbm_hardware).latency_unrolled_address_range(
+            AmtConfig(p=8, leaves=16, lambda_unroll=4),
+            ArrayParams(n_records=data.size),
+        )
+        assert outcome.seconds == pytest.approx(expected, rel=1e-12)
 
 
 class TestValidation:

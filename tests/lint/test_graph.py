@@ -322,6 +322,92 @@ BROKEN_TREE = {
 }
 
 
+CLEAN_WORKERS = """
+    def worker_double(task):
+        from repro.util.sizes import disk_chunk  # lazy heavy import
+
+        return task + task
+"""
+
+
+class TestWorkerEntry:
+    def test_clean_workers_module_passes(self, check_tree):
+        result = check_tree({
+            "src/repro/util/sizes.py": SIZES,
+            "src/repro/parallel/workers.py": CLEAN_WORKERS,
+        })
+        assert [d for d in result.diagnostics if d.rule == "worker-entry"] == []
+
+    def test_entry_method_is_flagged(self, check_tree):
+        result = check_tree({
+            "src/repro/parallel/workers.py": CLEAN_WORKERS,
+            "src/repro/parallel/api.py": """
+                class Shard:
+                    def worker_inner(self, task):
+                        return task
+            """,
+        })
+        rules = [d.rule for d in result.diagnostics]
+        assert rules == ["worker-entry"]
+        assert "module-level" in result.diagnostics[0].message
+
+    def test_import_time_work_is_flagged(self, check_tree):
+        result = check_tree({
+            "src/repro/parallel/workers.py": """
+                def _warm():
+                    return {}
+
+
+                _CACHE = _warm()
+
+
+                def worker_lookup(task):
+                    return _CACHE.get(task)
+            """,
+        })
+        rules = [d.rule for d in result.diagnostics]
+        assert rules == ["worker-entry"]
+        assert "import time" in result.diagnostics[0].message
+
+    def test_eager_heavy_import_is_flagged(self, check_tree):
+        result = check_tree({
+            "src/repro/util/sizes.py": SIZES,
+            "src/repro/parallel/workers.py": """
+                from repro.util.sizes import disk_chunk
+
+
+                def worker_chunk(task):
+                    return disk_chunk()
+            """,
+        })
+        rules = [d.rule for d in result.diagnostics]
+        assert rules == ["worker-entry"]
+        assert "lazily" in result.diagnostics[0].message
+
+    def test_wrong_arity_entry_is_flagged(self, check_tree):
+        result = check_tree({
+            "src/repro/parallel/workers.py": """
+                def worker_pair(left, right):
+                    return left + right
+            """,
+        })
+        rules = [d.rule for d in result.diagnostics]
+        assert rules == ["worker-entry"]
+        assert "one task" in result.diagnostics[0].message
+
+    def test_rule_scope_is_the_parallel_package_only(self, check_tree):
+        # The same shapes outside repro.parallel are someone else's
+        # business: no worker-entry findings.
+        result = check_tree({
+            "src/repro/util/pool.py": """
+                class Helper:
+                    def worker_inner(self, task):
+                        return task
+            """,
+        })
+        assert [d for d in result.diagnostics if d.rule == "worker-entry"] == []
+
+
 class TestParseErrors:
     def test_syntax_error_is_reported_not_skipped(self, check_tree):
         result = check_tree(BROKEN_TREE)

@@ -1,0 +1,217 @@
+"""Differential suite: parallel == serial, bit for bit.
+
+The acceptance contract of the execution layer — for every parallelized
+surface (model-mode merge stages, simulate-mode stages, unrolled trees
+in both modes, optimizer rankings), every ``jobs`` setting must
+reproduce the serial results exactly: sorted bytes, modeled seconds,
+cycle counts, traffic and ranking order.  Each surface is exercised
+across at least three jobs settings and eight workload seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.optimizer import Bonsai
+from repro.core.parameters import ArrayParams, MergerArchParams
+from repro.engine.sorter import AmtSorter
+from repro.engine.stage import merge_stage, split_into_runs
+from repro.engine.unrolled import UnrolledSorter
+from repro.parallel import ParallelPlan
+from repro.parallel.api import merge_stage_sharded
+from repro.units import GB
+
+SEEDS = tuple(range(8))
+
+#: Three-plus jobs settings per the acceptance criteria; "auto" rides
+#: along to cover CPU-count resolution.
+JOBS_SETTINGS = (
+    ParallelPlan.serial(),
+    ParallelPlan(jobs=2),
+    ParallelPlan(jobs=4, chunk_size=2),
+    ParallelPlan(jobs="auto"),
+)
+
+
+@pytest.fixture(scope="module")
+def hardware():
+    return presets.aws_f1_measured().hardware
+
+
+def outcomes_identical(left, right) -> bool:
+    return (
+        np.array_equal(left.data, right.data)
+        and left.data.dtype == right.data.dtype
+        and left.seconds == right.seconds
+        and left.stages == right.stages
+        and left.traffic == right.traffic
+        and left.mode == right.mode
+    )
+
+
+class TestMergeStage:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sharded_stage_matches_serial(self, seed):
+        rng = np.random.default_rng(seed)
+        runs = split_into_runs(rng.integers(0, 1 << 30, size=3000), 64)
+        serial = merge_stage(list(runs), 8)
+        for plan in JOBS_SETTINGS:
+            sharded = merge_stage_sharded(list(runs), 8, plan)
+            assert len(sharded) == len(serial)
+            for left, right in zip(serial, sharded):
+                assert np.array_equal(left, right) and left.dtype == right.dtype
+
+    def test_mixed_dtype_runs_fall_back_to_serial(self):
+        runs = [
+            np.array([1, 5, 9], dtype=np.uint32),
+            np.array([2, 4], dtype=np.uint64),
+            np.array([3, 8], dtype=np.uint64),
+        ]
+        serial = merge_stage(list(runs), 2)
+        sharded = merge_stage_sharded(list(runs), 2, ParallelPlan(jobs=4))
+        for left, right in zip(serial, sharded):
+            assert np.array_equal(left, right) and left.dtype == right.dtype
+
+
+class TestAmtSorterModel:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_model_sort_matches_serial(self, hardware, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 1 << 30, size=4000)
+        serial = AmtSorter(
+            config=AmtConfig(p=8, leaves=8), hardware=hardware
+        ).sort(data)
+        for plan in JOBS_SETTINGS:
+            parallel = AmtSorter(
+                config=AmtConfig(p=8, leaves=8), hardware=hardware, parallel=plan
+            ).sort(data)
+            assert outcomes_identical(serial, parallel)
+
+
+class TestAmtSorterSimulate:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_simulate_sort_matches_across_jobs(self, hardware, seed):
+        """Plan-attached simulate mode: identical at every jobs setting.
+
+        The per-group cycle decomposition is the same for all plans, so
+        outputs *and* cycle-derived seconds must agree bit for bit.
+        """
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 1 << 30, size=900)
+        reference = None
+        for plan in JOBS_SETTINGS:
+            outcome = AmtSorter(
+                config=AmtConfig(p=8, leaves=8),
+                hardware=hardware,
+                mode="simulate",
+                parallel=plan,
+            ).sort(data)
+            assert outcome.is_sorted()
+            assert np.array_equal(outcome.data, np.sort(data))
+            if reference is None:
+                reference = outcome
+            else:
+                assert outcomes_identical(reference, outcome)
+
+
+class TestUnrolledModel:
+    @pytest.mark.parametrize("partitioning", ["range", "address"])
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_model_sort_matches_serial(self, hardware, partitioning, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 1 << 30, size=5000)
+        config = AmtConfig(p=8, leaves=16, lambda_unroll=4)
+        serial = UnrolledSorter(
+            config=config, hardware=hardware, partitioning=partitioning
+        ).sort(data)
+        for plan in JOBS_SETTINGS:
+            parallel = UnrolledSorter(
+                config=config,
+                hardware=hardware,
+                partitioning=partitioning,
+                parallel=plan,
+            ).sort(data)
+            assert outcomes_identical(serial, parallel)
+            assert parallel.detail == serial.detail
+
+    def test_duplicate_heavy_partitions_match(self, hardware):
+        # Heavy duplication can empty interior range partitions; the
+        # sharded path must reproduce that case too.
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 4, size=3000)
+        config = AmtConfig(p=8, leaves=16, lambda_unroll=4)
+        serial = UnrolledSorter(config=config, hardware=hardware).sort(data)
+        parallel = UnrolledSorter(
+            config=config, hardware=hardware, parallel=ParallelPlan(jobs=4)
+        ).sort(data)
+        assert outcomes_identical(serial, parallel)
+
+
+class TestUnrolledSimulate:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_sharded_units_match_joint_simulation(self, hardware, seed):
+        """Per-unit workers reproduce the joint tick loop exactly —
+        including ``parallel_cycles = max(unit completion cycles)``."""
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 1 << 30, size=1200)
+        config = AmtConfig(p=8, leaves=8, lambda_unroll=4)
+        joint = UnrolledSorter(config=config, hardware=hardware).simulate(data)
+        for plan in JOBS_SETTINGS:
+            sharded = UnrolledSorter(
+                config=config, hardware=hardware, parallel=plan
+            ).simulate(data)
+            assert np.array_equal(joint.data, sharded.data)
+            assert joint.seconds == sharded.seconds
+            assert joint.stages == sharded.stages
+            assert joint.detail == sharded.detail
+
+
+class TestOptimizerRanking:
+    @pytest.fixture(scope="class")
+    def space(self):
+        platform = presets.aws_f1()
+        def build(plan):
+            return Bonsai(
+                hardware=platform.hardware,
+                arch=MergerArchParams(),
+                presort_run=16,
+                p_max=8,
+                leaves_max=128,
+                unroll_max=4,
+                pipe_max=4,
+                parallel=plan,
+            )
+        return build
+
+    @pytest.mark.parametrize("size_gb", [1, 4, 16])
+    def test_latency_ranking_identical(self, space, size_gb):
+        array = ArrayParams.from_bytes(size_gb * GB)
+        serial = space(None).rank_by_latency(array)
+        assert serial, "bounded space must stay non-empty"
+        for plan in JOBS_SETTINGS:
+            assert space(plan).rank_by_latency(array) == serial
+
+    @pytest.mark.parametrize("size_gb", [1, 4])
+    def test_throughput_ranking_identical(self, space, size_gb):
+        array = ArrayParams.from_bytes(size_gb * GB)
+        serial = space(None).rank_by_throughput(array)
+        for plan in JOBS_SETTINGS:
+            assert space(plan).rank_by_throughput(array) == serial
+
+    def test_parallel_prefetch_keeps_caches_coherent(self, space):
+        """After a parallel ranking, the parent's caches answer the
+        serial loop: a second ranking runs pool-free yet identical."""
+        array = ArrayParams.from_bytes(GB)
+        bonsai = space(ParallelPlan(jobs=4))
+        first = bonsai.rank_by_latency(array)
+        cached_keys = set(bonsai._latency_cache)
+        second = bonsai.rank_by_latency(array)
+        assert first == second
+        assert set(bonsai._latency_cache) == cached_keys  # all hits
+        serial = space(None)
+        assert serial.rank_by_latency(array) == first
+        for key, value in bonsai._latency_cache.items():
+            assert serial._latency_cache[key] == value

@@ -1,0 +1,65 @@
+"""Shared-memory transport: pack/alloc/read/write round trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.shm import (
+    alloc_arrays,
+    pack_arrays,
+    read_array,
+    release,
+    view_array,
+    write_array,
+)
+
+
+def test_pack_and_read_round_trip():
+    arrays = [
+        np.arange(5, dtype=np.uint64),
+        np.array([], dtype=np.uint64),
+        np.arange(100, 110, dtype=np.uint64),
+    ]
+    block, desc = pack_arrays(arrays)
+    try:
+        assert desc.lengths == (5, 0, 10)
+        assert desc.offsets == (0, 5, 5)
+        assert desc.total == 15
+        for index, original in enumerate(arrays):
+            assert np.array_equal(read_array(desc, index), original)
+    finally:
+        release(block)
+
+
+def test_pack_rejects_empty_list():
+    with pytest.raises(ConfigurationError, match="zero arrays"):
+        pack_arrays([])
+
+
+def test_alloc_write_view_round_trip():
+    block, desc = alloc_arrays([4, 0, 3], np.int64)
+    try:
+        write_array(desc, 0, np.array([4, 3, 2, 1]))
+        write_array(desc, 2, np.array([7, 8, 9]))
+        assert np.array_equal(view_array(desc, 0, block), [4, 3, 2, 1])
+        assert np.array_equal(view_array(desc, 2, block), [7, 8, 9])
+        assert view_array(desc, 1, block).size == 0
+    finally:
+        release(block)
+
+
+def test_write_rejects_size_mismatch():
+    block, desc = alloc_arrays([3], np.uint64)
+    try:
+        with pytest.raises(ConfigurationError, match="slot 0"):
+            write_array(desc, 0, np.arange(5, dtype=np.uint64))
+    finally:
+        release(block)
+
+
+def test_release_tolerates_double_release():
+    block, _desc = alloc_arrays([2], np.uint64)
+    release(block)
+    release(block)  # no FileNotFoundError escape

@@ -33,6 +33,7 @@ class TestExports:
         import repro.hw
         import repro.memory
         import repro.network
+        import repro.parallel
         import repro.records
 
 
