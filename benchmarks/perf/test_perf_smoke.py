@@ -162,3 +162,64 @@ def test_parallel_sort_speedup_floor_on_multicore(parallel_results):
 def test_unknown_scenario_rejected():
     with pytest.raises(ConfigurationError, match="unknown scenario"):
         run_suite(names=["no_such_shape"])
+
+
+class TestObservabilityOverhead:
+    """The ≤2% instrumentation-off overhead gate.
+
+    Strategy: count every instrumentation call the obs workload makes
+    (one observed pass), measure the per-call cost of the disabled
+    path, and require that their product fits in 2% of the workload's
+    uninstrumented wall clock.  This bounds what instrumentation *could*
+    add — it fails if the disabled path grows allocations/locks, or if
+    someone lands per-record instrumentation (call counts scaling with
+    data size blow the budget immediately) — without flaking on the
+    noise of comparing two close wall-clock measurements.
+    """
+
+    def test_obs_scenario_reports_budget_inputs(self):
+        from repro.bench import run_suite as run
+
+        (result,) = run(names=["obs_noop_overhead"], quick=True)
+        assert result.extra["metric_updates"] > 0
+        assert result.extra["spans_closed"] > 0
+        assert result.fast_seconds > 0 and result.naive_seconds > 0
+
+    def test_disabled_instrumentation_fits_two_percent_budget(self):
+        import time
+
+        from repro.bench.scenarios import run_obs_workload
+        from repro.obs.runtime import DISABLED, activated, live_observation
+
+        scenario = BY_NAME["obs_noop_overhead"]
+        records = scenario.make_records(quick=True)
+
+        live = live_observation()
+        with activated(live):
+            run_obs_workload(scenario, records)
+        updates = live.registry.total_updates
+        spans = live.tracer.spans_closed
+        assert updates > 0 and spans > 0
+
+        calls = 200_000
+        start = time.perf_counter()
+        for _ in range(calls):
+            DISABLED.count("x", 1)
+        count_cost = (time.perf_counter() - start) / calls
+        start = time.perf_counter()
+        for _ in range(calls):
+            with DISABLED.span("x"):
+                pass
+        span_cost = (time.perf_counter() - start) / calls
+
+        with activated(DISABLED):
+            start = time.perf_counter()
+            run_obs_workload(scenario, records)
+            runtime = time.perf_counter() - start
+
+        ceiling = updates * count_cost + spans * span_cost
+        assert ceiling <= 0.02 * runtime, (
+            f"{updates} counter updates and {spans} spans could add "
+            f"{ceiling * 1e6:.0f}us to a {runtime * 1e3:.1f}ms run "
+            f"(gate: {0.02 * runtime * 1e6:.0f}us)"
+        )

@@ -37,10 +37,12 @@ from repro.bench.scenarios import (
     make_unrolled_sorter,
     run_end_to_end,
     run_micro,
+    run_obs_workload,
     run_optimizer_sweep,
     run_parallel_optimizer_sweep,
 )
 from repro.errors import ConfigurationError, SimulationError
+from repro.obs.runtime import DISABLED, activated, live_observation, observation
 from repro.parallel import ParallelPlan, available_cpus
 
 #: Report schema tag; bump when the JSON layout changes.
@@ -269,6 +271,54 @@ def _run_parallel_optimizer_scenario(scenario: Scenario, quick: bool) -> BenchRe
     )
 
 
+def _run_obs_scenario(scenario: Scenario, quick: bool) -> BenchResult:
+    """Time one instrumented workload with observability off vs on.
+
+    The disabled path is what every ordinary run pays, so it lands in
+    ``fast_seconds`` (and carries the baseline gate); the enabled path
+    is ``naive_seconds``, making ``speedup`` read as "how much an
+    observed run costs over an unobserved one".  Outputs must be
+    identical — instrumentation never touches data.
+    """
+    reps = 3 if quick else 5
+    records = scenario.make_records(quick)
+
+    def unobserved() -> object:
+        # Force the no-op observation even when the bench itself runs
+        # under --trace/--metrics: this leg measures the disabled path.
+        with activated(DISABLED):
+            return run_obs_workload(scenario, records)
+
+    disabled_seconds, disabled_out = _best_of(unobserved, reps)
+    live = live_observation(trace_id=f"bench.{scenario.name}")
+
+    def observed() -> object:
+        with activated(live):
+            return run_obs_workload(scenario, records)
+
+    enabled_seconds, enabled_out = _best_of(observed, reps)
+    if _digest(disabled_out) != _digest(enabled_out):
+        raise SimulationError(
+            f"{scenario.name}: enabling observability changed the output"
+        )
+    return BenchResult(
+        name=scenario.name,
+        kind=scenario.kind,
+        summary=scenario.summary,
+        naive_seconds=enabled_seconds,
+        fast_seconds=disabled_seconds,
+        bandwidth_bound=scenario.bandwidth_bound,
+        target_speedup=scenario.target_speedup,
+        extra={
+            "records": len(records),
+            "metric_updates": live.registry.total_updates,
+            "spans_closed": live.tracer.spans_closed,
+            "enabled_seconds": round(enabled_seconds, 4),
+            "disabled_seconds": round(disabled_seconds, 4),
+        },
+    )
+
+
 def run_scenario(scenario: Scenario, quick: bool = False) -> BenchResult:
     """Time one scenario under both engines and verify they agree."""
     if scenario.kind in ("micro", "end_to_end"):
@@ -279,6 +329,8 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> BenchResult:
         return _run_parallel_sort_scenario(scenario, quick)
     if scenario.kind == "parallel_optimizer":
         return _run_parallel_optimizer_scenario(scenario, quick)
+    if scenario.kind == "obs":
+        return _run_obs_scenario(scenario, quick)
     raise ConfigurationError(f"unknown scenario kind {scenario.kind!r}")
 
 
@@ -313,11 +365,17 @@ def run_suite(
 
         tasks = [(scenario.name, quick, seed) for scenario in selected]
         return plan.map(worker_bench_scenario, tasks)
+    obs = observation()
     results = []
     for scenario in selected:
         if seed is not None:
             scenario = dataclasses.replace(scenario, seed=seed)
-        results.append(run_scenario(scenario, quick=quick))
+        with obs.span(
+            "bench.scenario", scenario=scenario.name, kind=scenario.kind
+        ):
+            result = run_scenario(scenario, quick=quick)
+        obs.count("bench.scenarios", kind=scenario.kind)
+        results.append(result)
     return results
 
 
@@ -349,7 +407,10 @@ def compare_to_baseline(
 
     Compares fast-engine wall-clock per scenario; scenarios present only
     on one side are ignored (new scenarios enter the gate when the
-    baseline is regenerated — see ``docs/performance.md``).
+    baseline is regenerated — see ``docs/performance.md``).  Each
+    message names the scenario and quantifies the regression: the
+    actual slowdown factor, the gate it tripped, and the absolute
+    times, so a CI failure is diagnosable from the log alone.
     """
     problems = []
     current = report.get("scenarios", {})
@@ -360,9 +421,11 @@ def compare_to_baseline(
         if not now or not then:
             continue
         if now > max_slowdown * then:
+            factor = now / then
             problems.append(
-                f"{name}: fast engine took {now:.3f}s vs baseline "
-                f"{then:.3f}s (>{max_slowdown:.1f}x slowdown)"
+                f"{name}: {factor:.2f}x slower than baseline "
+                f"(gate {max_slowdown:.1f}x): {now:.3f}s now vs "
+                f"{then:.3f}s baseline (+{now - then:.3f}s)"
             )
     return problems
 

@@ -38,7 +38,9 @@ class Scenario:
     a ranked design-space sweep, ``"parallel_sort"`` /
     ``"parallel_optimizer"`` a worker-count scan (1/2/4/auto) over the
     process-pool execution layer that also asserts bit-identical
-    results at every setting.  ``bandwidth_bound`` marks the shapes
+    results at every setting, and ``"obs"`` one model-mode sort timed
+    with observability disabled vs enabled (the instrumentation
+    overhead gate).  ``bandwidth_bound`` marks the shapes
     that carry the fast-path speedup claim; ``target_speedup`` is the
     floor asserted by ``benchmarks/perf``.
 
@@ -200,6 +202,42 @@ def make_unrolled_sorter(scenario: Scenario, jobs):
     )
 
 
+def make_obs_sorter(scenario: Scenario):
+    """The model-mode sorter the ``obs`` scenario drives.
+
+    Model mode runs the instrumented per-stage loop with almost no
+    compute per instrumentation call site, which makes it the
+    worst-case (most sensitive) shape for measuring the disabled-path
+    overhead.
+    """
+    from repro.core import presets
+    from repro.core.configuration import AmtConfig
+    from repro.core.parameters import MergerArchParams
+    from repro.engine.sorter import AmtSorter
+
+    platform = presets.aws_f1_measured()
+    return AmtSorter(
+        config=AmtConfig(p=scenario.p, leaves=scenario.leaves),
+        hardware=platform.hardware,
+        arch=MergerArchParams(record_bytes=scenario.record_bytes),
+        presort_run=PRESORT_RUN,
+        mode="model",
+    )
+
+
+def run_obs_workload(scenario: Scenario, records: Sequence[int]):
+    """One instrumented sort pass; returns the sorted array.
+
+    The runner times this once under the disabled (no-op) observation
+    and once under a live in-memory one; the outputs must be identical
+    and the wall-clock gap is the instrumentation overhead.
+    """
+    import numpy as np
+
+    data = np.asarray(records, dtype=np.uint64)
+    return make_obs_sorter(scenario).sort(data).data
+
+
 def make_bounded_optimizer(jobs):
     """A search-space-bounded Bonsai for the parallel sweep scenario.
 
@@ -318,6 +356,12 @@ SCENARIOS: tuple[Scenario, ...] = (
         name="parallel_optimizer_sweep",
         kind="parallel_optimizer",
         summary="bounded Bonsai ranking (~64 latency configs), worker scan 1/2/4/auto",
+    ),
+    Scenario(
+        name="obs_noop_overhead",
+        kind="obs",
+        summary="model-mode sort, observability disabled vs enabled (overhead gate)",
+        p=8, leaves=16, n_records=200_000,
     ),
 )
 

@@ -72,6 +72,19 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
              "default: serial, results are identical either way)")
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the workload-running subcommands."""
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a JSONL span trace (render it with `bonsai report FILE`)")
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write a JSON metrics snapshot (counters, gauges, histograms)")
+    parser.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="write a run manifest (args, seed, config digest, host, git rev)")
+
+
 def _configure_optimize(opt: argparse.ArgumentParser) -> None:
     opt.add_argument("--platform", choices=sorted(PLATFORMS), default="aws-f1")
     opt.add_argument("--size", type=_parse_size, default=16 * GB,
@@ -84,6 +97,7 @@ def _configure_optimize(opt: argparse.ArgumentParser) -> None:
     opt.add_argument("--top", type=int, default=5,
                      help="how many ranked configurations to print")
     _add_jobs_flag(opt)
+    _add_obs_flags(opt)
 
 
 def _configure_sort(srt: argparse.ArgumentParser) -> None:
@@ -100,6 +114,7 @@ def _configure_sort(srt: argparse.ArgumentParser) -> None:
     srt.add_argument("--output", default=None,
                      help="write sorted keys to this file")
     _add_jobs_flag(srt)
+    _add_obs_flags(srt)
 
 
 def _configure_scalability(sca: argparse.ArgumentParser) -> None:
@@ -121,6 +136,11 @@ def _configure_experiments(exp: argparse.ArgumentParser) -> None:
 
 
 def _configure_report(rep: argparse.ArgumentParser) -> None:
+    rep.add_argument("trace", nargs="?", default=None, metavar="TRACE",
+                     help="JSONL trace from --trace; renders the per-phase "
+                          "wall-time attribution instead of REPORT.md")
+    rep.add_argument("--format", choices=("table", "json"), default="table",
+                     help="trace report format (default: table)")
     rep.add_argument("--results", default="benchmarks/results")
     rep.add_argument("--output", default="REPORT.md")
 
@@ -143,6 +163,7 @@ def _configure_bench(ben: argparse.ArgumentParser) -> None:
                      help="override every scenario's workload seed (keeps "
                           "serial and parallel runs comparable)")
     _add_jobs_flag(ben)
+    _add_obs_flags(ben)
 
 
 def _configure_lint(parser: argparse.ArgumentParser) -> None:
@@ -219,17 +240,21 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_sort(args: argparse.Namespace) -> int:
+    from repro.obs import observation
     from repro.records.files import read_records, write_records
     from repro.records.valsort import validate_sort
 
+    obs = observation()
     platform = PLATFORMS[args.platform]()
-    if args.input:
-        data = read_records(args.input)
-        source = args.input
-    else:
-        data = generate(WorkloadSpec(kind=args.workload, n_records=args.records,
-                                     seed=args.seed))
-        source = args.workload
+    with obs.span("sort.load", source=args.input or args.workload):
+        if args.input:
+            data = read_records(args.input)
+            source = args.input
+        else:
+            data = generate(WorkloadSpec(kind=args.workload,
+                                         n_records=args.records,
+                                         seed=args.seed))
+            source = args.workload
     from repro.parallel import ParallelPlan
 
     sorter = AmtSorter(
@@ -240,9 +265,11 @@ def _cmd_sort(args: argparse.Namespace) -> int:
         parallel=ParallelPlan.from_jobs(args.jobs),
     )
     outcome = sorter.sort(data)
-    summary = validate_sort(data, outcome.data)  # raises on any corruption
+    with obs.span("sort.validate", records=len(data)):
+        summary = validate_sort(data, outcome.data)  # raises on any corruption
     if args.output:
-        write_records(args.output, outcome.data)
+        with obs.span("sort.write", path=args.output):
+            write_records(args.output, outcome.data)
     print(f"sorted {len(data):,} records ({source}) with "
           f"AMT({args.p}, {args.leaves}) in {outcome.stages} stages")
     print(f"mode={outcome.mode}  modeled time={format_seconds(outcome.seconds)}  "
@@ -421,6 +448,18 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.trace:
+        import json
+
+        from repro.obs.report import build_report as build_trace_report
+        from repro.obs.report import render_report
+
+        report = build_trace_report(args.trace)
+        if args.format == "json":
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(render_report(report), end="")
+        return 0
     from repro.analysis.report import build_report, collect_status
 
     status = collect_status(args.results)
@@ -468,6 +507,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         if problems:
             for problem in problems:
                 print(f"regression: {problem}", file=sys.stderr)
+            print(
+                f"{len(problems)} of {len(results)} scenario(s) regressed "
+                f"vs {args.baseline} (gate: {args.max_slowdown:.1f}x)",
+                file=sys.stderr,
+            )
             return 1
         print(f"no regressions vs {args.baseline} "
               f"(gate: {args.max_slowdown:.1f}x)")
@@ -516,11 +560,68 @@ SUBCOMMANDS = (
 COMMANDS = {name: run for name, _summary, _configure, run in SUBCOMMANDS}
 
 
+def _manifest_config(args: argparse.Namespace) -> dict:
+    """The resolved invocation, JSON-shaped, for the run manifest."""
+    return {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if key not in ("trace", "metrics", "manifest")
+    }
+
+
+def _run_command(args: argparse.Namespace, argv: list[str] | None) -> int:
+    """Dispatch one parsed invocation, observed when any flag asks for it.
+
+    With ``--trace``/``--metrics``/``--manifest`` unset this is exactly
+    ``COMMANDS[args.command](args)`` — no observation objects are built,
+    so the default path stays allocation-free.
+    """
+    handler = COMMANDS[args.command]
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics", None)
+    manifest = getattr(args, "manifest", None)
+    if args.command == "report":
+        # `report` reads traces, it does not produce them; its
+        # positional `trace` is input, not an output flag.
+        trace = metrics = manifest = None
+    if not (trace or metrics or manifest):
+        return handler(args)
+    from repro.obs import session
+    from repro.obs.manifest import build_manifest, write_manifest
+
+    failure: BonsaiError | None = None
+    with session(args.command, trace=trace, metrics=metrics) as obs:
+        try:
+            code = handler(args)
+        except BonsaiError as error:
+            # A failed run still deserves its provenance record — the
+            # manifest is most valuable exactly when a run must be
+            # explained after the fact.
+            failure = error
+            code = 2
+        obs.gauge("cli.exit_code", code)
+    if manifest:
+        write_manifest(manifest, build_manifest(
+            command=args.command,
+            config=_manifest_config(args),
+            seed=getattr(args, "seed", None),
+            argv=list(argv) if argv is not None else None,
+            extra={"exit_code": code},
+        ))
+    for label, path in (("trace", trace), ("metrics", metrics),
+                        ("manifest", manifest)):
+        if path:
+            print(f"wrote {label} {path}", file=sys.stderr)
+    if failure is not None:
+        raise failure
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for the ``bonsai`` console script."""
     args = _build_parser().parse_args(argv)
     try:
-        return COMMANDS[args.command](args)
+        return _run_command(args, argv)
     except BonsaiError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

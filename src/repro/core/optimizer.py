@@ -32,6 +32,7 @@ from repro.core.parameters import ArrayParams, HardwareParams, MergerArchParams
 from repro.core.performance import PerformanceModel
 from repro.core.resources import ResourceModel
 from repro.errors import ConfigurationError, NoFeasibleConfigError
+from repro.obs.runtime import observation
 from repro.parallel.plan import ParallelPlan
 from repro.units import GB
 
@@ -90,6 +91,11 @@ class Bonsai:
         evaluation tuples and the parent folds them into its frozen-key
         caches before ranking, so the ranking loop itself — and with it
         the order, ties and all — is byte-for-byte the serial one.
+    observe:
+        Whether this instance reports memo-hit/miss counters to the
+        active observation.  Worker-side replicas are constructed with
+        ``False`` so their internal cache population is not double
+        counted against the parent's accounting.
     """
 
     hardware: HardwareParams
@@ -102,6 +108,7 @@ class Bonsai:
     leaves_cap: int | None = None
     frequency_model: object | None = None
     parallel: ParallelPlan | None = None
+    observe: bool = True
 
     performance: PerformanceModel = field(init=False)
     resources: ResourceModel = field(init=False)
@@ -118,6 +125,12 @@ class Bonsai:
     _feasible_cache: dict = field(init=False, default_factory=dict, repr=False)
     _latency_cache: dict = field(init=False, default_factory=dict, repr=False)
     _throughput_cache: dict = field(init=False, default_factory=dict, repr=False)
+    # Cache keys filled by a pool prefetch whose first parent-side
+    # lookup has not happened yet.  Memo accounting treats that first
+    # lookup as a *miss* (the evaluation really ran, just in a worker),
+    # which keeps hit/miss counters identical between serial and
+    # sharded runs by construction.
+    _fresh_keys: set = field(init=False, default_factory=set, repr=False)
 
     def __post_init__(self) -> None:
         for label, value in (
@@ -147,6 +160,15 @@ class Bonsai:
             yield value
             value *= 2
 
+    def _note_memo(self, cache: str, hit: bool) -> None:
+        """Report one memo lookup to the active observation."""
+        if not self.observe:
+            return
+        observation().count(
+            "optimizer.memo_hits" if hit else "optimizer.memo_misses",
+            cache=cache,
+        )
+
     def _resource_figures(self, config: AmtConfig) -> tuple[bool, float, int]:
         """Memoized ``(fits, lut_usage, bram_bytes)`` for a config."""
         cached = self._resource_cache.get(config)
@@ -157,6 +179,9 @@ class Bonsai:
                 self.resources.bram_bytes(config),
             )
             self._resource_cache[config] = cached
+            self._note_memo("resource", hit=False)
+        else:
+            self._note_memo("resource", hit=True)
         return cached
 
     def feasible_configs(self, include_pipelines: bool = False) -> Iterator[AmtConfig]:
@@ -204,6 +229,12 @@ class Bonsai:
             else:
                 cached = self.performance.latency_unrolled(config, array)
             self._latency_cache[key] = cached
+            self._note_memo("latency", hit=False)
+        elif ("latency", key) in self._fresh_keys:
+            self._fresh_keys.discard(("latency", key))
+            self._note_memo("latency", hit=False)
+        else:
+            self._note_memo("latency", hit=True)
         return cached
 
     def _throughput(self, config: AmtConfig) -> float:
@@ -211,6 +242,12 @@ class Bonsai:
         if cached is None:
             cached = self.performance.throughput_combined(config)
             self._throughput_cache[config] = cached
+            self._note_memo("throughput", hit=False)
+        elif ("throughput", config) in self._fresh_keys:
+            self._fresh_keys.discard(("throughput", config))
+            self._note_memo("throughput", hit=False)
+        else:
+            self._note_memo("throughput", hit=True)
         return cached
 
     # ------------------------------------------------------------------
@@ -233,6 +270,7 @@ class Bonsai:
             "pipe_max": self.pipe_max,
             "leaves_cap": self.leaves_cap,
             "frequency_model": self.frequency_model,
+            "observe": False,
         }
 
     def _prefetch_latencies(self, array: ArrayParams, unroll_mode: str) -> None:
@@ -255,7 +293,9 @@ class Bonsai:
         ]
         for pairs in self.parallel.map(worker_eval_latency, tasks):
             for config, latency in pairs:
-                self._latency_cache[(config, array, unroll_mode)] = latency
+                key = (config, array, unroll_mode)
+                self._latency_cache[key] = latency
+                self._fresh_keys.add(("latency", key))
 
     def _prefetch_throughputs(self, array: ArrayParams) -> None:
         """Fill throughput/latency caches for the Eq. 5-feasible configs."""
@@ -280,7 +320,10 @@ class Bonsai:
                 if not can_sort:
                     continue
                 self._throughput_cache[config] = throughput
-                self._latency_cache[(config, array, "combined")] = latency
+                self._fresh_keys.add(("throughput", config))
+                key = (config, array, "combined")
+                self._latency_cache[key] = latency
+                self._fresh_keys.add(("latency", key))
 
     def rank_by_latency(
         self,
@@ -293,32 +336,40 @@ class Bonsai:
         Pipelining is excluded: "Pipelining is not used in the latency
         optimization model, because it does not improve sorting time."
         """
-        self._prefetch_latencies(array, unroll_mode)
-        ranked = []
-        for config in self.feasible_configs(include_pipelines=False):
-            latency = self._latency(config, array, unroll_mode)
-            _, lut_usage, bram_bytes = self._resource_figures(config)
-            ranked.append(
-                RankedConfig(
-                    config=config,
-                    latency_seconds=latency,
-                    throughput_bytes=array.total_bytes / latency,
-                    lut_usage=lut_usage,
-                    bram_bytes=bram_bytes,
+        obs = observation()
+        with obs.span(
+            "optimizer.rank_latency",
+            records=array.n_records, unroll_mode=unroll_mode,
+        ) as span:
+            self._prefetch_latencies(array, unroll_mode)
+            ranked = []
+            for config in self.feasible_configs(include_pipelines=False):
+                latency = self._latency(config, array, unroll_mode)
+                _, lut_usage, bram_bytes = self._resource_figures(config)
+                ranked.append(
+                    RankedConfig(
+                        config=config,
+                        latency_seconds=latency,
+                        throughput_bytes=array.total_bytes / latency,
+                        lut_usage=lut_usage,
+                        bram_bytes=bram_bytes,
+                    )
+                )
+            # Equal-latency ties prefer more leaves (robustness to larger
+            # N: "then builds as many leaves as can be implemented",
+            # §IV-A), then fewer LUTs (which settles p at the
+            # bandwidth-matching width rather than anything wider).
+            ranked.sort(
+                key=lambda r: (
+                    r.latency_seconds,
+                    -r.config.leaves,
+                    r.lut_usage,
+                    r.bram_bytes,
                 )
             )
-        # Equal-latency ties prefer more leaves (robustness to larger N:
-        # "then builds as many leaves as can be implemented", §IV-A),
-        # then fewer LUTs (which settles p at the bandwidth-matching
-        # width rather than anything wider).
-        ranked.sort(
-            key=lambda r: (
-                r.latency_seconds,
-                -r.config.leaves,
-                r.lut_usage,
-                r.bram_bytes,
-            )
-        )
+            if self.observe:
+                obs.count("optimizer.configs_ranked", len(ranked), sweep="latency")
+            span.set(configs=len(ranked))
         return ranked[:top] if top is not None else ranked
 
     def latency_optimal(
@@ -343,23 +394,34 @@ class Bonsai:
         Enforces the Eq. 5 capacity constraint
         ``min(C_DRAM/(λ_pipe λ_unrl), l**λ_pipe) >= N``.
         """
-        self._prefetch_throughputs(array)
-        ranked = []
-        for config in self.feasible_configs(include_pipelines=True):
-            if not self.pipeline_can_sort(config, array):
-                continue
-            throughput = self._throughput(config)
-            _, lut_usage, bram_bytes = self._resource_figures(config)
-            ranked.append(
-                RankedConfig(
-                    config=config,
-                    latency_seconds=self._latency(config, array, "combined"),
-                    throughput_bytes=throughput,
-                    lut_usage=lut_usage,
-                    bram_bytes=bram_bytes,
+        obs = observation()
+        with obs.span(
+            "optimizer.rank_throughput", records=array.n_records
+        ) as span:
+            self._prefetch_throughputs(array)
+            ranked = []
+            for config in self.feasible_configs(include_pipelines=True):
+                if not self.pipeline_can_sort(config, array):
+                    continue
+                throughput = self._throughput(config)
+                _, lut_usage, bram_bytes = self._resource_figures(config)
+                ranked.append(
+                    RankedConfig(
+                        config=config,
+                        latency_seconds=self._latency(config, array, "combined"),
+                        throughput_bytes=throughput,
+                        lut_usage=lut_usage,
+                        bram_bytes=bram_bytes,
+                    )
                 )
+            ranked.sort(
+                key=lambda r: (-r.throughput_bytes, r.lut_usage, r.bram_bytes)
             )
-        ranked.sort(key=lambda r: (-r.throughput_bytes, r.lut_usage, r.bram_bytes))
+            if self.observe:
+                obs.count(
+                    "optimizer.configs_ranked", len(ranked), sweep="throughput"
+                )
+            span.set(configs=len(ranked))
         return ranked[:top] if top is not None else ranked
 
     def throughput_optimal(self, array: ArrayParams) -> RankedConfig:

@@ -25,6 +25,7 @@ from repro.engine.stage import merge_stage, split_into_runs
 from repro.errors import ConfigurationError
 from repro.hw.tree import simulate_merge
 from repro.memory.traffic import TrafficMeter
+from repro.obs.runtime import observation
 from repro.parallel.plan import ParallelPlan
 
 
@@ -90,21 +91,41 @@ class AmtSorter:
                 data=data.copy(), seconds=0.0, stages=0,
                 record_bytes=self.arch.record_bytes, mode=self.mode,
             )
-        runs = split_into_runs(data, self.presort_run, presorted=input_presorted)
-        traffic = TrafficMeter()
-        seconds = 0.0
-        stages = 0
+        obs = observation()
         record_bytes = self.arch.record_bytes
-        while len(runs) > 1 or stages == 0:
-            if self.mode == "simulate":
-                runs, stage_seconds = self._run_stage_simulated(runs)
-            else:
-                runs = self._run_stage_model(runs)
-                stage_seconds = data.size * record_bytes / self.stage_rate
-            stages += 1
-            seconds += stage_seconds
-            traffic.record_read("dram", data.size * record_bytes)
-            traffic.record_write("dram", data.size * record_bytes)
+        with obs.span(
+            "sorter.sort", mode=self.mode, records=int(data.size)
+        ) as sort_span:
+            runs = split_into_runs(
+                data, self.presort_run, presorted=input_presorted
+            )
+            traffic = TrafficMeter()
+            seconds = 0.0
+            stages = 0
+            while len(runs) > 1 or stages == 0:
+                with obs.span(
+                    "sorter.stage", stage=stages, runs=len(runs)
+                ) as stage_span:
+                    if self.mode == "simulate":
+                        runs, stage_seconds = self._run_stage_simulated(runs)
+                        stage_span.set(
+                            cycles=round(stage_seconds * self.arch.frequency_hz)
+                        )
+                    else:
+                        runs = self._run_stage_model(runs)
+                        stage_seconds = (
+                            data.size * record_bytes / self.stage_rate
+                        )
+                stages += 1
+                seconds += stage_seconds
+                traffic.record_read("dram", data.size * record_bytes)
+                traffic.record_write("dram", data.size * record_bytes)
+                obs.count("engine.stage_records", int(data.size), mode=self.mode)
+                obs.count("engine.bytes_read", int(data.size) * record_bytes)
+                obs.count("engine.bytes_written", int(data.size) * record_bytes)
+            obs.count("engine.stages", stages, mode=self.mode)
+            obs.count("engine.sorts")
+            sort_span.set(stages=stages, model_seconds=seconds)
         return SortOutcome(
             data=runs[0],
             seconds=seconds,

@@ -21,6 +21,7 @@ from repro.engine.results import SortOutcome
 from repro.engine.stage import merge_stage
 from repro.errors import ConfigurationError
 from repro.memory.traffic import TrafficMeter
+from repro.obs.runtime import observation
 from repro.records.record import RecordFormat, U32
 
 
@@ -65,24 +66,35 @@ class SsdSorter:
         arch = self.plan.arch
         traffic = TrafficMeter()
         total_bytes = data.size * self.fmt.width_bytes
+        obs = observation()
 
         # --- phase one: form sorted runs (pipelined, I/O saturating) ---
-        runs = []
-        for start in range(0, data.size, self.scale_run_records):
-            chunk = data[start : start + self.scale_run_records].copy()
-            chunk.sort(kind="stable")
-            runs.append(chunk)
-        traffic.record_read("ssd", total_bytes)
-        traffic.record_write("ssd", total_bytes)
+        with obs.span("ssd.phase_one", records=int(data.size)):
+            runs = []
+            for start in range(0, data.size, self.scale_run_records):
+                chunk = data[start : start + self.scale_run_records].copy()
+                chunk.sort(kind="stable")
+                runs.append(chunk)
+            traffic.record_read("ssd", total_bytes)
+            traffic.record_write("ssd", total_bytes)
+            obs.count("engine.ssd_runs_formed", len(runs))
+            obs.count("engine.bytes_read", total_bytes, device="ssd")
+            obs.count("engine.bytes_written", total_bytes, device="ssd")
 
         # --- phase two: wide merges, one SSD round trip per stage ------
         leaves = self.plan.phase_two_config.leaves
         phase_two_stages = 0
         while len(runs) > 1:
-            runs = merge_stage(runs, leaves)
+            with obs.span(
+                "ssd.phase_two", stage=phase_two_stages, runs=len(runs)
+            ):
+                runs = merge_stage(runs, leaves)
             phase_two_stages += 1
             traffic.record_read("ssd", total_bytes)
             traffic.record_write("ssd", total_bytes)
+            obs.count("engine.stage_records", int(data.size), mode="ssd")
+            obs.count("engine.bytes_read", total_bytes, device="ssd")
+            obs.count("engine.bytes_written", total_bytes, device="ssd")
 
         # --- timing at true scale --------------------------------------
         n_runs = max(1, -(-data.size // self.scale_run_records))

@@ -27,6 +27,7 @@ from repro.engine.sorter import AmtSorter
 from repro.engine.stage import merge_runs_numpy
 from repro.errors import ConfigurationError
 from repro.memory.traffic import TrafficMeter
+from repro.obs.runtime import observation
 from repro.parallel.plan import ParallelPlan
 
 
@@ -102,7 +103,12 @@ class UnrolledSorter:
             total_bytes_per_cycle=self.hardware.beta_dram / self.arch.frequency_hz,
             batch_bytes=min(self.hardware.batch_bytes, 1024),
         )
-        cycles = simulation.run([int(x) for x in data])
+        with observation().span(
+            "unrolled.simulate", records=int(data.size),
+            lambda_unroll=self.config.lambda_unroll,
+        ) as span:
+            cycles = simulation.run([int(x) for x in data])
+            span.set(cycles=cycles)
         return SortOutcome(
             data=np.asarray(simulation.output, dtype=data.dtype),
             seconds=cycles / self.arch.frequency_hz,
@@ -126,18 +132,27 @@ class UnrolledSorter:
         """
         from repro.parallel.api import simulate_unrolled_sharded
 
-        output, stages_done, parallel_cycles, final_cycles = simulate_unrolled_sharded(
-            [int(x) for x in data],
-            p=self.config.p,
-            leaves=self.config.leaves,
-            lambda_unroll=self.config.lambda_unroll,
-            record_bytes=self.arch.record_bytes,
-            presort_run=self.presort_run,
-            total_bytes_per_cycle=self.hardware.beta_dram / self.arch.frequency_hz,
-            batch_bytes=min(self.hardware.batch_bytes, 1024),
-            plan=self.parallel,
-        )
-        cycles = parallel_cycles + final_cycles
+        with observation().span(
+            "unrolled.simulate", records=int(data.size),
+            lambda_unroll=self.config.lambda_unroll, sharded=True,
+        ) as span:
+            output, stages_done, parallel_cycles, final_cycles = (
+                simulate_unrolled_sharded(
+                    [int(x) for x in data],
+                    p=self.config.p,
+                    leaves=self.config.leaves,
+                    lambda_unroll=self.config.lambda_unroll,
+                    record_bytes=self.arch.record_bytes,
+                    presort_run=self.presort_run,
+                    total_bytes_per_cycle=(
+                        self.hardware.beta_dram / self.arch.frequency_hz
+                    ),
+                    batch_bytes=min(self.hardware.batch_bytes, 1024),
+                    plan=self.parallel,
+                )
+            )
+            cycles = parallel_cycles + final_cycles
+            span.set(cycles=cycles)
         return SortOutcome(
             data=np.asarray(output, dtype=data.dtype),
             seconds=cycles / self.arch.frequency_hz,
@@ -157,20 +172,23 @@ class UnrolledSorter:
         worker runs the same single-tree :class:`AmtSorter` as the
         serial loop, so outcomes are identical either way.
         """
-        if self.parallel is not None:
-            from repro.parallel.api import sort_partitions_sharded
+        with observation().span(
+            "unrolled.partitions", partitions=len(partitions)
+        ):
+            if self.parallel is not None:
+                from repro.parallel.api import sort_partitions_sharded
 
-            outcomes = sort_partitions_sharded(
-                partitions,
-                config=self._tree_sorter.config,
-                hardware=self._tree_sorter.hardware,
-                arch=self.arch,
-                presort_run=self.presort_run,
-                plan=self.parallel,
-            )
-            if outcomes is not None:
-                return outcomes
-        return [self._tree_sorter.sort(partition) for partition in partitions]
+                outcomes = sort_partitions_sharded(
+                    partitions,
+                    config=self._tree_sorter.config,
+                    hardware=self._tree_sorter.hardware,
+                    arch=self.arch,
+                    presort_run=self.presort_run,
+                    plan=self.parallel,
+                )
+                if outcomes is not None:
+                    return outcomes
+            return [self._tree_sorter.sort(partition) for partition in partitions]
 
     def sort(self, data: np.ndarray) -> SortOutcome:
         """Sort an array across the unrolled AMTs; returns data + timing."""
@@ -180,9 +198,13 @@ class UnrolledSorter:
                 data=data.copy(), seconds=0.0, stages=0,
                 record_bytes=self.arch.record_bytes, mode="model",
             )
-        if self.partitioning == "range":
-            return self._sort_range_partitioned(data)
-        return self._sort_address_ranges(data)
+        with observation().span(
+            "unrolled.sort", partitioning=self.partitioning,
+            records=int(data.size), lambda_unroll=self.config.lambda_unroll,
+        ):
+            if self.partitioning == "range":
+                return self._sort_range_partitioned(data)
+            return self._sort_address_ranges(data)
 
     # ------------------------------------------------------------------
     def _sort_range_partitioned(self, data: np.ndarray) -> SortOutcome:
@@ -242,14 +264,23 @@ class UnrolledSorter:
         )
         total_bytes = data.size * self.arch.record_bytes
         extra_stages = 0
+        obs = observation()
         while len(runs) > 1:
-            groups = max(1, -(-len(runs) // self.config.leaves))
-            next_runs = []
-            for start in range(0, len(runs), self.config.leaves):
-                next_runs.append(merge_runs_numpy(runs[start : start + self.config.leaves]))
+            with obs.span(
+                "unrolled.final_merge", stage=extra_stages, runs=len(runs)
+            ):
+                groups = max(1, -(-len(runs) // self.config.leaves))
+                next_runs = []
+                for start in range(0, len(runs), self.config.leaves):
+                    next_runs.append(
+                        merge_runs_numpy(runs[start : start + self.config.leaves])
+                    )
             seconds += total_bytes / (groups * per_amt_rate)
             traffic.record_read("dram", total_bytes)
             traffic.record_write("dram", total_bytes)
+            obs.count("engine.final_merge_records", int(data.size))
+            obs.count("engine.bytes_read", total_bytes)
+            obs.count("engine.bytes_written", total_bytes)
             runs = next_runs
             extra_stages += 1
         return SortOutcome(

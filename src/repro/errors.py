@@ -56,6 +56,15 @@ class WorkloadError(BonsaiError):
     """A workload generator was asked for an impossible dataset."""
 
 
+class ObservabilityError(BonsaiError):
+    """The observability subsystem was misused.
+
+    Raised for malformed JSONL traces, metric-snapshot schema
+    mismatches, and span-context protocol violations — never by the
+    disabled (no-op) path, which cannot fail.
+    """
+
+
 class LintError(BonsaiError):
     """The static-analysis subsystem was misused.
 

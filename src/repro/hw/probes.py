@@ -79,6 +79,33 @@ class StageStats:
             )
         return self.cycles / frequency_hz
 
+    def publish(self, obs) -> None:
+        """Bridge this stage's probes into an observation's registry.
+
+        Merger activity is aggregated across the tree (per-merger
+        series would explode the snapshot for wide trees); the loader's
+        bandwidth-limited cycles land as their own counter because §V-A
+        is exactly about keeping that number high.
+        """
+        obs.count("sim.stages")
+        obs.count("sim.cycles", self.cycles)
+        obs.count("sim.records", self.records_out)
+        obs.count("sim.bytes_read", self.bytes_read)
+        obs.count("sim.bytes_written", self.bytes_written)
+        active = stalled = idle = 0
+        for merger in self.merger_stats:
+            active += merger.active_cycles
+            stalled += merger.stall_input + merger.stall_output
+            idle += merger.idle_cycles
+        obs.count("sim.merger_active_cycles", active)
+        obs.count("sim.merger_stall_cycles", stalled)
+        obs.count("sim.merger_idle_cycles", idle)
+        obs.count("sim.loader_batches", self.loader_stats.batches_issued)
+        obs.count(
+            "sim.loader_bandwidth_limited_cycles",
+            self.loader_stats.cycles_bandwidth_limited,
+        )
+
     @property
     def records_per_cycle(self) -> float:
         """Achieved stage throughput in records per cycle."""

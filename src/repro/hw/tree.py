@@ -26,6 +26,7 @@ from repro.hw.fifo import Fifo
 from repro.hw.loader import DataLoader, OutputWriter, make_feeds
 from repro.hw.merger import KMerger
 from repro.hw.probes import StageStats
+from repro.obs.runtime import observation
 from repro.units import is_power_of_two, log2_int
 
 #: FIFO depth (in tuples) between internal tree levels; absorbs selection
@@ -254,7 +255,12 @@ def simulate_merge(
         sim.add(component)
     sim.add(loader)
 
-    cycles = sim.run_until(lambda: writer.done, max_cycles=max_cycles)
+    obs = observation()
+    with obs.span(
+        "hw.merge_stage", p=p, leaves=leaves, groups=n_groups,
+    ) as span:
+        cycles = sim.run_until(lambda: writer.done, max_cycles=max_cycles)
+        span.set(cycles=cycles)
 
     records_in = sum(len(run) for run in runs)
     records_out = sum(len(run) for run in writer.runs)
@@ -272,4 +278,5 @@ def simulate_merge(
         raise SimulationError(
             f"record count mismatch: {records_in} in, {records_out} out"
         )
+    stats.publish(obs)
     return writer.runs, stats

@@ -1,0 +1,72 @@
+"""Unified observability: metrics, spans, sinks, manifests.
+
+The subsystem is zero-dependency and off by default: instrumented code
+reads the process-wide :func:`~repro.obs.runtime.observation` handle,
+which is a no-op bundle until a CLI ``--trace``/``--metrics`` session
+(or a test) installs a live one.  See ``docs/observability.md`` for the
+tour.
+
+:mod:`repro.obs.report` (the trace renderer) is intentionally not
+imported here — it pulls the analysis table renderer, which the hot
+instrumentation path never needs.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_digest,
+    git_revision,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    SNAPSHOT_SCHEMA,
+    MetricsRegistry,
+    NullRegistry,
+    diff_counters,
+)
+from repro.obs.runtime import (
+    DISABLED,
+    Observation,
+    ObsTaskContext,
+    absorb,
+    activated,
+    install,
+    live_observation,
+    observation,
+    session,
+    task_context,
+    worker_observation,
+    worker_payload,
+)
+from repro.obs.sink import JsonlSink, MemorySink, read_jsonl
+from repro.obs.spans import NullTracer, Span, Tracer
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "SNAPSHOT_SCHEMA",
+    "DISABLED",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "ObsTaskContext",
+    "Observation",
+    "Span",
+    "Tracer",
+    "absorb",
+    "activated",
+    "build_manifest",
+    "config_digest",
+    "diff_counters",
+    "git_revision",
+    "install",
+    "live_observation",
+    "observation",
+    "read_jsonl",
+    "session",
+    "task_context",
+    "worker_observation",
+    "worker_payload",
+    "write_manifest",
+]

@@ -1,0 +1,127 @@
+# bonsai-lint: disable-file=determinism -- a run manifest exists to record
+# *this* run's wall-clock timestamp and host; it is provenance metadata,
+# never an input to models or simulation.
+"""Run manifests: the provenance record CI archives next to every trace.
+
+A manifest answers "what exactly produced this result?": the resolved
+configuration (and its digest, so two runs are comparable by one string
+equality), the seed, the CLI argument vector, the host, the package
+version, and the git revision.  It is a plain JSON document with a
+schema tag so downstream tooling can reject manifests it does not
+understand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+MANIFEST_SCHEMA = "bonsai-manifest/v1"
+
+
+def config_digest(config: object) -> str:
+    """Stable sha256 over the canonical JSON form of ``config``.
+
+    Accepts anything JSON-serialisable (non-serialisable leaves are
+    stringified), so dataclass ``asdict`` outputs and argparse
+    namespaces digest alike.
+    """
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def git_revision(repo_root: str | Path | None = None) -> str | None:
+    """The checked-out commit sha, read from ``.git`` without subprocess.
+
+    Walks up from ``repo_root`` (default: this file's location) to find
+    a ``.git`` directory, resolves ``HEAD`` through one level of ref
+    indirection (covering detached heads and packed refs).  Returns
+    ``None`` when no repository is found — manifests must work from an
+    installed wheel too.
+    """
+    start = Path(repo_root) if repo_root is not None else Path(__file__)
+    for candidate in [start, *start.parents]:
+        git_dir = candidate / ".git"
+        if git_dir.is_dir():
+            break
+    else:
+        return None
+    try:
+        head = (git_dir / "HEAD").read_text().strip()
+    except OSError:
+        return None
+    if not head.startswith("ref:"):
+        return head or None
+    ref = head.split(None, 1)[1].strip()
+    ref_file = git_dir / ref
+    try:
+        if ref_file.is_file():
+            return ref_file.read_text().strip() or None
+        packed = git_dir / "packed-refs"
+        if packed.is_file():
+            for line in packed.read_text().splitlines():
+                line = line.strip()
+                if line.startswith(("#", "^")) or not line:
+                    continue
+                sha, _, name = line.partition(" ")
+                if name == ref:
+                    return sha
+    except OSError:
+        return None
+    return None
+
+
+def _package_version() -> str | None:
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - 3.10+ always has it
+        return None
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return None
+
+
+def build_manifest(
+    command: str,
+    config: object = None,
+    seed: int | None = None,
+    argv: list[str] | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Assemble the manifest document for one run."""
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "command": command,
+        "created_unix": round(time.time(), 3),
+        "argv": list(sys.argv if argv is None else argv),
+        "seed": seed,
+        "config": config,
+        "config_digest": config_digest(config) if config is not None else None,
+        "git_revision": git_revision(),
+        "package_version": _package_version(),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "hostname": platform.node(),
+        },
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(path: str | Path, manifest: dict) -> dict:
+    """Write ``manifest`` as indented JSON to ``path`` and return it."""
+    Path(path).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return manifest

@@ -1,0 +1,184 @@
+"""Render a JSONL trace into a per-phase attribution report.
+
+``bonsai report trace.jsonl`` reads the span records a traced run
+emitted and answers "where did the wall time go?".  Attribution is by
+*self time*: each span's duration minus the durations of its direct
+children (floored at zero — clock jitter can make children sum past
+the parent by nanoseconds), aggregated per span name.  Self times of a
+well-nested trace partition the run exactly, so the report's coverage
+figure — the share of root wall time attributed to named phases plus
+the roots' own self time — is a built-in completeness check: the
+acceptance bar is ≥95%.
+
+Main-process spans carry the attribution; worker-process spans (merged
+into the same trace by the parallel layer) are summarised separately
+because their wall time overlaps the parent's dispatch spans.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ObservabilityError
+from repro.obs.sink import read_jsonl
+from repro.units import MS
+
+REPORT_SCHEMA = "bonsai-report/v1"
+
+
+def _span_events(events: Sequence[Mapping]) -> list[Mapping]:
+    return [e for e in events if e.get("kind") == "span"]
+
+
+def _require(event: Mapping, field: str) -> object:
+    try:
+        return event[field]
+    except KeyError:
+        raise ObservabilityError(
+            f"span record missing required field {field!r}: {event!r}"
+        ) from None
+
+
+def attribute(events: Sequence[Mapping]) -> dict:
+    """Fold span events into the per-phase attribution structure.
+
+    Returns a dict with ``total_s`` (summed root-span durations),
+    ``coverage`` (attributed share of ``total_s``), ``rows`` (one per
+    span name, ordered by descending self time), and ``workers``
+    (span/duration tallies for non-main processes).
+    """
+    spans = _span_events(events)
+    main = [s for s in spans if s.get("proc", "main") == "main"]
+    by_id = {_require(s, "span"): s for s in main}
+
+    child_time: dict[str, float] = {}
+    for span in main:
+        parent = span.get("parent")
+        if parent in by_id:
+            child_time[parent] = child_time.get(parent, 0.0) + float(
+                _require(span, "dur_s")
+            )
+
+    roots = [s for s in main if s.get("parent") not in by_id]
+    total = sum(float(_require(s, "dur_s")) for s in roots)
+
+    phases: dict[str, dict] = {}
+    attributed = 0.0
+    for span in main:
+        name = str(_require(span, "name"))
+        duration = float(_require(span, "dur_s"))
+        self_time = max(0.0, duration - child_time.get(span["span"], 0.0))
+        row = phases.setdefault(
+            name,
+            {"name": name, "count": 0, "total_s": 0.0, "self_s": 0.0,
+             "cycles": 0, "has_cycles": False},
+        )
+        row["count"] += 1
+        row["total_s"] += duration
+        row["self_s"] += self_time
+        if span.get("cycles") is not None:
+            row["cycles"] += int(span["cycles"])
+            row["has_cycles"] = True
+        if span not in roots:
+            attributed += self_time
+    root_self = sum(
+        max(0.0, float(s["dur_s"]) - child_time.get(s["span"], 0.0))
+        for s in roots
+    )
+
+    rows = []
+    for row in sorted(
+        phases.values(), key=lambda r: (-r["self_s"], r["name"])
+    ):
+        rows.append(
+            {
+                "name": row["name"],
+                "count": row["count"],
+                "total_s": row["total_s"],
+                "self_s": row["self_s"],
+                "share": (row["self_s"] / total) if total else 0.0,
+                "cycles": row["cycles"] if row["has_cycles"] else None,
+            }
+        )
+
+    workers: dict[str, dict] = {}
+    for span in spans:
+        proc = span.get("proc", "main")
+        if proc == "main":
+            continue
+        entry = workers.setdefault(proc, {"spans": 0, "total_s": 0.0})
+        entry["spans"] += 1
+        entry["total_s"] += float(_require(span, "dur_s"))
+
+    coverage = ((attributed + root_self) / total) if total else 0.0
+    return {
+        "schema": REPORT_SCHEMA,
+        "spans": len(main),
+        "total_s": total,
+        "coverage": coverage,
+        "rows": rows,
+        "workers": {k: workers[k] for k in sorted(workers)},
+    }
+
+
+def build_report(path: str) -> dict:
+    """Read a JSONL trace file and attribute it.
+
+    The trailing ``metrics`` record a CLI session appends (when
+    present) rides along under ``"metrics"`` so ``--format json``
+    output is self-contained.
+    """
+    events = read_jsonl(path)
+    if not _span_events(events):
+        raise ObservabilityError(
+            f"{path} contains no span records; was the run traced?"
+        )
+    report = attribute(events)
+    report["trace"] = next(
+        (e["trace"] for e in events if e.get("kind") == "span"), None
+    )
+    for event in events:
+        if event.get("kind") == "metrics":
+            report["metrics"] = event.get("snapshot")
+            break
+    return report
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds / MS:.3f}"
+
+
+def render_report(report: Mapping) -> str:
+    """Plain-text table form of an attribution report."""
+    from repro.analysis.tables import render_table
+
+    headers = ("phase", "count", "total ms", "self ms", "share %", "cycles")
+    rows = [
+        (
+            row["name"],
+            row["count"],
+            _ms(row["total_s"]),
+            _ms(row["self_s"]),
+            f"{row['share'] * 100:.1f}",
+            "-" if row["cycles"] is None else str(row["cycles"]),
+        )
+        for row in report["rows"]
+    ]
+    title = f"trace {report.get('trace') or '?'}: phase attribution"
+    text = render_table(headers, rows, title=title)
+    lines = [
+        text.rstrip("\n"),
+        "",
+        f"spans: {report['spans']}  "
+        f"wall: {_ms(report['total_s'])} ms  "
+        f"coverage: {report['coverage'] * 100:.1f}%",
+    ]
+    workers = report.get("workers") or {}
+    if workers:
+        spans = sum(w["spans"] for w in workers.values())
+        busy = sum(w["total_s"] for w in workers.values())
+        lines.append(
+            f"workers: {len(workers)} process(es), {spans} span(s), "
+            f"{_ms(busy)} ms busy (overlaps main)"
+        )
+    return "\n".join(lines) + "\n"

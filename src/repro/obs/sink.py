@@ -1,0 +1,100 @@
+"""Event sinks: where span records and telemetry events land.
+
+Two implementations share one two-method protocol (``emit``/``close``):
+
+* :class:`JsonlSink` appends one JSON object per line to a file — the
+  format ``bonsai report`` renders and CI uploads as an artifact;
+* :class:`MemorySink` buffers events in a list — what worker processes
+  use so the parent can re-emit their events into the real sink, and
+  what tests assert against.
+
+Sinks never interpret events; every record is a plain dict with at
+least a ``"kind"`` field (``"span"``, ``"event"``, ``"metrics"``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.errors import ObservabilityError
+
+
+class JsonlSink:
+    """Append-only JSONL file sink (thread-safe, line-buffered)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        try:
+            self._handle = self.path.open("w", encoding="utf-8")
+        except OSError as error:
+            raise ObservabilityError(
+                f"cannot open trace file {self.path}: {error}"
+            ) from error
+
+    def emit(self, record: dict) -> None:
+        """Write one event as a JSON line."""
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle.closed:
+                raise ObservabilityError(
+                    f"trace sink {self.path} already closed"
+                )
+            self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+
+class MemorySink:
+    """In-memory sink: events accumulate on ``.events``."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self._lock = threading.Lock()
+
+    def emit(self, record: dict) -> None:
+        with self._lock:
+            self.events.append(record)
+
+    def close(self) -> None:
+        return None
+
+    def spans(self) -> list[dict]:
+        """The span records emitted so far, in emission order."""
+        with self._lock:
+            return [e for e in self.events if e.get("kind") == "span"]
+
+
+def read_jsonl(path: str | Path) -> list[dict]:
+    """Parse a JSONL trace file into a list of event dicts."""
+    source = Path(path)
+    try:
+        text = source.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ObservabilityError(
+            f"cannot read trace file {source}: {error}"
+        ) from error
+    events = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ObservabilityError(
+                f"{source}:{number}: invalid JSON in trace: {error}"
+            ) from error
+        if not isinstance(record, dict):
+            raise ObservabilityError(
+                f"{source}:{number}: trace events must be JSON objects, "
+                f"got {type(record).__name__}"
+            )
+        events.append(record)
+    return events

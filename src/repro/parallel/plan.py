@@ -36,6 +36,15 @@ from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
+from repro.obs.runtime import (
+    ObsTaskContext,
+    absorb,
+    activated,
+    observation,
+    task_context,
+    worker_observation,
+    worker_payload,
+)
 
 Task = TypeVar("Task")
 Result = TypeVar("Result")
@@ -50,9 +59,24 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def _call_chunk(fn: Callable, tasks: list) -> list:
-    """Pool-side trampoline: apply ``fn`` to one chunk, keep order."""
-    return [fn(task) for task in tasks]
+def _call_chunk(
+    fn: Callable, tasks: list, obs_ctx: ObsTaskContext | None = None
+) -> tuple[list, dict | None]:
+    """Pool-side trampoline: apply ``fn`` to one chunk, keep order.
+
+    When the parent shipped an observation context, the chunk runs
+    under a fresh buffering observation whose metrics snapshot and span
+    events ride back with the results (the second tuple element); the
+    parent absorbs them, so instrumented counters are identical to a
+    serial run by construction.
+    """
+    if obs_ctx is None:
+        return [fn(task) for task in tasks], None
+    worker = worker_observation(obs_ctx)
+    with activated(worker):
+        with worker.span("parallel.chunk", tasks=len(tasks)):
+            results = [fn(task) for task in tasks]
+    return results, worker_payload(worker)
 
 
 @dataclass(frozen=True)
@@ -165,36 +189,60 @@ class ParallelPlan:
         parent, so the result is independent of how the pool behaved.
         """
         tasks = list(tasks)
+        obs = observation()
         if not self.wants_processes(len(tasks)):
+            obs.count("parallel.maps", mode="serial")
             return [fn(task) for task in tasks]
+        obs.count("parallel.maps", mode="pool")
+        obs.count("parallel.tasks", len(tasks))
         chunks = self.chunks(len(tasks))
         results: list = [None] * len(tasks)
         context = multiprocessing.get_context("fork")
         max_workers = min(self.resolve_jobs(), len(chunks))
         executor = ProcessPoolExecutor(max_workers=max_workers, mp_context=context)
         try:
-            futures = [
-                executor.submit(_call_chunk, fn, [tasks[i] for i in chunk])
-                for chunk in chunks
-            ]
-            for chunk, future in zip(chunks, futures):
-                timeout = (
-                    None if self.task_timeout is None
-                    else self.task_timeout * len(chunk)
-                )
-                try:
-                    chunk_results = future.result(timeout=timeout)
-                except FutureTimeoutError:
-                    future.cancel()
-                    chunk_results = [fn(tasks[i]) for i in chunk]
-                except Exception:
-                    # Worker crash (BrokenProcessPool), unpicklable
-                    # result, or the task's own deterministic error:
-                    # recompute serially — a real error raises again
-                    # here, in the parent, with a clean traceback.
-                    chunk_results = [fn(tasks[i]) for i in chunk]
-                for index, value in zip(chunk, chunk_results):
-                    results[index] = value
+            with obs.span(
+                "parallel.map", tasks=len(tasks), chunks=len(chunks),
+                workers=max_workers,
+            ):
+                # Captured inside the span so worker span trees hang off
+                # the dispatch span that actually ran them.
+                ctx = task_context()
+                futures = [
+                    executor.submit(
+                        _call_chunk,
+                        fn,
+                        [tasks[i] for i in chunk],
+                        None if ctx is None else ctx.for_chunk(number),
+                    )
+                    for number, chunk in enumerate(chunks)
+                ]
+                for chunk, future in zip(chunks, futures):
+                    timeout = (
+                        None if self.task_timeout is None
+                        else self.task_timeout * len(chunk)
+                    )
+                    try:
+                        chunk_results, payload = future.result(timeout=timeout)
+                    except FutureTimeoutError:
+                        future.cancel()
+                        # Recomputed in the parent under the parent's own
+                        # observation, so the lost chunk's metrics are
+                        # still counted exactly once.
+                        obs.count("parallel.recomputed_chunks")
+                        chunk_results = [fn(tasks[i]) for i in chunk]
+                    except Exception:
+                        # Worker crash (BrokenProcessPool), unpicklable
+                        # result, or the task's own deterministic error:
+                        # recompute serially — a real error raises again
+                        # here, in the parent, with a clean traceback.
+                        obs.count("parallel.recomputed_chunks")
+                        chunk_results = [fn(tasks[i]) for i in chunk]
+                    else:
+                        if payload is not None:
+                            absorb(payload)
+                    for index, value in zip(chunk, chunk_results):
+                        results[index] = value
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
         return results

@@ -1,0 +1,96 @@
+"""Run manifests: digests, git revision discovery, document shape."""
+
+from __future__ import annotations
+
+import json
+import string
+from pathlib import Path
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_digest,
+    git_revision,
+    write_manifest,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestConfigDigest:
+    def test_key_order_does_not_matter(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_different_configs_differ(self):
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+
+    def test_non_json_leaves_are_stringified(self):
+        digest = config_digest({"path": Path("/tmp/x")})
+        assert len(digest) == 64
+
+
+class TestGitRevision:
+    def test_resolves_this_checkout_to_a_sha(self):
+        sha = git_revision(REPO_ROOT)
+        assert sha is not None
+        assert len(sha) == 40
+        assert set(sha) <= set(string.hexdigits)
+
+    def test_defaults_to_walking_up_from_the_package(self):
+        # The package lives inside this repo, so the default start point
+        # must find the same revision.
+        assert git_revision() == git_revision(REPO_ROOT)
+
+    def test_returns_none_outside_a_repository(self, tmp_path):
+        assert git_revision(tmp_path) is None
+
+    def test_detached_head_returns_raw_sha(self, tmp_path):
+        (tmp_path / ".git").mkdir()
+        (tmp_path / ".git" / "HEAD").write_text("a" * 40 + "\n")
+        assert git_revision(tmp_path) == "a" * 40
+
+    def test_packed_refs_resolve(self, tmp_path):
+        git_dir = tmp_path / ".git"
+        git_dir.mkdir()
+        (git_dir / "HEAD").write_text("ref: refs/heads/main\n")
+        (git_dir / "packed-refs").write_text(
+            "# pack-refs with: peeled fully-peeled sorted\n"
+            f"{'b' * 40} refs/heads/main\n"
+        )
+        assert git_revision(tmp_path) == "b" * 40
+
+
+class TestBuildManifest:
+    def test_document_shape(self):
+        manifest = build_manifest(
+            "sort",
+            config={"records": 1000, "mode": "model"},
+            seed=7,
+            argv=["bonsai", "sort", "--records", "1000"],
+            extra={"exit_code": 0},
+        )
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["command"] == "sort"
+        assert manifest["seed"] == 7
+        assert manifest["argv"][1] == "sort"
+        assert manifest["config_digest"] == config_digest(
+            {"records": 1000, "mode": "model"}
+        )
+        assert manifest["exit_code"] == 0
+        assert manifest["created_unix"] > 0
+        host = manifest["host"]
+        for key in ("platform", "python", "machine", "cpu_count", "hostname"):
+            assert key in host
+
+    def test_no_config_means_no_digest(self):
+        manifest = build_manifest("bench", argv=["bonsai", "bench"])
+        assert manifest["config"] is None
+        assert manifest["config_digest"] is None
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        manifest = build_manifest("sort", argv=["bonsai"], config={"n": 1})
+        write_manifest(path, manifest)
+        loaded = json.loads(path.read_text())
+        assert loaded["config_digest"] == manifest["config_digest"]
+        assert loaded["schema"] == MANIFEST_SCHEMA

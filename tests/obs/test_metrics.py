@@ -1,0 +1,183 @@
+"""The metrics registry: counters, gauges, histograms, merge, diff."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    SNAPSHOT_SCHEMA,
+    MetricsRegistry,
+    NullRegistry,
+    diff_counters,
+)
+
+
+class TestCounters:
+    def test_accumulate_per_label_series(self):
+        registry = MetricsRegistry()
+        registry.count("engine.bytes_read", 100, device="hdd")
+        registry.count("engine.bytes_read", 50, device="hdd")
+        registry.count("engine.bytes_read", 7, device="ssd")
+        assert registry.counter_value("engine.bytes_read", device="hdd") == 150
+        assert registry.counter_value("engine.bytes_read", device="ssd") == 7
+        assert registry.counter_total("engine.bytes_read") == 157
+
+    def test_label_values_coerce_to_strings(self):
+        registry = MetricsRegistry()
+        registry.count("x", 1, stage=0)
+        registry.count("x", 2, stage="0")
+        assert registry.counter_value("x", stage=0) == 3
+
+    def test_unwritten_series_reads_zero(self):
+        assert MetricsRegistry().counter_value("nope") == 0
+
+    def test_counters_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.count("engine.sorts")
+        registry.count("optimizer.memo_hits")
+        assert set(registry.counters("engine.")) == {("engine.sorts",)}
+
+    def test_total_updates_counts_every_mutation(self):
+        registry = MetricsRegistry()
+        registry.count("a")
+        registry.gauge("b", 1.0)
+        registry.observe("c", 0.5)
+        assert registry.total_updates == 3
+
+
+class TestGauges:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("cli.exit_code", 1)
+        registry.gauge("cli.exit_code", 0)
+        snapshot = registry.snapshot()
+        (gauge,) = snapshot["gauges"]
+        assert gauge["value"] == 0
+
+
+class TestHistograms:
+    def test_count_sum_min_max(self):
+        registry = MetricsRegistry()
+        for value in (0.5, 2.0, 8.0):
+            registry.observe("dur", value)
+        (hist,) = registry.snapshot()["histograms"]
+        assert hist["count"] == 3
+        assert hist["sum"] == pytest.approx(10.5)
+        assert hist["min"] == 0.5
+        assert hist["max"] == 8.0
+        assert len(hist["buckets"]) == len(DEFAULT_BUCKETS) + 1
+
+    def test_overflow_lands_in_last_bucket(self):
+        registry = MetricsRegistry()
+        registry.observe("bytes", max(DEFAULT_BUCKETS) * 10)
+        (hist,) = registry.snapshot()["histograms"]
+        assert hist["buckets"][-1] == 1
+
+
+class TestSnapshotAndMerge:
+    def test_snapshot_schema_and_deterministic_order(self):
+        registry = MetricsRegistry()
+        registry.count("b")
+        registry.count("a")
+        snapshot = registry.snapshot()
+        assert snapshot["schema"] == SNAPSHOT_SCHEMA
+        assert [c["name"] for c in snapshot["counters"]] == ["a", "b"]
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.count("x", 1, mode="model")
+        registry.observe("y", 2.5)
+        json.dumps(registry.snapshot())
+
+    def test_merge_accumulates_counters_and_histograms(self):
+        worker = MetricsRegistry()
+        worker.count("engine.stage_records", 500, mode="model")
+        worker.observe("dur", 1.0)
+        parent = MetricsRegistry()
+        parent.count("engine.stage_records", 250, mode="model")
+        parent.observe("dur", 3.0)
+        parent.merge(worker.snapshot())
+        assert parent.counter_value("engine.stage_records", mode="model") == 750
+        (hist,) = parent.snapshot()["histograms"]
+        assert hist["count"] == 2 and hist["min"] == 1.0 and hist["max"] == 3.0
+
+    def test_merge_order_independent_for_counters(self):
+        snapshots = []
+        for value in (3, 11):
+            registry = MetricsRegistry()
+            registry.count("x", value)
+            snapshots.append(registry.snapshot())
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge(snapshots[0]); ab.merge(snapshots[1])
+        ba.merge(snapshots[1]); ba.merge(snapshots[0])
+        assert ab.counters() == ba.counters()
+
+    def test_merge_rejects_unknown_schema(self):
+        with pytest.raises(ObservabilityError, match="schema"):
+            MetricsRegistry().merge({"schema": "bonsai-metrics/v999"})
+
+    def test_merge_rejects_bucket_count_mismatch(self):
+        registry = MetricsRegistry()
+        registry.observe("dur", 1.0)
+        snapshot = registry.snapshot()
+        snapshot["histograms"][0]["buckets"] = [0, 1]
+        with pytest.raises(ObservabilityError, match="bucket count"):
+            MetricsRegistry().merge(snapshot)
+
+    def test_write_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.count("engine.sorts")
+        path = tmp_path / "metrics.json"
+        written = registry.write(path)
+        assert json.loads(path.read_text()) == written
+
+    def test_thread_safety_no_lost_updates(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                registry.count("hits")
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter_value("hits") == 4000
+
+
+class TestNullRegistry:
+    def test_everything_is_a_cheap_noop(self):
+        null = NullRegistry()
+        null.count("a")
+        null.gauge("b", 1.0)
+        null.observe("c", 2.0)
+        null.merge({"schema": SNAPSHOT_SCHEMA})
+        assert null.counter_value("a") == 0
+        assert null.counter_total("a") == 0
+        assert null.counters() == {}
+        assert null.total_updates == 0
+        assert null.snapshot()["counters"] == []
+        assert not null.enabled
+
+
+class TestDiffCounters:
+    def test_equal_maps_diff_empty(self):
+        left = {("a",): 1.0, ("b", ("k", "v")): 2.0}
+        assert diff_counters(left, dict(left)) == []
+
+    def test_reports_value_and_presence_differences(self):
+        problems = diff_counters({("a",): 1.0, ("b",): 2.0}, {("a",): 5.0})
+        assert len(problems) == 2
+        assert any("'a'" in p and "1.0 != 5.0" in p for p in problems)
+
+    def test_ignore_prefixes_skip_execution_shape_series(self):
+        left = {("parallel.maps", ("mode", "serial")): 1.0, ("x",): 1.0}
+        right = {("parallel.maps", ("mode", "pool")): 1.0, ("x",): 1.0}
+        assert diff_counters(left, right, ignore_prefixes=("parallel.",)) == []
+        assert diff_counters(left, right) != []

@@ -1,0 +1,152 @@
+"""Differential observability: worker metrics merge back losslessly.
+
+The contract riding on top of the parallel layer's bit-identical
+execution guarantee: the *metrics* of a sharded run, after the parent
+absorbs every worker snapshot, equal the serial run's registry for all
+deterministic series.  Only ``parallel.*`` bookkeeping (map/chunk/task
+counts) legitimately differs with execution shape, so the comparison
+ignores exactly that prefix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import presets
+from repro.core.configuration import AmtConfig
+from repro.core.optimizer import Bonsai
+from repro.core.parameters import ArrayParams, MergerArchParams
+from repro.engine.unrolled import UnrolledSorter
+from repro.obs.metrics import diff_counters
+from repro.obs.runtime import activated, live_observation
+from repro.parallel import ParallelPlan
+from repro.units import GB
+
+IGNORED = ("parallel.",)
+
+
+@pytest.fixture(scope="module")
+def hardware():
+    return presets.aws_f1_measured().hardware
+
+
+def observed_counters(fn):
+    """Run ``fn`` under a fresh live observation; return its counters."""
+    live = live_observation()
+    with activated(live):
+        result = fn()
+    return result, live
+
+
+class TestUnrolledSortMerge:
+    @pytest.mark.parametrize("partitioning", ["range", "address"])
+    def test_serial_and_jobs2_counters_identical(self, hardware, partitioning):
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 1 << 30, size=5000)
+        config = AmtConfig(p=8, leaves=16, lambda_unroll=4)
+
+        def run(plan):
+            sorter = UnrolledSorter(
+                config=config, hardware=hardware,
+                partitioning=partitioning, parallel=plan,
+            )
+            return sorter.sort(data)
+
+        serial_outcome, serial = observed_counters(lambda: run(None))
+        sharded_outcome, sharded = observed_counters(
+            lambda: run(ParallelPlan(jobs=2))
+        )
+        assert np.array_equal(serial_outcome.data, sharded_outcome.data)
+        problems = diff_counters(
+            serial.registry.counters(),
+            sharded.registry.counters(),
+            ignore_prefixes=IGNORED,
+        )
+        assert problems == []
+
+    def test_parallel_bookkeeping_does_differ(self, hardware):
+        # Guard against the comparison passing vacuously: the sharded
+        # run must actually have taken the pool path.
+        rng = np.random.default_rng(12)
+        data = rng.integers(0, 1 << 30, size=5000)
+        config = AmtConfig(p=8, leaves=16, lambda_unroll=4)
+        _, sharded = observed_counters(
+            lambda: UnrolledSorter(
+                config=config, hardware=hardware,
+                parallel=ParallelPlan(jobs=2),
+            ).sort(data)
+        )
+        registry = sharded.registry
+        assert registry.counter_value("parallel.maps", mode="pool") > 0
+        assert registry.counter_total("parallel.tasks") > 0
+
+
+class TestOptimizerSweepMerge:
+    def build(self, plan):
+        platform = presets.aws_f1()
+        return Bonsai(
+            hardware=platform.hardware,
+            arch=MergerArchParams(),
+            presort_run=16,
+            p_max=8,
+            leaves_max=64,
+            unroll_max=2,
+            pipe_max=2,
+            parallel=plan,
+        )
+
+    def test_memo_accounting_matches_serial(self):
+        array = ArrayParams.from_bytes(GB)
+        serial_ranking, serial = observed_counters(
+            lambda: self.build(None).rank_by_latency(array)
+        )
+        sharded_ranking, sharded = observed_counters(
+            lambda: self.build(ParallelPlan(jobs=2)).rank_by_latency(array)
+        )
+        assert sharded_ranking == serial_ranking
+        problems = diff_counters(
+            serial.registry.counters(),
+            sharded.registry.counters(),
+            ignore_prefixes=IGNORED,
+        )
+        assert problems == []
+
+    def test_throughput_sweep_matches_serial(self):
+        array = ArrayParams.from_bytes(GB)
+        serial_ranking, serial = observed_counters(
+            lambda: self.build(None).rank_by_throughput(array)
+        )
+        sharded_ranking, sharded = observed_counters(
+            lambda: self.build(ParallelPlan(jobs=2)).rank_by_throughput(array)
+        )
+        assert sharded_ranking == serial_ranking
+        assert diff_counters(
+            serial.registry.counters(),
+            sharded.registry.counters(),
+            ignore_prefixes=IGNORED,
+        ) == []
+
+
+class TestWorkerSpans:
+    def test_worker_spans_land_in_parent_sink_linked(self, hardware):
+        rng = np.random.default_rng(13)
+        data = rng.integers(0, 1 << 30, size=5000)
+        config = AmtConfig(p=8, leaves=16, lambda_unroll=4)
+        _, live = observed_counters(
+            lambda: UnrolledSorter(
+                config=config, hardware=hardware,
+                parallel=ParallelPlan(jobs=2),
+            ).sort(data)
+        )
+        spans = live.sink.spans()
+        worker_spans = [s for s in spans if s["proc"] != "main"]
+        assert worker_spans, "pool run must ship worker spans back"
+        map_span_ids = {
+            s["span"] for s in spans if s["name"] == "parallel.map"
+        }
+        # Every worker span tree hangs off a parent-side dispatch span.
+        roots = [s for s in worker_spans if s["parent"] in map_span_ids]
+        assert roots
+        trace_ids = {s["trace"] for s in spans}
+        assert len(trace_ids) == 1

@@ -1,0 +1,139 @@
+"""Phase attribution and the ``bonsai report`` golden outputs."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObservabilityError
+from repro.obs.report import REPORT_SCHEMA, attribute, build_report, render_report
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+def span(span_id, name, dur_s, parent=None, proc="main", cycles=None):
+    record = {
+        "kind": "span", "trace": "t", "span": span_id, "parent": parent,
+        "name": name, "proc": proc, "start_unix": 0.0, "dur_s": dur_s,
+    }
+    if cycles is not None:
+        record["cycles"] = cycles
+    return record
+
+
+class TestAttribute:
+    def test_self_time_subtracts_direct_children(self):
+        events = [
+            span("main:1", "root", 1.0),
+            span("main:2", "child", 0.75, parent="main:1"),
+            span("main:3", "leaf", 0.25, parent="main:2"),
+        ]
+        report = attribute(events)
+        rows = {row["name"]: row for row in report["rows"]}
+        assert rows["child"]["self_s"] == pytest.approx(0.5)
+        assert rows["root"]["self_s"] == pytest.approx(0.25)
+        assert rows["leaf"]["self_s"] == pytest.approx(0.25)
+        assert report["total_s"] == pytest.approx(1.0)
+        assert report["coverage"] == pytest.approx(1.0)
+
+    def test_clock_jitter_floors_self_time_at_zero(self):
+        events = [
+            span("main:1", "root", 1.0),
+            span("main:2", "child", 1.0 + 1e-9, parent="main:1"),
+        ]
+        rows = {r["name"]: r for r in attribute(events)["rows"]}
+        assert rows["root"]["self_s"] == 0.0
+
+    def test_same_name_spans_aggregate(self):
+        events = [
+            span("main:1", "root", 1.0),
+            span("main:2", "stage", 0.3, parent="main:1", cycles=100),
+            span("main:3", "stage", 0.5, parent="main:1", cycles=200),
+        ]
+        rows = {r["name"]: r for r in attribute(events)["rows"]}
+        stage = rows["stage"]
+        assert stage["count"] == 2
+        assert stage["total_s"] == pytest.approx(0.8)
+        assert stage["cycles"] == 300
+
+    def test_rows_ordered_by_descending_self_time(self):
+        events = [
+            span("main:1", "root", 1.0),
+            span("main:2", "small", 0.1, parent="main:1"),
+            span("main:3", "big", 0.8, parent="main:1"),
+        ]
+        names = [r["name"] for r in attribute(events)["rows"]]
+        assert names == ["big", "small", "root"]
+
+    def test_worker_spans_summarised_not_attributed(self):
+        events = [
+            span("main:1", "root", 1.0),
+            span("w0:1", "chunk", 0.4, parent="main:1", proc="w0"),
+            span("w1:1", "chunk", 0.6, parent="main:1", proc="w1"),
+        ]
+        report = attribute(events)
+        assert report["spans"] == 1  # main-process spans only
+        assert report["total_s"] == pytest.approx(1.0)
+        assert report["workers"] == {
+            "w0": {"spans": 1, "total_s": pytest.approx(0.4)},
+            "w1": {"spans": 1, "total_s": pytest.approx(0.6)},
+        }
+
+    def test_orphan_parents_count_as_roots(self):
+        events = [span("main:2", "detached", 0.5, parent="main:99")]
+        report = attribute(events)
+        assert report["total_s"] == pytest.approx(0.5)
+        assert report["coverage"] == pytest.approx(1.0)
+
+    def test_missing_required_field_is_clean_error(self):
+        broken = {"kind": "span", "span": "main:1", "name": "x"}
+        with pytest.raises(ObservabilityError, match="dur_s"):
+            attribute([broken])
+
+
+class TestBuildReport:
+    def test_rejects_trace_with_no_spans(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "metrics", "snapshot": {}}\n')
+        with pytest.raises(ObservabilityError, match="no span records"):
+            build_report(path)
+
+    def test_attaches_trace_id_and_trailing_metrics(self):
+        report = build_report(GOLDEN / "trace.jsonl")
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["trace"] == "golden"
+        assert report["metrics"]["schema"] == "bonsai-metrics/v1"
+
+
+class TestGolden:
+    """The rendered forms are pinned byte for byte.
+
+    Regenerate after an intentional format change with::
+
+        bonsai report tests/obs/golden/trace.jsonl > tests/obs/golden/report.txt
+        bonsai report tests/obs/golden/trace.jsonl --format json \
+            > tests/obs/golden/report.json
+    """
+
+    def test_table_output_matches_golden(self, capsys):
+        assert main(["report", str(GOLDEN / "trace.jsonl")]) == 0
+        assert capsys.readouterr().out == (GOLDEN / "report.txt").read_text()
+
+    def test_json_output_matches_golden(self, capsys):
+        code = main(["report", str(GOLDEN / "trace.jsonl"), "--format", "json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out == (GOLDEN / "report.json").read_text()
+        payload = json.loads(out)
+        assert payload["coverage"] == 1.0
+
+    def test_render_report_agrees_with_cli_table(self):
+        report = build_report(GOLDEN / "trace.jsonl")
+        assert render_report(report) == (GOLDEN / "report.txt").read_text()
+
+    def test_missing_trace_file_is_clean_cli_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err

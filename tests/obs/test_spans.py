@@ -1,0 +1,139 @@
+"""Span tracer and sinks: nesting, identifiers, JSONL round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.sink import JsonlSink, MemorySink, read_jsonl
+from repro.obs.spans import NULL_SPAN, NullTracer, Tracer
+
+
+class TestTracer:
+    def test_nested_spans_record_parent_links(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink, trace_id="t")
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = sink.spans()  # emission order: close order
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert inner["parent"] == outer["span"]
+        assert outer["parent"] is None
+        assert inner["trace"] == outer["trace"] == "t"
+        assert tracer.spans_closed == 2
+
+    def test_span_ids_are_deterministic_process_prefixed(self):
+        tracer = Tracer(sink=MemorySink())
+        assert tracer.span("a").span_id == "main:1"
+        assert tracer.span("b").span_id == "main:2"
+
+    def test_set_attaches_cycles_and_attrs(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        with tracer.span("stage", stage=0) as span:
+            span.set(cycles=1234, runs=8)
+        (record,) = sink.spans()
+        assert record["cycles"] == 1234
+        assert record["attrs"] == {"stage": 0, "runs": 8}
+        assert record["dur_s"] >= 0
+
+    def test_exception_marks_span_and_propagates(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (record,) = sink.spans()
+        assert record["error"] == "ValueError"
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer(sink=MemorySink())
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(ObservabilityError, match="out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_event_records_current_span_as_parent(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink)
+        with tracer.span("phase"):
+            tracer.event("checkpoint", step=3)
+        event = next(e for e in sink.events if e["kind"] == "event")
+        assert event["parent"] == "main:1"
+        assert event["attrs"] == {"step": 3}
+
+    def test_worker_tracer_prefixes_and_links_to_parent(self):
+        sink = MemorySink()
+        tracer = Tracer(sink=sink, process="w3", root_parent="main:7")
+        with tracer.span("chunk"):
+            pass
+        (record,) = sink.spans()
+        assert record["span"] == "w3:1"
+        assert record["parent"] == "main:7"
+        assert record["proc"] == "w3"
+
+    def test_tracer_requires_a_sink(self):
+        with pytest.raises(ObservabilityError, match="sink"):
+            Tracer(sink=None)
+
+
+class TestNullTracer:
+    def test_shared_noop_span(self):
+        tracer = NullTracer()
+        span = tracer.span("anything", attr=1)
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.set(cycles=5, extra=True)
+        tracer.event("ignored")
+        assert tracer.current_span_id() is None
+        assert not tracer.enabled
+
+
+class TestJsonlSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"kind": "span", "name": "a"})
+        sink.emit({"kind": "metrics", "snapshot": {}})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["name"] == "a"
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        with pytest.raises(ObservabilityError, match="closed"):
+            sink.emit({"kind": "span"})
+
+    def test_unwritable_path_is_clean_error(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot open"):
+            JsonlSink(tmp_path / "missing-dir" / "t.jsonl")
+
+
+class TestReadJsonl:
+    def test_round_trip_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "span"}\n\n{"kind": "event"}\n')
+        assert [e["kind"] for e in read_jsonl(path)] == ["span", "event"]
+
+    def test_invalid_json_names_the_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ObservabilityError, match=":2:"):
+            read_jsonl(path)
+
+    def test_non_object_lines_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ObservabilityError, match="JSON objects"):
+            read_jsonl(path)
+
+    def test_missing_file_is_clean_error(self, tmp_path):
+        with pytest.raises(ObservabilityError, match="cannot read"):
+            read_jsonl(tmp_path / "nope.jsonl")

@@ -214,8 +214,27 @@ class TestBench:
             "--max-slowdown", "0.0001",
         ])
         assert code == 1
-        assert "regression" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        # The failure is diagnosable from the log alone: it names the
+        # scenario, the measured factor vs the gate, both absolute
+        # times, and summarises how much of the suite regressed.
+        assert "regression: micro_unconstrained:" in err
+        assert "x slower than baseline (gate 0.0x):" in err
+        assert "s now vs" in err and "s baseline (+" in err
+        assert f"1 of 1 scenario(s) regressed vs {baseline_path}" in err
 
     def test_unknown_scenario_is_clean_error(self, capsys):
         assert main(["bench", "--scenario", "nope"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestReportTrace:
+    def test_traced_sort_renders_attribution(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        assert main(["sort", "--records", "3000", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "phase attribution" in out
+        assert "cli.sort" in out
+        assert "coverage:" in out
