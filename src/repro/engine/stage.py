@@ -50,6 +50,7 @@ def merge_runs_numpy(runs: list[np.ndarray]) -> np.ndarray:
         return np.empty(0, dtype=np.uint64)
     level = [np.asarray(run) for run in runs]
     while len(level) > 1:
+        # bonsai-lint: disable=hot-loop-alloc -- one list per merge level (log n levels), not per record
         next_level = []
         for index in range(0, len(level) - 1, 2):
             next_level.append(merge_two_sorted(level[index], level[index + 1]))

@@ -53,32 +53,36 @@ class Coupler:
 
     def tick(self, cycle: int = 0) -> None:
         """Advance one clock cycle: move at most one input item."""
-        if self.output.is_full or self.input.is_empty:
+        output = self.output
+        source = self.input
+        if output.is_full or source.is_empty:
             return
-        head = self.input.peek()
+        head = source.peek()
         if is_terminal(head):
-            if self._held is not None:
+            held = self._held
+            if held is not None:
                 # Odd half-tuple at the end of a run: pad with max-key
                 # sentinels and emit; the terminal goes out next cycle.
-                padded = self._held + (SENTINEL_KEY,) * self.half_width
+                padded = held + (SENTINEL_KEY,) * self.half_width
                 self._held = None
-                self.output.push(padded)
+                output.push(padded)
                 self.emitted_tuples += 1
                 return
-            self.input.pop()
-            self.output.push(TERMINAL)
+            source.pop()
+            output.push(TERMINAL)
             return
-        item = self.input.pop()
+        item = source.pop()
         if len(item) != self.half_width:
             raise SimulationError(
                 f"{self.name}: expected {self.half_width}-record tuples, "
                 f"got {len(item)}"
             )
         self.consumed_tuples += 1
-        if self._held is None:
+        held = self._held
+        if held is None:
             self._held = tuple(item)
             return
-        self.output.push(self._held + tuple(item))
+        output.push(held + tuple(item))
         self._held = None
         self.emitted_tuples += 1
 

@@ -109,14 +109,13 @@ def _component_fifos(component: object) -> list[Fifo]:
         return []
     out: list[Fifo] = []
     for spec in fields(component):
-        try:
-            value = getattr(component, spec.name)
-        except AttributeError:
-            continue
+        value = getattr(component, spec.name, None)
         if isinstance(value, Fifo):
             out.append(value)
         elif isinstance(value, list):
-            out.extend(item for item in value if isinstance(item, Fifo))
+            for item in value:
+                if isinstance(item, Fifo):
+                    out.append(item)
     return out
 
 
@@ -158,6 +157,7 @@ def run_event_driven(
     watchers: list[list[int]] = []
     adjacency: list[list[tuple[Fifo, int]]] = []
     for index, component in enumerate(order):
+        # bonsai-lint: disable=hot-loop-alloc -- wiring prologue runs once per simulation, before the cycle loop
         pairs: list[tuple[Fifo, int]] = []
         for fifo in _watched_fifos(component):
             slot = slot_of.get(id(fifo))
@@ -165,6 +165,7 @@ def run_event_driven(
                 slot = len(fifo_list)
                 slot_of[id(fifo)] = slot
                 fifo_list.append(fifo)
+                # bonsai-lint: disable=hot-loop-alloc -- wiring prologue, one watcher list per distinct FIFO
                 watchers.append([])
             watchers[slot].append(index)
             pairs.append((fifo, slot))

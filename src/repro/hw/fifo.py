@@ -83,6 +83,7 @@ class Fifo:
             raise SimulationError(f"push into full FIFO {self.name!r}")
         items.append(item)
         self.pushes += 1
+        # bonsai-lint: disable=proc-global-write -- per-process scheduling counter; the fastpath reads it only within one process and no result depends on it
         Fifo.total_ops += 1
         if len(items) > self.high_water:
             self.high_water = len(items)
@@ -126,6 +127,7 @@ class Fifo:
         if not self._items:
             raise SimulationError(f"pop from empty FIFO {self.name!r}")
         self.pops += 1
+        # bonsai-lint: disable=proc-global-write -- per-process scheduling counter; the fastpath reads it only within one process and no result depends on it
         Fifo.total_ops += 1
         return self._items.popleft()
 

@@ -217,22 +217,27 @@ class DataLoader:
         """
         items: list = []
         taken = 0
-        while taken < self.batch_records and not feed.exhausted:
+        batch_records = self.batch_records
+        tuple_width = self.tuple_width
+        pad_row = (SENTINEL_KEY,) * tuple_width
+        while taken < batch_records and not feed.exhausted:
             run = feed.runs[feed.run_index]
-            remaining = len(run) - feed.offset
-            take = min(self.batch_records - taken, remaining)
+            offset = feed.offset
+            remaining = len(run) - offset
+            take = min(batch_records - taken, remaining)
             if take:
-                records = list(run[feed.offset : feed.offset + take])
-                feed.offset += take
+                # the slice is already a fresh list the chunking below
+                # owns; copying it again would double the allocation
+                records = run[offset : offset + take]
+                offset += take
+                feed.offset = offset
                 taken += take
-                for start in range(0, len(records), self.tuple_width):
-                    chunk = records[start : start + self.tuple_width]
-                    if len(chunk) < self.tuple_width:
-                        chunk = chunk + [SENTINEL_KEY] * (
-                            self.tuple_width - len(chunk)
-                        )
-                    items.append(tuple(chunk))
-            if feed.offset >= len(run):
+                for start in range(0, len(records), tuple_width):
+                    chunk = tuple(records[start : start + tuple_width])
+                    if len(chunk) < tuple_width:
+                        chunk = chunk + pad_row[: tuple_width - len(chunk)]
+                    items.append(chunk)
+            if offset >= len(run):
                 items.append(TERMINAL)
                 feed.run_index += 1
                 feed.offset = 0
@@ -259,13 +264,14 @@ class DataLoader:
 
     def _flush_parked(self) -> None:
         """Drain skid buffers into their FIFOs as space allows."""
-        for index in list(self._parked):
+        parked = self._parked
+        for index in list(parked):
             feed = self.feeds[index]
-            leftover = self._push_items(feed, self._parked[index])
+            leftover = self._push_items(feed, parked[index])
             if leftover:
-                self._parked[index] = leftover
+                parked[index] = leftover
             else:
-                del self._parked[index]
+                del parked[index]
 
     @staticmethod
     def _push_items(feed: _LeafFeed, items: list) -> list:
@@ -317,9 +323,11 @@ def make_feeds(
     feeds = []
     for leaf in range(n_leaves):
         position = _bit_reverse(leaf, depth)
+        # bonsai-lint: disable=hot-loop-alloc -- feed construction runs once per stage arm, not per record
         leaf_runs: list[list[int]] = []
         for group in range(n_groups):
             index = group * n_leaves + position
+            # bonsai-lint: disable=hot-loop-alloc -- per-arm copy of each input run, not per-record work
             leaf_runs.append(list(runs[index]) if index < len(runs) else [])
         feeds.append(_LeafFeed(fifo=leaf_fifos[leaf], runs=leaf_runs))
     return feeds
@@ -383,11 +391,19 @@ class OutputWriter:
         for head in source.pop_many(count):
             if is_terminal(head):
                 self.runs.append(current)
+                # bonsai-lint: disable=hot-loop-alloc -- fresh run buffer at a run boundary (once per run, not per record)
                 current = []
                 continue
-            kept = [key for key in head if key != SENTINEL_KEY]
-            current.extend(kept)
-            self.bytes_written += len(kept) * record_bytes
+            if SENTINEL_KEY in head:
+                # Pad sentinels appear only in a run's final tuples;
+                # the common path extends in place without filtering.
+                # bonsai-lint: disable=hot-loop-alloc -- sentinel strip runs only on the rare padded tuple
+                kept = [key for key in head if key != SENTINEL_KEY]
+                current.extend(kept)
+                self.bytes_written += len(kept) * record_bytes
+            else:
+                current.extend(head)
+                self.bytes_written += len(head) * record_bytes
         self._current = current
 
     # ------------------------------------------------------------------

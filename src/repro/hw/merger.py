@@ -185,15 +185,17 @@ class KMerger:
         behaviour as the hardware handshake (§V-A: "In case one input
         buffer becomes empty, the AMT will automatically stall").
         """
+        input_a = self.input_a
+        input_b = self.input_b
         if self._done_a:
-            return None if self.input_b.is_empty else self.input_b
+            return None if input_b.is_empty else input_b
         if self._done_b:
-            return None if self.input_a.is_empty else self.input_a
-        if self.input_a.is_empty or self.input_b.is_empty:
+            return None if input_a.is_empty else input_a
+        if input_a.is_empty or input_b.is_empty:
             return None
-        head_a = self.input_a.peek()
-        head_b = self.input_b.peek()
-        return self.input_a if head_a[0] <= head_b[0] else self.input_b
+        head_a = input_a.peek()
+        head_b = input_b.peek()
+        return input_a if head_a[0] <= head_b[0] else input_b
 
     def _merge(self, left: tuple, right: tuple) -> tuple[tuple, tuple]:
         """Merge two sorted k-tuples, returning (lower k, upper k).

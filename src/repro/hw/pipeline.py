@@ -81,28 +81,31 @@ class _PipelineStage:
 
     def _arm(self, job: _StageJob) -> None:
         leaves = self.leaves
-        if len(job.runs) < leaves:
-            shrunk = 1 << max(1, (max(2, len(job.runs)) - 1).bit_length())
+        runs = job.runs
+        record_bytes = self.record_bytes
+        if len(runs) < leaves:
+            shrunk = 1 << max(1, (max(2, len(runs)) - 1).bit_length())
             leaves = min(leaves, shrunk)
         tree = AmtTree(p=self.p, leaves=leaves)
+        leaf_width = tree.leaf_width
         batch_tuples = max(
             1,
-            (max(tree.leaf_width, self.batch_bytes // self.record_bytes))
-            // tree.leaf_width,
+            (max(leaf_width, self.batch_bytes // record_bytes))
+            // leaf_width,
         )
         for fifo in tree.leaf_fifos:
             fifo.capacity = max(fifo.capacity, 2 * (2 * batch_tuples + 1))
-        n_groups = max(1, math.ceil(len(job.runs) / leaves))
+        n_groups = max(1, math.ceil(len(runs) / leaves))
         loader = DataLoader(
-            feeds=make_feeds(tree.leaf_fifos, job.runs, leaves),
-            tuple_width=tree.leaf_width,
-            record_bytes=self.record_bytes,
+            feeds=make_feeds(tree.leaf_fifos, runs, leaves),
+            tuple_width=leaf_width,
+            record_bytes=record_bytes,
             read_bytes_per_cycle=self.bytes_per_cycle,
             batch_bytes=self.batch_bytes,
         )
         writer = OutputWriter(
             source=tree.root_fifo,
-            record_bytes=self.record_bytes,
+            record_bytes=record_bytes,
             write_bytes_per_cycle=self.bytes_per_cycle,
             expected_runs=n_groups,
         )

@@ -2,7 +2,7 @@
 
 ``bonsai lint`` (the sibling per-file rules) sees one AST node at a
 time; this package sees the whole program.  It builds a project symbol
-table and call graph over every linted file once, then runs three
+table and call graph over every linted file once, then runs the
 interprocedural analyses on top of them:
 
 ========================  ==================================================
@@ -21,15 +21,28 @@ interprocedural analyses on top of them:
 ``worker-entry``          a ``repro.parallel`` pool entry is not a
                           module-level single-task function, or the
                           workers module does work at import time
+``hot-loop-alloc``        allocation inside a per-record loop of a function
+``hot-loop-attr``         reachable from the simulator/merge-kernel hot
+``hot-fifo-op``           roots (see ``perfcheck``; a ``--profile`` trace
+``hot-format``            widens the roots); repeated attribute chains,
+``hot-try``               single-element FIFO ops, formatting, per-
+                          iteration try/except
+``proc-global-write``     worker-reachable code writes shared state outside
+``proc-unpicklable``      the sanctioned obs payload path, captures
+``proc-shm-lifetime``     unpicklable objects, or leaks/reuses shared-
+                          memory blocks (see ``procsafety``)
 ========================  ==================================================
 
 The operational layer makes whole-program analysis adoptable:
 
 * a committed baseline (``.bonsai-check-baseline.json``) so pre-existing
   findings report as suppressed while new ones fail the run;
-* a content-hash summary cache (``--cache-dir``) so warm runs re-extract
-  zero unchanged files and only re-run the cheap propagation passes;
-* the SARIF 2.1.0 reporter shared with ``bonsai lint``.
+* a content-hash summary cache (``--cache-dir``) keyed on the summary
+  version *and* the rule-set hash, so warm runs re-extract zero
+  unchanged files and adding a pass invalidates stale summaries;
+* the SARIF 2.1.0 reporter shared with ``bonsai lint``;
+* ``--select``/``--ignore`` per-rule filtering and
+  ``--require-justification`` suppression auditing.
 
 Run via ``bonsai check [paths...]`` or ``python -m repro.lint.graph``.
 """
@@ -38,34 +51,9 @@ from __future__ import annotations
 
 from repro.lint.graph.analyzer import CheckResult, analyze
 from repro.lint.graph.baseline import Baseline
+from repro.lint.graph.rules import CHECK_RULES, ruleset_hash
 from repro.lint.graph.summary import SUMMARY_VERSION, FileSummary, extract_summary
 from repro.lint.graph.symbols import ProjectIndex
-
-#: every diagnostic rule this analyzer can emit, with the one-line
-#: description used by ``--list-analyses`` and the SARIF rule table
-CHECK_RULES: dict[str, str] = {
-    "unit-flow-mix": (
-        "arithmetic combines two different unit families reached "
-        "through the interprocedural unit-flow analysis"
-    ),
-    "unit-flow-call": (
-        "call argument's unit family contradicts the callee "
-        "parameter's family"
-    ),
-    "transitive-purity": (
-        "pure model function transitively reaches I/O, RNG, clock, or "
-        "repro.hw state mutation"
-    ),
-    "fifo-discipline": (
-        "repro.hw component reaches into a peer component's state "
-        "outside the FIFO/bus/coupler port protocol"
-    ),
-    "worker-entry": (
-        "repro.parallel pool entry is not a module-level single-task "
-        "function, or its workers module does import-time work or "
-        "eager heavy imports"
-    ),
-}
 
 __all__ = [
     "CHECK_RULES",
@@ -76,4 +64,5 @@ __all__ = [
     "ProjectIndex",
     "analyze",
     "extract_summary",
+    "ruleset_hash",
 ]

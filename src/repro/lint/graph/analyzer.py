@@ -1,8 +1,8 @@
 """Orchestration of one ``bonsai check`` run.
 
 Pipeline: collect files -> extract (or cache-load) summaries -> build
-the project index -> run the three interprocedural analyses -> filter
-inline suppressions -> split against the baseline -> one
+the project index -> run the interprocedural analyses -> filter rule
+selection and inline suppressions -> split against the baseline -> one
 :class:`CheckResult`.
 
 Unreadable or unparseable files become ``parse-error`` diagnostics —
@@ -20,18 +20,26 @@ import ast
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Sequence
+from typing import Iterable, Mapping, Sequence
 
+from repro.errors import LintError
 from repro.lint.diagnostics import Diagnostic, Severity
 from repro.lint.graph.baseline import Baseline
 from repro.lint.graph.cache import SummaryCache
 from repro.lint.graph.fifocheck import check_fifo_discipline
+from repro.lint.graph.perfcheck import check_hot_paths
+from repro.lint.graph.procsafety import check_process_safety
 from repro.lint.graph.purity import check_purity
+from repro.lint.graph.rules import CHECK_RULES
 from repro.lint.graph.summary import FileSummary, extract_summary
 from repro.lint.graph.symbols import ProjectIndex
 from repro.lint.graph.unitflow import check_unit_flow
 from repro.lint.graph.workercheck import check_worker_entries
-from repro.lint.runner import PARSE_ERROR_RULE, collect_files
+from repro.lint.runner import (
+    PARSE_ERROR_RULE,
+    UNJUSTIFIED_SUPPRESSION_RULE,
+    collect_files,
+)
 
 
 @dataclass(frozen=True)
@@ -111,14 +119,82 @@ def _collect_summaries(
     return out
 
 
+def resolve_rule_selection(
+    select: Iterable[str] | None, ignore: Iterable[str] | None
+) -> tuple[str, ...]:
+    """Active rule names after ``--select``/``--ignore`` filtering."""
+    selected = list(select) if select else sorted(CHECK_RULES)
+    ignored = set(ignore) if ignore else set()
+    for name in list(selected) + sorted(ignored):
+        if name not in CHECK_RULES:
+            known = ", ".join(sorted(CHECK_RULES))
+            raise LintError(f"unknown check rule '{name}' (known: {known})")
+    return tuple(name for name in selected if name not in ignored)
+
+
+def load_profile_rows(profile: str | Path) -> list[Mapping]:
+    """Phase rows of a ``bonsai report`` trace, for hot-set widening."""
+    from repro.errors import ObservabilityError
+    from repro.obs.report import build_report
+
+    try:
+        report = build_report(str(profile))
+    except (OSError, ObservabilityError) as error:
+        raise LintError(f"cannot load profile {profile}: {error}") from error
+    return list(report.get("rows", []))
+
+
+def _justification_findings(
+    summaries: Sequence[FileSummary], silenced: Sequence[Diagnostic]
+) -> list[Diagnostic]:
+    """One warning per unjustified directive that silenced a finding."""
+    by_path: dict[str, list[Diagnostic]] = {}
+    for diagnostic in silenced:
+        by_path.setdefault(diagnostic.path, []).append(diagnostic)
+    out: list[Diagnostic] = []
+    for summary in summaries:
+        hits = by_path.get(summary.path)
+        if not hits:
+            continue
+        for directive in summary.directives:
+            if directive["justified"]:
+                continue
+            rules = set(directive["rules"])
+            covers = any(
+                ("all" in rules or d.rule in rules)
+                and (
+                    directive["kind"] == "disable-file"
+                    or directive["target"] == d.line
+                )
+                for d in hits
+            )
+            if covers:
+                out.append(Diagnostic(
+                    path=summary.path, line=directive["line"], column=0,
+                    rule=UNJUSTIFIED_SUPPRESSION_RULE,
+                    message=(
+                        "check suppression without a '-- reason' "
+                        "justification; state why the finding is safe"
+                    ),
+                    severity=Severity.WARNING,
+                ))
+    return out
+
+
 def analyze(
     paths: Sequence[str | Path],
     *,
     baseline: Baseline | None = None,
     cache_dir: str | Path | None = None,
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    profile: str | Path | None = None,
+    require_justification: bool = False,
 ) -> CheckResult:
     """Run the whole-program analyses over ``paths``."""
     started = time.perf_counter()
+    active = resolve_rule_selection(select, ignore)
+    profile_rows = load_profile_rows(profile) if profile is not None else None
     cache = SummaryCache(cache_dir)
     collected = _collect_summaries(paths, cache)
     index = ProjectIndex.build(collected.summaries)
@@ -128,22 +204,32 @@ def analyze(
     raw.extend(check_purity(index))
     raw.extend(check_fifo_discipline(index))
     raw.extend(check_worker_entries(index))
+    raw.extend(check_hot_paths(index, profile_rows))
+    raw.extend(check_process_safety(index))
 
+    active_set = set(active)
     by_path = {summary.path: summary for summary in collected.summaries}
     kept: list[Diagnostic] = []
+    silenced: list[Diagnostic] = []
     inline_suppressed = 0
     for diagnostic in raw:
+        if diagnostic.rule not in active_set:
+            continue
         summary = by_path.get(diagnostic.path)
         if summary is not None and summary.suppressed(
             diagnostic.rule, diagnostic.line
         ):
             inline_suppressed += 1
+            silenced.append(diagnostic)
         else:
             kept.append(diagnostic)
+    if require_justification:
+        kept.extend(
+            _justification_findings(collected.summaries, silenced)
+        )
     kept.extend(collected.parse_errors)
 
     new, accepted = (baseline or Baseline()).split(sorted(kept))
-    from repro.lint.graph import CHECK_RULES  # circular-at-import otherwise
 
     return CheckResult(
         diagnostics=tuple(sorted(new)),
@@ -151,6 +237,6 @@ def analyze(
         files_scanned=collected.total,
         reanalyzed=collected.reanalyzed,
         suppressed=inline_suppressed,
-        rules=tuple(sorted(CHECK_RULES)),
+        rules=tuple(active),
         elapsed_seconds=time.perf_counter() - started,
     )

@@ -10,13 +10,18 @@ the file after a reviewed change.
 Fingerprints deliberately exclude line numbers — ``(path, rule,
 message, occurrence-index)`` — so unrelated edits above a finding do
 not churn the baseline; the occurrence index keeps N identical findings
-in one file distinct.
+in one file distinct.  Paths are normalised to working-directory-
+relative POSIX form before fingerprinting, and the saved file orders
+findings by ``(relpath, rule, fingerprint)``, so the same tree produces
+byte-identical baselines whether the analyzer was invoked with
+absolute or relative paths and regardless of the checkout location.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -27,12 +32,25 @@ BASELINE_VERSION = 1
 DEFAULT_BASELINE = ".bonsai-check-baseline.json"
 
 
+def _relpath(path: str) -> str:
+    """Checkout-independent form of a diagnostic path.
+
+    Relative to the working directory (the repo root in CI and the
+    test suite) with POSIX separators; a path outside the tree is kept
+    absolute rather than climbing through ``..`` segments.
+    """
+    candidate = os.path.relpath(path)
+    if candidate.startswith(".."):
+        return Path(path).as_posix()
+    return Path(candidate).as_posix()
+
+
 def _fingerprints(diagnostics: list[Diagnostic]) -> list[str]:
     """Stable fingerprint per diagnostic (order-aligned with input)."""
     seen: dict[tuple[str, str, str], int] = {}
     out: list[str] = []
     for diagnostic in diagnostics:
-        key = (diagnostic.path, diagnostic.rule, diagnostic.message)
+        key = (_relpath(diagnostic.path), diagnostic.rule, diagnostic.message)
         occurrence = seen.get(key, 0)
         seen[key] = occurrence + 1
         raw = "::".join([*key, str(occurrence)])
@@ -71,22 +89,41 @@ class Baseline:
         for print_, diagnostic in zip(_fingerprints(diagnostics), diagnostics):
             entries[print_] = {
                 "rule": diagnostic.rule,
-                "path": diagnostic.path,
+                "path": _relpath(diagnostic.path),
                 "message": diagnostic.message,
             }
         return cls(entries=entries)
 
     def save(self, path: str | Path) -> None:
-        """Write the baseline (sorted, so diffs stay reviewable)."""
+        """Write the baseline, byte-stable across checkouts.
+
+        Findings are ordered by ``(relpath, rule, fingerprint)`` —
+        NOT by raw fingerprint, whose order would follow the hash of
+        whatever path form the analyzer was invoked with.  The entry
+        dicts are emitted with sorted keys by construction, so the
+        document needs no ``sort_keys`` pass that would disturb the
+        finding order.
+        """
+        ordered = sorted(
+            self.entries.items(),
+            key=lambda item: (
+                item[1].get("path", ""), item[1].get("rule", ""), item[0],
+            ),
+        )
         payload = {
-            "version": BASELINE_VERSION,
-            "tool": "bonsai-check",
             "findings": {
-                key: self.entries[key] for key in sorted(self.entries)
+                key: {
+                    "message": entry.get("message", ""),
+                    "path": entry.get("path", ""),
+                    "rule": entry.get("rule", ""),
+                }
+                for key, entry in ordered
             },
+            "tool": "bonsai-check",
+            "version": BASELINE_VERSION,
         }
         Path(path).write_text(
-            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            json.dumps(payload, indent=2) + "\n",
             encoding="utf-8",
         )
 

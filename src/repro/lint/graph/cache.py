@@ -8,9 +8,16 @@ files, and an edit invalidates exactly the entries whose content
 changed — the call-graph SCCs touching them are recomputed from the
 freshly assembled index, which is the cheap part.
 
-Entries are keyed ``sha256(source) + SUMMARY_VERSION``, so path renames
-hit the cache and analyzer upgrades miss it wholesale.  The cache is
+Entries are keyed ``sha256(source) + SUMMARY_VERSION + rule-set
+hash``, so path renames hit the cache while analyzer upgrades — a
+bumped summary version *or* an added/changed rule — miss it wholesale.
+Content hash alone would be wrong: a warm cache from before a new pass
+landed would silently skip the facts that pass needs.  The cache is
 advisory: any read/decode error falls back to re-extraction.
+
+The version and rule table are read through their modules on every
+call (not imported as values) so tests can monkeypatch a bump and
+assert the forced re-extraction.
 """
 
 from __future__ import annotations
@@ -19,13 +26,17 @@ import hashlib
 import json
 from pathlib import Path
 
-from repro.lint.graph.summary import SUMMARY_VERSION, FileSummary
+from repro.lint.graph import rules as _rules
+from repro.lint.graph import summary as _summary
+from repro.lint.graph.summary import FileSummary
 
 
 def content_key(source: str) -> str:
     """Cache key of one file's contents under the current analyzer."""
     digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
-    return f"{digest}-v{SUMMARY_VERSION}"
+    return (
+        f"{digest}-v{_summary.SUMMARY_VERSION}-r{_rules.ruleset_hash()}"
+    )
 
 
 class SummaryCache:
@@ -51,7 +62,7 @@ class SummaryCache:
             data = json.loads(entry.read_text(encoding="utf-8"))
             summary = (
                 FileSummary.from_json(path, data)
-                if data.get("version") == SUMMARY_VERSION else None
+                if data.get("version") == _summary.SUMMARY_VERSION else None
             )
         except (OSError, ValueError, KeyError, TypeError):
             summary = None

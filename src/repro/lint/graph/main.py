@@ -47,9 +47,37 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="additionally write a SARIF 2.1.0 log to FILE",
     )
     parser.add_argument(
+        "--select", action="append", default=None, metavar="RULES",
+        help="comma-separated rules to run (default: all); repeatable",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="RULES",
+        help="comma-separated rules to skip; repeatable",
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="TRACE",
+        help="bonsai report trace; self-time-heavy phases widen the "
+        "hot-path root set",
+    )
+    parser.add_argument(
+        "--require-justification", action="store_true",
+        help="warn on suppressions without a '-- reason' justification",
+    )
+    parser.add_argument(
         "--list-analyses", action="store_true",
         help="print the whole-program analyses and exit",
     )
+
+
+def _split_rules(values: list[str] | None) -> list[str] | None:
+    if values is None:
+        return None
+    return [
+        part.strip()
+        for text in values
+        for part in text.split(",")
+        if part.strip()
+    ]
 
 
 def render_text(result: CheckResult) -> str:
@@ -92,7 +120,7 @@ def render_json(result: CheckResult) -> str:
 
 def render_sarif_report(result: CheckResult) -> str:
     """SARIF log via the reporter shared with ``bonsai lint``."""
-    from repro.lint.graph import CHECK_RULES
+    from repro.lint.graph.rules import CHECK_RULES
     from repro.lint.runner import PARSE_ERROR_RULE
     from repro.lint.sarif import render_sarif
 
@@ -103,26 +131,36 @@ def render_sarif_report(result: CheckResult) -> str:
         "file could not be read or parsed; the whole-program call graph "
         "would be incomplete", "error",
     )
+    # parse-error can always fire, so it is always "enabled"
+    enabled = tuple(result.rules) + (PARSE_ERROR_RULE,)
     return render_sarif(
         result.diagnostics,
         tool_name="bonsai-check",
         rule_descriptions=descriptions,
         suppressed=result.baselined,
+        enabled_rules=enabled,
     )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a check run described by parsed arguments."""
     if args.list_analyses:
-        from repro.lint.graph import CHECK_RULES
+        from repro.lint.graph.rules import CHECK_RULES
 
         for name, description in sorted(CHECK_RULES.items()):
             print(f"{name:18} {description}")
         return 0
     paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).is_dir()]
+    options = {
+        "cache_dir": args.cache_dir,
+        "select": _split_rules(args.select),
+        "ignore": _split_rules(args.ignore),
+        "profile": args.profile,
+        "require_justification": args.require_justification,
+    }
 
     if args.update_baseline:
-        result = analyze(paths, baseline=None, cache_dir=args.cache_dir)
+        result = analyze(paths, baseline=None, **options)
         full = list(result.diagnostics) + list(result.baselined)
         Baseline.from_diagnostics(sorted(full)).save(args.baseline)
         print(
@@ -131,7 +169,7 @@ def run_from_args(args: argparse.Namespace) -> int:
         return 0
 
     baseline = None if args.no_baseline else Baseline.load(args.baseline)
-    result = analyze(paths, baseline=baseline, cache_dir=args.cache_dir)
+    result = analyze(paths, baseline=baseline, **options)
     if args.sarif_file:
         Path(args.sarif_file).write_text(
             render_sarif_report(result) + "\n", encoding="utf-8"

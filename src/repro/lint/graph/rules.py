@@ -1,0 +1,78 @@
+"""The ``bonsai check`` rule registry.
+
+Kept in a leaf module (no analyzer imports) so both the package
+``__init__`` and the summary cache can read it: the cache keys every
+entry on a hash of this table, which is what makes *adding a pass*
+invalidate warm summaries instead of silently reusing extractions that
+predate the facts the new pass needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+#: every diagnostic rule this analyzer can emit, with the one-line
+#: description used by ``--list-analyses`` and the SARIF rule table
+CHECK_RULES: dict[str, str] = {
+    "unit-flow-mix": (
+        "arithmetic combines two different unit families reached "
+        "through the interprocedural unit-flow analysis"
+    ),
+    "unit-flow-call": (
+        "call argument's unit family contradicts the callee "
+        "parameter's family"
+    ),
+    "transitive-purity": (
+        "pure model function transitively reaches I/O, RNG, clock, or "
+        "repro.hw state mutation"
+    ),
+    "fifo-discipline": (
+        "repro.hw component reaches into a peer component's state "
+        "outside the FIFO/bus/coupler port protocol"
+    ),
+    "worker-entry": (
+        "repro.parallel pool entry is not a module-level single-task "
+        "function, or its workers module does import-time work or "
+        "eager heavy imports"
+    ),
+    "hot-loop-alloc": (
+        "container allocation (literal or comprehension) inside a "
+        "per-record loop of a hot function; hoist or reuse the buffer"
+    ),
+    "hot-loop-attr": (
+        "the same attribute chain is loaded repeatedly inside a hot "
+        "loop; bind it to a local once"
+    ),
+    "hot-fifo-op": (
+        "single-element FIFO push/pop/peek inside a loop of a hot "
+        "function; use the bulk push_many/pop_many/peek_many ops"
+    ),
+    "hot-format": (
+        "string formatting, print, or logging executed on the hot "
+        "path; move it behind a flag or out of the loop"
+    ),
+    "hot-try": (
+        "try/except entered once per iteration of a hot loop; hoist "
+        "the handler around the loop or test the condition instead"
+    ),
+    "proc-global-write": (
+        "worker-reachable code writes module-global or class-level "
+        "state outside the sanctioned worker_observation/absorb path"
+    ),
+    "proc-unpicklable": (
+        "worker-reachable function receives an object whose class "
+        "holds known-unpicklable members (locks, open files, shared "
+        "memory handles, tracers)"
+    ),
+    "proc-shm-lifetime": (
+        "shared-memory buffer lifetime bug: an owning block is never "
+        "unlinked/released, or a block is used after close()"
+    ),
+}
+
+
+def ruleset_hash() -> str:
+    """Short stable hash of the rule table (part of the cache key)."""
+    canonical = json.dumps(sorted(CHECK_RULES.items()))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:8]

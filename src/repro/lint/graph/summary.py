@@ -35,7 +35,7 @@ from repro.lint.suppressions import Suppressions
 
 #: bump on any change to the summary shape or extraction logic; a bumped
 #: version invalidates every cache entry
-SUMMARY_VERSION = 2
+SUMMARY_VERSION = 3
 
 # --- unit families ---------------------------------------------------------
 
@@ -128,6 +128,16 @@ class FunctionSummary:
     effects: list[dict] = field(default_factory=list)
     #: ``self.<field>.<attr>`` accesses: {"field","attr","tail","line","col","kind"}
     peer_accesses: list[dict] = field(default_factory=list)
+    #: hot-path facts (loop-scoped allocations, attribute-chain loads,
+    #: FIFO ops, formatting, try blocks): {"kind", "scope", "line", ...}
+    #: where ``scope`` is 0 for the function body or the line number of
+    #: the innermost enclosing loop
+    perf: list[dict] = field(default_factory=list)
+    #: names bound by a function-body ``import``/``from import``
+    local_imports: dict[str, str] = field(default_factory=dict)
+    #: names that appear inside ``return`` expressions (ownership of a
+    #: resource bound to one of these escapes to the caller)
+    returned_names: list[str] = field(default_factory=list)
     class_name: str | None = None
 
     def to_json(self) -> dict:
@@ -138,6 +148,9 @@ class FunctionSummary:
             "returns": [list(v) for v in self.returns],
             "calls": self.calls, "mixes": self.mixes,
             "effects": self.effects, "peer_accesses": self.peer_accesses,
+            "perf": self.perf,
+            "local_imports": self.local_imports,
+            "returned_names": self.returned_names,
             "class_name": self.class_name,
         }
 
@@ -153,6 +166,9 @@ class FunctionSummary:
             mixes=[_retuple_mix(m) for m in data["mixes"]],
             effects=list(data["effects"]),
             peer_accesses=list(data["peer_accesses"]),
+            perf=list(data.get("perf", [])),
+            local_imports=dict(data.get("local_imports", {})),
+            returned_names=list(data.get("returned_names", [])),
             class_name=data["class_name"],
         )
         return fn
@@ -163,6 +179,9 @@ def _retuple_call(call: dict) -> dict:
     call["target"] = tuple(call["target"])
     call["args"] = [tuple(v) for v in call["args"]]
     call["kwargs"] = {k: tuple(v) for k, v in call["kwargs"].items()}
+    call.setdefault("arg_names", [])
+    call.setdefault("binds", None)
+    call.setdefault("in_raise", False)
     return call
 
 
@@ -226,6 +245,12 @@ class FileSummary:
     #: inline suppression directives, for filtering check diagnostics
     file_suppressions: list[str] = field(default_factory=list)
     line_suppressions: dict[int, list[str]] = field(default_factory=dict)
+    #: full directive records for justification auditing:
+    #: {"line", "kind", "rules", "justified", "target"}
+    directives: list[dict] = field(default_factory=list)
+    #: module-level simple-name assignment targets (module globals a
+    #: function could rebind or mutate through a class attribute)
+    module_globals: list[str] = field(default_factory=list)
 
     def all_functions(self) -> Iterator[FunctionSummary]:
         """Module-level functions, then methods, in definition order."""
@@ -253,6 +278,8 @@ class FileSummary:
             "line_suppressions": {
                 str(k): v for k, v in self.line_suppressions.items()
             },
+            "directives": self.directives,
+            "module_globals": self.module_globals,
         }
 
     @classmethod
@@ -274,6 +301,8 @@ class FileSummary:
             line_suppressions={
                 int(k): list(v) for k, v in data["line_suppressions"].items()
             },
+            directives=list(data.get("directives", [])),
+            module_globals=list(data.get("module_globals", [])),
         )
 
 
@@ -332,6 +361,7 @@ class _FunctionExtractor:
         )
         self.is_method = class_name is not None
         self.env: dict[str, AbsVal] = {}
+        self._in_raise = False
         args = node.args
         every = (
             list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
@@ -438,6 +468,13 @@ class _FunctionExtractor:
             "target": target,
             "args": [list(v) for v in args],
             "kwargs": {k: list(v) for k, v in kwargs.items()},
+            "arg_names": [
+                a.id if isinstance(a, ast.Name) else None
+                for a in node.args
+                if not isinstance(a, ast.Starred)
+            ],
+            "binds": None,
+            "in_raise": self._in_raise,
         })
         return ("ret", call_id)
 
@@ -497,6 +534,10 @@ class _FunctionExtractor:
     def run(self) -> FunctionSummary:
         for stmt in self.node.body:
             self._walk(stmt)
+        collector = _PerfFacts()
+        for stmt in self.node.body:
+            collector.visit(stmt)
+        self.out.perf = collector.facts_out()
         return self.out
 
     def _walk(self, stmt: ast.stmt) -> None:
@@ -504,12 +545,36 @@ class _FunctionExtractor:
             return  # nested scopes are summarised separately (or skipped)
         if isinstance(stmt, ast.Global):
             self._effect("global", ", ".join(stmt.names), stmt.lineno)
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                dotted = alias.name if alias.asname else alias.name.split(".")[0]
+                self.out.local_imports[local] = dotted
+                self.env[local] = UNKNOWN
+            return
+        if isinstance(stmt, ast.ImportFrom):
+            if stmt.level == 0 and stmt.module:
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.out.local_imports[local] = f"{stmt.module}.{alias.name}"
+                    self.env[local] = UNKNOWN
+            return
         if isinstance(stmt, ast.Return):
             if stmt.value is not None:
                 self.out.returns.append(self.eval(stmt.value))
+                for node in ast.walk(stmt.value):
+                    if (
+                        isinstance(node, ast.Name)
+                        and node.id not in self.out.returned_names
+                    ):
+                        self.out.returned_names.append(node.id)
             return
         if isinstance(stmt, ast.Assign):
             value = self.eval(stmt.value)
+            if value[0] == "ret" and len(stmt.targets) == 1:
+                self._record_binding(stmt.targets[0], value[1])
             for target in stmt.targets:
                 self._assign(target, value, stmt.lineno)
             return
@@ -537,8 +602,7 @@ class _FunctionExtractor:
             return
         if isinstance(stmt, ast.For):
             self.eval(stmt.iter)
-            if isinstance(stmt.target, ast.Name):
-                self.env[stmt.target.id] = UNKNOWN
+            self._bind_names(stmt.target)
             for inner in stmt.body + stmt.orelse:
                 self._walk(inner)
             return
@@ -550,6 +614,8 @@ class _FunctionExtractor:
         if isinstance(stmt, ast.With):
             for item in stmt.items:
                 self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_names(item.optional_vars)
             for inner in stmt.body:
                 self._walk(inner)
             return
@@ -557,6 +623,8 @@ class _FunctionExtractor:
             for inner in stmt.body + stmt.orelse + stmt.finalbody:
                 self._walk(inner)
             for handler in stmt.handlers:
+                if handler.name is not None:
+                    self.env[handler.name] = UNKNOWN
                 for inner in handler.body:
                     self._walk(inner)
             return
@@ -564,11 +632,34 @@ class _FunctionExtractor:
             self.eval(stmt.value)
             return
         if isinstance(stmt, (ast.Raise, ast.Assert)):
-            for child in ast.iter_child_nodes(stmt):
-                if isinstance(child, ast.expr):
-                    self.eval(child)
+            # calls made while constructing the exception (message
+            # formatting, stall reports) are error-path only; mark them
+            # so hot-path reachability can exclude those edges
+            self._in_raise = True
+            try:
+                for child in ast.iter_child_nodes(stmt):
+                    if isinstance(child, ast.expr):
+                        self.eval(child)
+            finally:
+                self._in_raise = False
             return
         # remaining statements (pass, import, del, ...) carry no facts
+
+    def _bind_names(self, target: ast.AST) -> None:
+        """Mark every plain name a binding construct introduces as local."""
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name):
+                self.env[node.id] = UNKNOWN
+
+    def _record_binding(self, target: ast.AST, call_id: int) -> None:
+        """Note which local name(s) a call's return value lands in."""
+        call = self.out.calls[call_id]
+        if isinstance(target, ast.Name):
+            call["binds"] = target.id
+        elif isinstance(target, (ast.Tuple, ast.List)) and all(
+            isinstance(e, ast.Name) for e in target.elts
+        ):
+            call["binds"] = [e.id for e in target.elts]
 
     def _assign(
         self, target: ast.AST, value: AbsVal, line: int, augmented: bool = False
@@ -582,6 +673,14 @@ class _FunctionExtractor:
             for element in target.elts:
                 self._assign(element, UNKNOWN, line)
             return
+        if isinstance(target, ast.Subscript):
+            node = target.value
+            if (
+                isinstance(node, ast.Name)
+                and not self._is_local(node.id)
+            ):
+                self._effect("mutate-global", f"{node.id}[...]", line)
+            return
         chain = _attribute_chain(target)
         if chain is None:
             return
@@ -594,6 +693,201 @@ class _FunctionExtractor:
                 self._effect("mutate-field", f"{attrs[0]}:{attrs[1]}", line)
         elif root in self.out.params:
             self._effect("mutate-param", f"{root}:{attrs[0]}", line)
+        elif not self._is_local(root):
+            self._effect("mutate-global", f"{root}.{attrs[0]}", line)
+
+    def _is_local(self, name: str) -> bool:
+        """Whether ``name`` is bound inside this function (or is self)."""
+        return (
+            name in self.env
+            or name in self.out.params
+            or name in ("self", "cls")
+        )
+
+
+class _PerfFacts(ast.NodeVisitor):
+    """Loop-scope-aware hot-path fact collection over one function body.
+
+    Each fact carries a ``scope``: 0 in the straight-line function body,
+    or the header line of the innermost enclosing ``for``/``while``.
+    The hot-path pass treats scope > 0 as per-iteration work and, for
+    per-cycle functions (simulator ``tick`` bodies), scope 0 as well.
+
+    Facts inside ``raise``/``assert`` statements are skipped by design:
+    error paths exit the hot loop, so their f-strings, allocations and
+    lookups are free — this is the documented false-positive guard for
+    the formatting and allocation rules.
+    """
+
+    _FIFO_OPS = frozenset({"push", "pop", "peek"})
+    _LOG_ROOTS = frozenset({"logging", "log", "logger", "_log", "_logger"})
+    _LOG_METHODS = frozenset(
+        {"debug", "info", "warning", "error", "exception", "critical", "log"}
+    )
+
+    def __init__(self) -> None:
+        self.facts: list[dict] = []
+        self._loops: list[int] = []
+        self._guard = 0
+        self._in_fstring = 0
+        #: (scope, dotted chain) -> {"count", "line", "col"}
+        self._attr_counts: dict[tuple[int, str], dict] = {}
+
+    def facts_out(self) -> list[dict]:
+        """All facts, attribute chains aggregated per (scope, chain).
+
+        Chains loaded once can never fire a repetition rule, so they are
+        dropped here to keep cached summaries lean.
+        """
+        out = list(self.facts)
+        for (scope, chain), record in self._attr_counts.items():
+            if record["count"] >= 2:
+                out.append({
+                    "kind": "attr", "chain": chain, "scope": scope,
+                    "count": record["count"],
+                    "line": record["line"], "col": record["col"],
+                })
+        out.sort(key=lambda fact: (fact["line"], fact["col"], fact["kind"]))
+        return out
+
+    @property
+    def _scope(self) -> int:
+        return self._loops[-1] if self._loops else 0
+
+    def _add(self, kind: str, node: ast.AST, **extra) -> None:
+        if self._guard:
+            return
+        self.facts.append({
+            "kind": kind, "scope": self._scope,
+            "line": node.lineno, "col": node.col_offset, **extra,
+        })
+
+    # -- scopes --------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)  # evaluated once, in the enclosing scope
+        self._loops.append(node.lineno)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+        self._loops.pop()
+
+    visit_AsyncFor = visit_For
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loops.append(node.lineno)  # the test re-runs per iteration
+        self.visit(node.test)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+        self._loops.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return  # nested scopes are summarised separately
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return  # runs in its own scope, when (if ever) called
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        self._guard += 1
+        self.generic_visit(node)
+        self._guard -= 1
+
+    visit_Assert = visit_Raise
+
+    # -- facts ---------------------------------------------------------
+    def visit_Try(self, node: ast.Try) -> None:
+        if node.handlers:
+            self._add("try", node)
+        self.generic_visit(node)
+
+    def _alloc(self, what: str, node: ast.AST) -> None:
+        self._add("alloc", node, what=what)
+        self.generic_visit(node)
+
+    def visit_List(self, node: ast.List) -> None:
+        self._alloc("list literal", node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        self._alloc("dict literal", node)
+
+    def visit_Set(self, node: ast.Set) -> None:
+        self._alloc("set literal", node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._alloc("comprehension", node)
+
+    visit_SetComp = visit_ListComp
+    visit_DictComp = visit_ListComp
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._alloc("generator expression", node)
+
+    def visit_JoinedStr(self, node: ast.JoinedStr) -> None:
+        # a format spec (``f"{x:>{width}}"``) is itself a JoinedStr
+        # child; count the outermost f-string once, not per spec
+        if not self._in_fstring:
+            self._add("format", node, what="f-string")
+        self._in_fstring += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            self._in_fstring -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        chain = _attribute_chain(func) if isinstance(func, ast.Attribute) else None
+        if isinstance(func, ast.Name) and func.id == "print":
+            self._add("format", node, what="print()")
+        elif chain is not None:
+            root, attrs = chain
+            if (
+                attrs[-1] in self._FIFO_OPS
+                and len(node.args) <= 1
+                and not node.keywords
+            ):
+                self._add(
+                    "fifo", node, op=attrs[-1],
+                    recv=".".join([root] + attrs[:-1]),
+                )
+            if attrs[-1] == "format":
+                self._add("format", node, what=".format()")
+            elif (
+                root in self._LOG_ROOTS and attrs[0] in self._LOG_METHODS
+            ):
+                self._add("format", node, what=f"{root}.{attrs[0]}()")
+        # the callee chain itself is not a counted attribute load, but
+        # its receiver is: binding `out = self.output` hoists the lookup
+        if isinstance(func, ast.Attribute):
+            self.visit(func.value)
+        else:
+            self.visit(func)
+        for arg in node.args:
+            self.visit(arg)
+        for keyword in node.keywords:
+            self.visit(keyword.value)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if not isinstance(node.ctx, ast.Load):
+            return
+        chain = _attribute_chain(node)
+        if chain is None:
+            self.visit(node.value)  # rooted at a call/subscript: descend
+            return
+        if self._guard:
+            return
+        root, attrs = chain
+        # every prefix of the chain is one lookup a local binding of
+        # that prefix would hoist: self.a.b counts self.a and self.a.b
+        parts = [root] + attrs
+        for depth in range(2, len(parts) + 1):
+            dotted = ".".join(parts[:depth])
+            record = self._attr_counts.setdefault(
+                (self._scope, dotted),
+                {"count": 0, "line": node.lineno, "col": node.col_offset},
+            )
+            record["count"] += 1
+        # no descent: one chain is one load
 
 
 def _module_prefix(module: str | None, level: int) -> str:
@@ -619,6 +913,13 @@ def extract_summary(path: str, source: str, tree: ast.Module) -> FileSummary:
     out.line_suppressions = {
         line: sorted(rules) for line, rules in sup.line_rules.items()
     }
+    out.directives = [
+        {
+            "line": d.line, "kind": d.kind, "rules": sorted(d.rules),
+            "justified": d.justified, "target": d.target,
+        }
+        for d in sup.directives
+    ]
 
     for node in tree.body:
         _extract_top_level(out, node, module)
@@ -666,6 +967,10 @@ def _extract_top_level(out: FileSummary, node: ast.stmt, module: str | None) -> 
     elif isinstance(node, ast.ClassDef):
         out.classes[node.name] = _extract_class(node)
     elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id not in out.module_globals:
+                out.module_globals.append(target.id)
         _extract_constant(out, node)
         if node.value is not None:
             _record_module_calls(out, node.value)

@@ -175,9 +175,13 @@ class ProjectIndex:
         """Fully-qualified callee of one recorded call site, or ``None``."""
         summary = self.file_of.get(caller_fq)
         module = summary.module if summary is not None else None
+        caller = self.functions.get(caller_fq)
+        local_imports = caller.local_imports if caller is not None else {}
         kind = target[0]
         if kind == "name":
             name = target[1]
+            if name in local_imports:
+                return self.resolve_dotted(local_imports[name])
             if summary is not None and name in summary.imports:
                 return self.resolve_dotted(summary.imports[name])
             if module:
@@ -189,13 +193,22 @@ class ProjectIndex:
             return None
         if kind == "dotted":
             dotted = target[1]
-            root = dotted.split(".")[0]
-            if summary is not None and root in summary.imports:
-                rebased = ".".join(
-                    [summary.imports[root]] + dotted.split(".")[1:]
-                )
+            parts = dotted.split(".")
+            root = parts[0]
+            if root in local_imports:
+                rebased = ".".join([local_imports[root]] + parts[1:])
                 return self.resolve_dotted(rebased)
-            return self.resolve_dotted(dotted)
+            if summary is not None and root in summary.imports:
+                rebased = ".".join([summary.imports[root]] + parts[1:])
+                return self.resolve_dotted(rebased)
+            resolved = self.resolve_dotted(dotted)
+            if resolved is None and len(parts) == 2:
+                # ``sim = Simulation(...); sim.run_until(...)`` — follow
+                # the constructor binding recorded on the call site
+                class_fq = self._bound_class(caller_fq, root)
+                if class_fq is not None:
+                    return self.method_fq(class_fq, parts[1])
+            return resolved
         if kind == "self":
             class_fq = self._owner_class(caller_fq)
             if class_fq is None:
@@ -209,6 +222,35 @@ class ProjectIndex:
             if field_fq is None:
                 return None
             return self.method_fq(field_fq, target[2])
+        return None
+
+    def _bound_class(self, caller_fq: str, name: str) -> str | None:
+        """Class whose constructor's result ``name`` is bound to, if any.
+
+        Scans the caller's recorded call sites for ``name = Klass(...)``
+        and resolves ``Klass`` to a summarised class — the one form of
+        local dataflow the call graph follows, because simulator drivers
+        are invoked exactly this way from the worker entry points.
+        """
+        caller = self.functions.get(caller_fq)
+        summary = self.file_of.get(caller_fq)
+        if caller is None:
+            return None
+        module = summary.module if summary is not None else None
+        for call in caller.calls:
+            if call.get("binds") != name:
+                continue
+            target = call["target"]
+            if target[0] != "name":
+                continue
+            resolved = self.resolve_class_name(module, target[1])
+            if resolved is None and target[1] in caller.local_imports:
+                candidate = self._follow_reexport(
+                    caller.local_imports[target[1]]
+                )
+                resolved = candidate if candidate in self.classes else None
+            if resolved is not None:
+                return resolved
         return None
 
     def _owner_class(self, method_fq: str) -> str | None:

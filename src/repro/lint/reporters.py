@@ -71,8 +71,15 @@ def render_sarif(result: LintResult) -> str:
         "suppression directive without a '-- reason' justification",
         "warning",
     )
+    # the scan-level rules can always fire, so they are always enabled
+    enabled = tuple(result.rules) + (
+        PARSE_ERROR_RULE,
+        USELESS_SUPPRESSION_RULE,
+        UNJUSTIFIED_SUPPRESSION_RULE,
+    )
     return _render_sarif(
         result.diagnostics,
         tool_name="bonsai-lint",
         rule_descriptions=descriptions,
+        enabled_rules=enabled,
     )

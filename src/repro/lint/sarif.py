@@ -67,6 +67,7 @@ def render_sarif(
     tool_name: str,
     rule_descriptions: Mapping[str, tuple[str, str]],
     suppressed: Sequence[Diagnostic] = (),
+    enabled_rules: Sequence[str] | None = None,
 ) -> str:
     """Serialise findings as a SARIF 2.1.0 log.
 
@@ -82,17 +83,28 @@ def render_sarif(
         ``parse-error``) get a generated entry.
     suppressed:
         Baseline-accepted findings, emitted with a suppression marker.
+    enabled_rules:
+        Rules active in this run.  When given, the driver rule table
+        lists only rules that are enabled or actually fired — a SARIF
+        consumer then sees the run's real rule surface instead of the
+        whole registry.  ``None`` keeps the full table.
     """
     rules = {
         name: _rule_entry(name, description, level)
         for name, (description, level) in sorted(rule_descriptions.items())
+        if enabled_rules is None or name in set(enabled_rules)
     }
     for diagnostic in list(diagnostics) + list(suppressed):
         if diagnostic.rule not in rules:
-            rules[diagnostic.rule] = _rule_entry(
+            description, level = rule_descriptions.get(
                 diagnostic.rule,
-                "diagnostic outside the registered rule set",
-                _LEVELS[diagnostic.severity],
+                (
+                    "diagnostic outside the registered rule set",
+                    _LEVELS[diagnostic.severity],
+                ),
+            )
+            rules[diagnostic.rule] = _rule_entry(
+                diagnostic.rule, description, level
             )
     results = [_result(d, suppressed=False) for d in diagnostics]
     results += [_result(d, suppressed=True) for d in suppressed]
@@ -117,3 +129,63 @@ def render_sarif(
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def merge_sarif_logs(documents: Sequence[str]) -> str:
+    """Combine SARIF logs into one multi-run document.
+
+    CI runs ``bonsai lint`` and ``bonsai check`` separately but uploads
+    a single artifact; SARIF's ``runs`` array is made for exactly this
+    — one log, one run per tool.  Inputs must all be version 2.1.0.
+    """
+    from repro.errors import LintError
+
+    runs: list[dict] = []
+    for document in documents:
+        payload = json.loads(document)
+        version = payload.get("version")
+        if version != SARIF_VERSION:
+            raise LintError(
+                f"cannot merge SARIF version {version!r}; "
+                f"expected {SARIF_VERSION}"
+            )
+        runs.extend(payload.get("runs", []))
+    merged = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": runs,
+    }
+    return json.dumps(merged, indent=2, sort_keys=True)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.lint.sarif OUT IN [IN ...]`` — merge logs."""
+    import sys
+    from pathlib import Path
+
+    from repro.errors import LintError
+
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if len(arguments) < 2:
+        print(
+            "usage: python -m repro.lint.sarif OUT.sarif IN.sarif "
+            "[IN.sarif ...]",
+            file=sys.stderr,
+        )
+        return 2
+    out, *inputs = arguments
+    try:
+        documents = [
+            Path(name).read_text(encoding="utf-8") for name in inputs
+        ]
+        merged = merge_sarif_logs(documents)
+    except (OSError, LintError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    Path(out).write_text(merged + "\n", encoding="utf-8")
+    print(f"wrote {out} ({len(inputs)} run(s) merged)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,7 @@ recovery.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass
 
 import numpy as np
@@ -108,15 +109,16 @@ def pack_records(
     """
     sort_keys = np.empty(len(records), dtype=np.uint64)
     packed_low = np.empty(len(records), dtype=np.uint64)
-    index_table: dict[int, list[int]] = {}
+    # defaultdict avoids setdefault's per-record empty-list allocation
+    index_table: defaultdict[int, list[int]] = defaultdict(list)
     for ordinal, record in enumerate(records):
         key_int = packed_sort_key(record)
         sort_keys[ordinal] = key_int >> 16
         low_key_bytes = key_int & 0xFFFF
         value_index = hash_value_to_index(record.value, INDEX_BYTES)
         packed_low[ordinal] = (low_key_bytes << 48) | value_index
-        index_table.setdefault(value_index, []).append(ordinal)
-    return sort_keys, packed_low, index_table
+        index_table[value_index].append(ordinal)
+    return sort_keys, packed_low, dict(index_table)
 
 
 def unpack_sorted(

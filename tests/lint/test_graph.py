@@ -7,6 +7,7 @@ call hop, which is exactly the gap the graph analyses close.
 
 from __future__ import annotations
 
+import json
 import textwrap
 
 import pytest
@@ -477,6 +478,93 @@ class TestBaseline:
         assert len(second.baselined) == 1
         assert second.exit_code == 1
 
+    def test_saved_file_is_byte_stable_across_path_forms(
+        self, check_tree, tmp_path, monkeypatch
+    ):
+        files = {
+            "src/repro/util/sizes.py": SIZES,
+            "src/repro/util/mixer.py": """
+                from repro.util.sizes import bram_chunk, disk_chunk
+
+
+                def footprint():
+                    return disk_chunk() + bram_chunk()
+
+
+                def second():
+                    return bram_chunk() + disk_chunk()
+            """,
+        }
+        absolute = check_tree(files)  # analyze([tmp_path / "src"])
+        monkeypatch.chdir(tmp_path)
+        relative = analyze(["src"])
+        assert len(absolute.diagnostics) == len(relative.diagnostics) == 2
+        Baseline.from_diagnostics(list(absolute.diagnostics)).save(
+            tmp_path / "abs.json"
+        )
+        Baseline.from_diagnostics(list(relative.diagnostics)).save(
+            tmp_path / "rel.json"
+        )
+        assert (
+            (tmp_path / "abs.json").read_bytes()
+            == (tmp_path / "rel.json").read_bytes()
+        )
+
+    def test_saved_file_orders_by_path_rule_fingerprint(
+        self, check_tree, tmp_path, monkeypatch
+    ):
+        files = {
+            "src/repro/util/sizes.py": SIZES,
+            "src/repro/util/alpha.py": """
+                from repro.util.sizes import bram_chunk, disk_chunk
+
+
+                def footprint():
+                    return disk_chunk() + bram_chunk()
+            """,
+            "src/repro/util/zeta.py": """
+                from repro.util.sizes import bram_chunk, disk_chunk
+
+
+                def footprint():
+                    return disk_chunk() + bram_chunk()
+            """,
+        }
+        result = check_tree(files)
+        monkeypatch.chdir(tmp_path)
+        baseline_file = tmp_path / "baseline.json"
+        # reversed input order must not leak into the saved document
+        Baseline.from_diagnostics(
+            list(reversed(result.diagnostics))
+        ).save(baseline_file)
+        data = json.loads(baseline_file.read_text(encoding="utf-8"))
+        entries = list(data["findings"].items())
+        keys = [
+            (entry["path"], entry["rule"], fingerprint)
+            for fingerprint, entry in entries
+        ]
+        assert keys == sorted(keys)
+        assert [e["path"] for _, e in entries] == [
+            "src/repro/util/alpha.py", "src/repro/util/zeta.py",
+        ]
+
+    def test_round_trip_preserves_entries(self, check_tree, tmp_path):
+        files = {
+            "src/repro/util/sizes.py": SIZES,
+            "src/repro/util/mixer.py": """
+                from repro.util.sizes import bram_chunk, disk_chunk
+
+
+                def footprint():
+                    return disk_chunk() + bram_chunk()
+            """,
+        }
+        result = check_tree(files)
+        baseline = Baseline.from_diagnostics(list(result.diagnostics))
+        baseline_file = tmp_path / "baseline.json"
+        baseline.save(baseline_file)
+        assert Baseline.load(baseline_file).entries == baseline.entries
+
     def test_fingerprints_survive_line_shifts(self, check_tree, tmp_path):
         files = {
             "src/repro/util/sizes.py": SIZES,
@@ -545,3 +633,43 @@ class TestSummaryCache:
             ))
         warm = check_tree(self.FILES, cache_dir=cache_dir)
         assert warm.from_cache == 0
+
+    def test_analyzer_version_bump_forces_full_reextraction(
+        self, check_tree, tmp_path, monkeypatch
+    ):
+        from repro.lint.graph import summary as summary_mod
+
+        cache_dir = tmp_path / "cache"
+        cold = check_tree(self.FILES, cache_dir=cache_dir)
+        # the cache reads the version through the module on every call,
+        # so a bumped analyzer misses every warm entry wholesale
+        monkeypatch.setattr(
+            summary_mod, "SUMMARY_VERSION", SUMMARY_VERSION + 1
+        )
+        bumped = check_tree(self.FILES, cache_dir=cache_dir)
+        assert bumped.from_cache == 0
+        assert bumped.reanalyzed == bumped.files_scanned
+        assert [d.render() for d in bumped.diagnostics] == [
+            d.render() for d in cold.diagnostics
+        ]
+
+    def test_rule_set_change_forces_full_reextraction(
+        self, check_tree, tmp_path, monkeypatch
+    ):
+        from repro.lint.graph import rules as rules_mod
+
+        cache_dir = tmp_path / "cache"
+        cold = check_tree(self.FILES, cache_dir=cache_dir)
+        before = rules_mod.ruleset_hash()
+        # a new pass needs facts the cached summaries may predate; the
+        # rule-set hash in the key turns that into a wholesale miss
+        monkeypatch.setitem(
+            rules_mod.CHECK_RULES, "hot-new-pass", "a freshly landed rule"
+        )
+        assert rules_mod.ruleset_hash() != before
+        changed = check_tree(self.FILES, cache_dir=cache_dir)
+        assert changed.from_cache == 0
+        assert changed.reanalyzed == changed.files_scanned
+        assert [d.render() for d in changed.diagnostics] == [
+            d.render() for d in cold.diagnostics
+        ]

@@ -150,7 +150,9 @@ class TestLintGoldens:
         rule_ids = {
             rule["id"] for rule in payload["runs"][0]["tool"]["driver"]["rules"]
         }
-        assert "parse-error" in rule_ids  # full rule table, not just fired
+        # scan-level rules can always fire, so they are always enabled
+        # and listed even when (like parse-error here) nothing fired
+        assert "parse-error" in rule_ids
         _assert_matches_golden(_normalise_sarif(document), "lint.sarif")
 
 
@@ -172,6 +174,192 @@ class TestCheckGoldens:
             {"kind": "external"}
         ]
         _assert_matches_golden(_normalise_sarif(document), "check.sarif")
+
+
+PERF_COMPONENT = """\
+class Belt:
+    def __init__(self, queue, output):
+        self.queue = queue
+        self.output = output
+
+    def tick(self, cycle):
+        for item in self.queue:
+            try:
+                self.output.push([item])
+            except ValueError:
+                pass
+            if self.queue.depth > cycle:
+                label = f"{self.queue.depth} of {self.queue.depth}"
+        return None
+"""
+
+PROC_WORKERS = """\
+from repro.parallel.audit import record
+from repro.parallel.state import TaskState
+
+
+def worker_run(task: TaskState):
+    record(task)
+    return task
+"""
+
+PROC_AUDIT = """\
+HISTORY = []
+
+
+def record(task):
+    global HISTORY
+    HISTORY = HISTORY + [task]
+"""
+
+PROC_STATE = """\
+from threading import Lock
+
+
+class TaskState:
+    lock: Lock
+    payload: list
+"""
+
+PROC_BUFFERS = """\
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leak(n_bytes):
+    block = SharedMemory(create=True, size=n_bytes)
+    return n_bytes
+"""
+
+HOT_RULES = (
+    "hot-fifo-op", "hot-format", "hot-loop-alloc", "hot-loop-attr",
+    "hot-try",
+)
+PROC_RULES = ("proc-global-write", "proc-shm-lifetime", "proc-unpicklable")
+
+
+def _write_tree(tmp_path, files: dict[str, str]) -> None:
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        package = path.parent
+        while package != tmp_path and "repro" in package.parts:
+            init = package / "__init__.py"
+            if not init.exists():
+                init.write_text(
+                    f'"""Package {package.name}."""\n', encoding="utf-8"
+                )
+            package = package.parent
+
+
+@pytest.fixture
+def perfcheck_result(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write_tree(tmp_path, {"src/repro/hw/belt.py": PERF_COMPONENT})
+    return analyze(["src"], select=list(HOT_RULES))
+
+
+@pytest.fixture
+def procsafety_result(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write_tree(tmp_path, {
+        "src/repro/parallel/workers.py": PROC_WORKERS,
+        "src/repro/parallel/audit.py": PROC_AUDIT,
+        "src/repro/parallel/state.py": PROC_STATE,
+        "src/repro/parallel/buffers.py": PROC_BUFFERS,
+    })
+    return analyze(["src"], select=list(PROC_RULES))
+
+
+class TestPerfcheckGolden:
+    def test_fixture_fires_every_hot_rule_once(self, perfcheck_result):
+        assert sorted(d.rule for d in perfcheck_result.diagnostics) == list(
+            HOT_RULES
+        )
+
+    def test_sarif_golden_and_schema(self, perfcheck_result):
+        document = render_sarif_report(perfcheck_result)
+        payload = _validate_sarif(document)
+        rule_ids = {
+            rule["id"] for rule in payload["runs"][0]["tool"]["driver"]["rules"]
+        }
+        # enabled (selected + parse-error) only — nothing from the
+        # unselected passes leaks into the driver table
+        assert rule_ids == set(HOT_RULES) | {"parse-error"}
+        _assert_matches_golden(_normalise_sarif(document), "perfcheck.sarif")
+
+
+class TestProcsafetyGolden:
+    def test_fixture_fires_every_proc_rule_once(self, procsafety_result):
+        assert sorted(d.rule for d in procsafety_result.diagnostics) == list(
+            PROC_RULES
+        )
+
+    def test_sarif_golden_and_schema(self, procsafety_result):
+        document = render_sarif_report(procsafety_result)
+        payload = _validate_sarif(document)
+        rule_ids = {
+            rule["id"] for rule in payload["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert rule_ids == set(PROC_RULES) | {"parse-error"}
+        _assert_matches_golden(_normalise_sarif(document), "procsafety.sarif")
+
+
+class TestRuleTableFiltering:
+    def test_selected_run_lists_enabled_union_fired(self, perfcheck_result):
+        payload = json.loads(render_sarif_report(perfcheck_result))
+        rule_ids = [
+            rule["id"] for rule in payload["runs"][0]["tool"]["driver"]["rules"]
+        ]
+        assert rule_ids == sorted(rule_ids)
+        assert "unit-flow-mix" not in rule_ids
+        assert "proc-global-write" not in rule_ids
+
+
+class TestMergeSarif:
+    def test_merge_concatenates_runs(self, lint_result, check_result):
+        from repro.lint.sarif import merge_sarif_logs
+
+        merged = merge_sarif_logs([
+            render_sarif(lint_result), render_sarif_report(check_result),
+        ])
+        payload = _validate_sarif(merged)
+        names = [run["tool"]["driver"]["name"] for run in payload["runs"]]
+        assert names == ["bonsai-lint", "bonsai-check"]
+
+    def test_version_mismatch_is_a_lint_error(self):
+        from repro.errors import LintError
+        from repro.lint.sarif import merge_sarif_logs
+
+        good = json.dumps({"version": "2.1.0", "runs": []})
+        bad = json.dumps({"version": "2.0.0", "runs": []})
+        with pytest.raises(LintError, match="2.0.0"):
+            merge_sarif_logs([good, bad])
+
+    def test_cli_merges_files(self, tmp_path, capsys, lint_result, check_result):
+        from repro.lint.sarif import main as sarif_main
+
+        first = tmp_path / "lint.sarif"
+        second = tmp_path / "check.sarif"
+        first.write_text(render_sarif(lint_result), encoding="utf-8")
+        second.write_text(
+            render_sarif_report(check_result), encoding="utf-8"
+        )
+        out = tmp_path / "bonsai.sarif"
+        assert sarif_main([str(out), str(first), str(second)]) == 0
+        assert "2 run(s) merged" in capsys.readouterr().out
+        payload = _validate_sarif(out.read_text(encoding="utf-8"))
+        assert len(payload["runs"]) == 2
+
+    def test_cli_usage_and_missing_input(self, tmp_path, capsys):
+        from repro.lint.sarif import main as sarif_main
+
+        assert sarif_main([str(tmp_path / "out.sarif")]) == 2
+        assert "usage:" in capsys.readouterr().err
+        assert sarif_main([
+            str(tmp_path / "out.sarif"), str(tmp_path / "absent.sarif"),
+        ]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestSchemaPin:

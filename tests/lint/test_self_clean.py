@@ -1,7 +1,7 @@
 """Meta-test: the shipped tree passes its own static analysis.
 
 These are the gates the CI workflow enforces (``bonsai lint src
-benchmarks --require-justification`` and ``bonsai check src`` must both
+benchmarks --require-justification`` and ``bonsai check src --require-justification`` must both
 exit 0); keeping them in the test suite means a violation fails tier-1
 locally before it ever reaches CI.
 """
@@ -33,7 +33,9 @@ def test_shipped_tree_is_lint_clean():
 
 def test_shipped_tree_is_check_clean():
     baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
-    result = analyze([REPO_ROOT / "src"], baseline=baseline)
+    result = analyze(
+        [REPO_ROOT / "src"], baseline=baseline, require_justification=True
+    )
     rendered = "\n".join(d.render() for d in result.diagnostics)
     assert result.diagnostics == (), f"check findings in shipped tree:\n{rendered}"
     assert result.exit_code == 0
