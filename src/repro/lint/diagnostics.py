@@ -43,6 +43,11 @@ class Diagnostic:
         Human-readable explanation with a suggested fix.
     severity:
         :class:`Severity` of the finding.
+    related:
+        Optional provenance chain — a tuple of ``{"path", "line",
+        "column", "message"}`` dicts tracing how the finding arose
+        (taint source -> sink, raise -> escape).  Excluded from
+        ordering and equality so reports stay stable.
     """
 
     path: str
@@ -51,6 +56,7 @@ class Diagnostic:
     rule: str = field(compare=True)
     message: str = field(compare=False)
     severity: Severity = field(compare=False, default=Severity.ERROR)
+    related: tuple = field(compare=False, default=())
 
     def render(self) -> str:
         """The canonical one-line text form of this finding."""
@@ -61,7 +67,7 @@ class Diagnostic:
 
     def to_json(self) -> dict:
         """JSON-serialisable form used by the JSON reporter."""
-        return {
+        out = {
             "path": self.path,
             "line": self.line,
             "column": self.column,
@@ -69,3 +75,6 @@ class Diagnostic:
             "severity": self.severity.value,
             "message": self.message,
         }
+        if self.related:
+            out["related"] = [dict(r) for r in self.related]
+        return out

@@ -31,6 +31,15 @@ interprocedural analyses on top of them:
 ``proc-unpicklable``      the sanctioned obs payload path, captures
 ``proc-shm-lifetime``     unpicklable objects, or leaks/reuses shared-
                           memory blocks (see ``procsafety``)
+``det-taint-sink``        nondeterministic values (unseeded RNG, wall
+``det-unseeded-flow``     clock, hash/listing order) flow through the call
+``det-order-leak``        graph into evidence sinks, deterministic-contract
+                          zones, or across function boundaries without
+                          ``sorted(...)`` laundering (see ``detflow``)
+``exn-escape``            per-function escaped-exception sets: non-taxonomy
+``exn-swallow``           escapes from CLI entry points, handlers that drop
+``exn-broad-fallback``    failures, broad worker fallbacks, and taxonomy
+``exn-dead-handler``      handlers that can never fire (see ``exnflow``)
 ========================  ==================================================
 
 The operational layer makes whole-program analysis adoptable:
@@ -40,9 +49,12 @@ The operational layer makes whole-program analysis adoptable:
 * a content-hash summary cache (``--cache-dir``) keyed on the summary
   version *and* the rule-set hash, so warm runs re-extract zero
   unchanged files and adding a pass invalidates stale summaries;
-* the SARIF 2.1.0 reporter shared with ``bonsai lint``;
+* the SARIF 2.1.0 reporter shared with ``bonsai lint``, with stable
+  ``partialFingerprints`` and provenance ``relatedLocations``;
 * ``--select``/``--ignore`` per-rule filtering and
-  ``--require-justification`` suppression auditing.
+  ``--require-justification`` suppression auditing;
+* ``--changed-only`` (full-tree analysis, diff-scoped reporting) for
+  pre-commit loops, and ``--statistics`` run counters.
 
 Run via ``bonsai check [paths...]`` or ``python -m repro.lint.graph``.
 """

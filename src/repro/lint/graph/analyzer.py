@@ -26,6 +26,8 @@ from repro.errors import LintError
 from repro.lint.diagnostics import Diagnostic, Severity
 from repro.lint.graph.baseline import Baseline
 from repro.lint.graph.cache import SummaryCache
+from repro.lint.graph.detflow import check_determinism_flow
+from repro.lint.graph.exnflow import check_exception_flow
 from repro.lint.graph.fifocheck import check_fifo_discipline
 from repro.lint.graph.perfcheck import check_hot_paths
 from repro.lint.graph.procsafety import check_process_safety
@@ -190,8 +192,16 @@ def analyze(
     ignore: Iterable[str] | None = None,
     profile: str | Path | None = None,
     require_justification: bool = False,
+    restrict: Iterable[str | Path] | None = None,
 ) -> CheckResult:
-    """Run the whole-program analyses over ``paths``."""
+    """Run the whole-program analyses over ``paths``.
+
+    ``restrict`` limits *reporting* (not analysis) to findings located
+    in the given files — the call graph is still built from every file
+    in ``paths``, so interprocedural facts stay sound, but only the
+    changed files' findings surface.  This is what ``--changed-only``
+    uses for fast pre-commit iteration.
+    """
     started = time.perf_counter()
     active = resolve_rule_selection(select, ignore)
     profile_rows = load_profile_rows(profile) if profile is not None else None
@@ -206,6 +216,8 @@ def analyze(
     raw.extend(check_worker_entries(index))
     raw.extend(check_hot_paths(index, profile_rows))
     raw.extend(check_process_safety(index))
+    raw.extend(check_determinism_flow(index))
+    raw.extend(check_exception_flow(index))
 
     active_set = set(active)
     by_path = {summary.path: summary for summary in collected.summaries}
@@ -228,6 +240,12 @@ def analyze(
             _justification_findings(collected.summaries, silenced)
         )
     kept.extend(collected.parse_errors)
+
+    if restrict is not None:
+        allowed = {Path(p).resolve() for p in restrict}
+        kept = [
+            d for d in kept if Path(d.path).resolve() in allowed
+        ]
 
     new, accepted = (baseline or Baseline()).split(sorted(kept))
 

@@ -82,5 +82,5 @@ class SummaryCache:
                 json.dumps(summary.to_json(), sort_keys=True),
                 encoding="utf-8",
             )
-        except OSError:
-            pass  # a read-only cache dir degrades to cold runs
+        except OSError:  # bonsai-lint: disable=exn-swallow -- a read-only cache dir degrades to cold runs; the analysis result is unaffected
+            pass

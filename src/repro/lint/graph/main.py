@@ -64,6 +64,16 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="warn on suppressions without a '-- reason' justification",
     )
     parser.add_argument(
+        "--changed-only", action="store_true",
+        help="report only findings in files changed vs git HEAD "
+        "(the full tree is still analysed for call-graph soundness)",
+    )
+    parser.add_argument(
+        "--statistics", action="store_true",
+        help="print per-rule finding counts, cache counters and wall "
+        "time after the findings",
+    )
+    parser.add_argument(
         "--list-analyses", action="store_true",
         help="print the whole-program analyses and exit",
     )
@@ -98,6 +108,40 @@ def render_text(result: CheckResult) -> str:
     return "\n".join(lines)
 
 
+def rule_counts(result: CheckResult) -> dict[str, int]:
+    """New-finding count per rule, sorted by rule name."""
+    counts: dict[str, int] = {}
+    for diagnostic in result.diagnostics:
+        counts[diagnostic.rule] = counts.get(diagnostic.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_statistics(result: CheckResult) -> str:
+    """The ``--statistics`` block printed after the findings."""
+    lines = ["statistics:"]
+    counts = rule_counts(result)
+    for rule, count in counts.items():
+        lines.append(f"  {rule:<24} {count}")
+    if not counts:
+        lines.append("  (no new findings)")
+    lines.append(f"  files scanned            {result.files_scanned}")
+    lines.append(f"  re-analyzed              {result.reanalyzed}")
+    lines.append(f"  from cache               {result.from_cache}")
+    lines.append(f"  wall time                {result.elapsed_seconds:.2f}s")
+    return "\n".join(lines)
+
+
+def statistics_properties(result: CheckResult) -> dict:
+    """The same counters as a SARIF run-level ``properties`` bag."""
+    return {
+        "filesScanned": result.files_scanned,
+        "reanalyzed": result.reanalyzed,
+        "fromCache": result.from_cache,
+        "elapsedSeconds": round(result.elapsed_seconds, 3),
+        "ruleCounts": rule_counts(result),
+    }
+
+
 def render_json(result: CheckResult) -> str:
     """Stable machine-readable report (schema version 1)."""
     payload = {
@@ -118,7 +162,9 @@ def render_json(result: CheckResult) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def render_sarif_report(result: CheckResult) -> str:
+def render_sarif_report(
+    result: CheckResult, *, statistics: bool = False
+) -> str:
     """SARIF log via the reporter shared with ``bonsai lint``."""
     from repro.lint.graph.rules import CHECK_RULES
     from repro.lint.runner import PARSE_ERROR_RULE
@@ -139,6 +185,7 @@ def render_sarif_report(result: CheckResult) -> str:
         rule_descriptions=descriptions,
         suppressed=result.baselined,
         enabled_rules=enabled,
+        properties=statistics_properties(result) if statistics else None,
     )
 
 
@@ -158,6 +205,10 @@ def run_from_args(args: argparse.Namespace) -> int:
         "profile": args.profile,
         "require_justification": args.require_justification,
     }
+    if getattr(args, "changed_only", False):
+        from repro.lint.gitchanges import changed_files
+
+        options["restrict"] = changed_files()
 
     if args.update_baseline:
         result = analyze(paths, baseline=None, **options)
@@ -170,16 +221,21 @@ def run_from_args(args: argparse.Namespace) -> int:
 
     baseline = None if args.no_baseline else Baseline.load(args.baseline)
     result = analyze(paths, baseline=baseline, **options)
+    statistics = getattr(args, "statistics", False)
     if args.sarif_file:
         Path(args.sarif_file).write_text(
-            render_sarif_report(result) + "\n", encoding="utf-8"
+            render_sarif_report(result, statistics=statistics) + "\n",
+            encoding="utf-8",
         )
     if args.format == "json":
         print(render_json(result))
     elif args.format == "sarif":
-        print(render_sarif_report(result))
+        print(render_sarif_report(result, statistics=statistics))
     else:
         print(render_text(result))
+        if statistics:
+            print()
+            print(render_statistics(result))
     return result.exit_code
 
 

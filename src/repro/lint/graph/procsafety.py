@@ -95,7 +95,7 @@ def _worker_reachable(index: ProjectIndex) -> set[str]:
                 seen.add(callee)
                 frontier.append(callee)
     if any(driver in seen for driver in SIMULATOR_DRIVERS):
-        for root in _component_roots(index):
+        for root in sorted(_component_roots(index)):
             if root not in seen:
                 seen.add(root)
                 frontier.append(root)

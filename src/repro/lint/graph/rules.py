@@ -69,6 +69,37 @@ CHECK_RULES: dict[str, str] = {
         "shared-memory buffer lifetime bug: an owning block is never "
         "unlinked/released, or a block is used after close()"
     ),
+    "det-taint-sink": (
+        "a nondeterministic value (unseeded RNG, wall clock, id(), "
+        "directory order) flows interprocedurally into a record "
+        "payload, digest, baseline, or bench-result sink"
+    ),
+    "det-unseeded-flow": (
+        "a deterministic-zone function (engine, hw, core, records, "
+        "parallel) consumes the return value of a transitively "
+        "nondeterministic helper"
+    ),
+    "det-order-leak": (
+        "set/dict/directory iteration order from another function "
+        "surfaces unlaundered (no sorted()) in a return or iteration"
+    ),
+    "exn-escape": (
+        "a non-BonsaiError exception type can escape a public CLI "
+        "entry point instead of surfacing as a taxonomy error"
+    ),
+    "exn-swallow": (
+        "a handler catches an exception and drops it without "
+        "re-raising, logging, or computing a fallback"
+    ),
+    "exn-broad-fallback": (
+        "except Exception (or broader) in the repro.parallel "
+        "timeout/serial-recompute fallback paths where precise "
+        "catches are load-bearing"
+    ),
+    "exn-dead-handler": (
+        "handler for a taxonomy exception type that no raise or "
+        "resolved call in the try body can produce"
+    ),
 }
 
 

@@ -35,7 +35,7 @@ from repro.lint.suppressions import Suppressions
 
 #: bump on any change to the summary shape or extraction logic; a bumped
 #: version invalidates every cache entry
-SUMMARY_VERSION = 3
+SUMMARY_VERSION = 4
 
 # --- unit families ---------------------------------------------------------
 
@@ -138,6 +138,9 @@ class FunctionSummary:
     #: names that appear inside ``return`` expressions (ownership of a
     #: resource bound to one of these escapes to the caller)
     returned_names: list[str] = field(default_factory=list)
+    #: determinism-taint and exception-flow facts (see
+    #: :mod:`repro.lint.graph.flowfacts` for the shape)
+    flow: dict = field(default_factory=dict)
     class_name: str | None = None
 
     def to_json(self) -> dict:
@@ -151,6 +154,7 @@ class FunctionSummary:
             "perf": self.perf,
             "local_imports": self.local_imports,
             "returned_names": self.returned_names,
+            "flow": self.flow,
             "class_name": self.class_name,
         }
 
@@ -169,6 +173,7 @@ class FunctionSummary:
             perf=list(data.get("perf", [])),
             local_imports=dict(data.get("local_imports", {})),
             returned_names=list(data.get("returned_names", [])),
+            flow=_retuple_flow(data.get("flow", {})),
             class_name=data["class_name"],
         )
         return fn
@@ -183,6 +188,15 @@ def _retuple_call(call: dict) -> dict:
     call.setdefault("binds", None)
     call.setdefault("in_raise", False)
     return call
+
+
+def _retuple_flow(flow: dict) -> dict:
+    flow = dict(flow)
+    if "calls" in flow:
+        flow["calls"] = [dict(c) for c in flow["calls"]]
+        for call in flow["calls"]:
+            call["target"] = tuple(call["target"])
+    return flow
 
 
 def _retuple_mix(mix: dict) -> dict:
@@ -532,12 +546,17 @@ class _FunctionExtractor:
 
     # -- statement walk -----------------------------------------------
     def run(self) -> FunctionSummary:
+        from repro.lint.graph.flowfacts import extract_flow_facts
+
         for stmt in self.node.body:
             self._walk(stmt)
         collector = _PerfFacts()
         for stmt in self.node.body:
             collector.visit(stmt)
         self.out.perf = collector.facts_out()
+        self.out.flow = extract_flow_facts(
+            self.node, self.out.params, self.is_method
+        )
         return self.out
 
     def _walk(self, stmt: ast.stmt) -> None:

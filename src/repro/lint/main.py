@@ -39,6 +39,11 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "justification (on in CI)",
     )
     parser.add_argument(
+        "--changed-only", action="store_true",
+        help="lint only files changed vs git HEAD (fast pre-commit "
+        "iteration; full-repo semantics are unchanged without it)",
+    )
+    parser.add_argument(
         "--sarif-file", default=None, metavar="FILE",
         help="additionally write a SARIF 2.1.0 log to FILE",
     )
@@ -61,6 +66,18 @@ def run_from_args(args: argparse.Namespace) -> int:
             print(f"{name:18} [{rule.severity.value:7}] {rule.description}")
         return 0
     paths = args.paths or [p for p in DEFAULT_PATHS if Path(p).is_dir()]
+    if getattr(args, "changed_only", False):
+        from repro.lint.gitchanges import changed_files
+        from repro.lint.runner import collect_files
+
+        changed = changed_files()
+        paths = [
+            path for path in collect_files(paths)
+            if path.resolve() in changed
+        ]
+        if not paths:
+            print("0 changed file(s) to lint")
+            return 0
     result = run(
         paths,
         select=_split(args.select),

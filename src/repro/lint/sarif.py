@@ -15,6 +15,7 @@ output.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Mapping, Sequence
 
@@ -38,24 +39,58 @@ def _rule_entry(name: str, description: str, severity: str) -> dict:
     }
 
 
-def _result(diagnostic: Diagnostic, suppressed: bool) -> dict:
-    uri = diagnostic.path.replace("\\", "/")
+#: partialFingerprints key; bump the suffix when the hashed inputs change
+FINGERPRINT_KEY = "bonsaiFingerprint/v1"
+
+
+def _fingerprint(diagnostic: Diagnostic, occurrence: int) -> str:
+    """Stable identity of one finding across pushes.
+
+    Content-addressed (path, rule, message, occurrence index) — the same
+    scheme the check baseline uses — so GitHub code scanning dedupes a
+    finding even when unrelated edits shift its line number.
+    """
+    payload = "\x00".join((
+        diagnostic.path.replace("\\", "/"),
+        diagnostic.rule,
+        diagnostic.message,
+        str(occurrence),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+
+def _location(path: str, line: int, column: int) -> dict:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/")},
+            "region": {
+                "startLine": max(1, line),
+                "startColumn": column + 1,
+            },
+        }
+    }
+
+
+def _result(diagnostic: Diagnostic, suppressed: bool, occurrence: int) -> dict:
     entry: dict = {
         "ruleId": diagnostic.rule,
         "level": _LEVELS[diagnostic.severity],
         "message": {"text": diagnostic.message},
         "locations": [
-            {
-                "physicalLocation": {
-                    "artifactLocation": {"uri": uri},
-                    "region": {
-                        "startLine": max(1, diagnostic.line),
-                        "startColumn": diagnostic.column + 1,
-                    },
-                }
-            }
+            _location(diagnostic.path, diagnostic.line, diagnostic.column)
         ],
+        "partialFingerprints": {
+            FINGERPRINT_KEY: _fingerprint(diagnostic, occurrence),
+        },
     }
+    if diagnostic.related:
+        entry["relatedLocations"] = [
+            {
+                **_location(hop["path"], hop["line"], hop["column"]),
+                "message": {"text": hop["message"]},
+            }
+            for hop in diagnostic.related
+        ]
     if suppressed:
         entry["suppressions"] = [{"kind": "external"}]
     return entry
@@ -68,6 +103,7 @@ def render_sarif(
     rule_descriptions: Mapping[str, tuple[str, str]],
     suppressed: Sequence[Diagnostic] = (),
     enabled_rules: Sequence[str] | None = None,
+    properties: Mapping | None = None,
 ) -> str:
     """Serialise findings as a SARIF 2.1.0 log.
 
@@ -88,6 +124,9 @@ def render_sarif(
         lists only rules that are enabled or actually fired — a SARIF
         consumer then sees the run's real rule surface instead of the
         whole registry.  ``None`` keeps the full table.
+    properties:
+        Optional run-level ``properties`` bag (the ``--statistics``
+        counters).
     """
     rules = {
         name: _rule_entry(name, description, level)
@@ -106,27 +145,34 @@ def render_sarif(
             rules[diagnostic.rule] = _rule_entry(
                 diagnostic.rule, description, level
             )
-    results = [_result(d, suppressed=False) for d in diagnostics]
-    results += [_result(d, suppressed=True) for d in suppressed]
+    occurrences: dict[tuple, int] = {}
+    results = []
+    for group, is_suppressed in ((diagnostics, False), (suppressed, True)):
+        for diagnostic in group:
+            key = (diagnostic.path, diagnostic.rule, diagnostic.message)
+            occurrence = occurrences.get(key, 0)
+            occurrences[key] = occurrence + 1
+            results.append(_result(diagnostic, is_suppressed, occurrence))
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": tool_name,
+                "version": __version__,
+                "informationUri": (
+                    "https://github.com/bonsai-repro/bonsai"
+                ),
+                "rules": [rules[name] for name in sorted(rules)],
+            }
+        },
+        "columnKind": "utf16CodeUnits",
+        "results": results,
+    }
+    if properties:
+        run["properties"] = dict(properties)
     payload = {
         "$schema": SARIF_SCHEMA_URI,
         "version": SARIF_VERSION,
-        "runs": [
-            {
-                "tool": {
-                    "driver": {
-                        "name": tool_name,
-                        "version": __version__,
-                        "informationUri": (
-                            "https://github.com/bonsai-repro/bonsai"
-                        ),
-                        "rules": [rules[name] for name in sorted(rules)],
-                    }
-                },
-                "columnKind": "utf16CodeUnits",
-                "results": results,
-            }
-        ],
+        "runs": [run],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
 

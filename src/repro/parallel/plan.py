@@ -231,7 +231,7 @@ class ParallelPlan:
                         # still counted exactly once.
                         obs.count("parallel.recomputed_chunks")
                         chunk_results = [fn(tasks[i]) for i in chunk]
-                    except Exception:
+                    except Exception:  # bonsai-lint: disable=exn-broad-fallback -- the serial recompute re-raises any real task error in the parent with a clean traceback, so nothing is masked
                         # Worker crash (BrokenProcessPool), unpicklable
                         # result, or the task's own deterministic error:
                         # recompute serially — a real error raises again

@@ -134,5 +134,5 @@ def release(block: shared_memory.SharedMemory) -> None:
     try:
         block.close()
         block.unlink()
-    except FileNotFoundError:  # already unlinked (e.g. crashed cleanup ran)
+    except FileNotFoundError:  # bonsai-lint: disable=exn-swallow -- already unlinked (e.g. crashed cleanup ran); tolerating double release is this function's contract
         pass

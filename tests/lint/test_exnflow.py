@@ -1,0 +1,285 @@
+"""Exception-flow analysis (``exn-*`` rules) tests.
+
+Fixtures declare their own ``repro.errors`` taxonomy (the index is built
+from the fixture tree only).  The acceptance fixture drives a
+non-taxonomy ``ValueError`` out of a CLI entry point through two call
+hops; the guard fixtures exercise the two subtraction subtleties the
+pass documents — bare-``raise`` handlers do not subtract, and unknown
+exception types are never reported.
+"""
+
+from __future__ import annotations
+
+from tests.lint.test_graph import check_tree  # noqa: F401  (fixture)
+
+ERRORS = """
+    class BonsaiError(Exception):
+        pass
+
+
+    class ConfigurationError(BonsaiError, ValueError):
+        pass
+
+
+    class SimulationError(BonsaiError):
+        pass
+"""
+
+
+class TestEscape:
+    def test_value_error_escapes_cli_entry_two_hops(self, check_tree):
+        # acceptance: a non-taxonomy escape from a CLI entry point
+        result = check_tree({
+            "src/repro/errors.py": ERRORS,
+            "src/repro/core/parse.py": """
+                def parse(text):
+                    if not text:
+                        raise ValueError("empty input")
+                    return text
+
+
+                def load(text):
+                    return parse(text)
+            """,
+            "src/repro/cli.py": """
+                from repro.core.parse import load
+
+
+                def main(argv=None):
+                    return load("x")
+            """,
+        }, select=["exn-escape"])
+        assert [d.rule for d in result.diagnostics] == ["exn-escape"]
+        finding = result.diagnostics[0]
+        assert "ValueError" in finding.message
+        assert finding.path.endswith("cli.py")
+        # provenance chain walks back to the raise site
+        assert finding.related
+        assert finding.related[-1]["path"].endswith("parse.py")
+
+    def test_cmd_entry_is_also_an_entry_point(self, check_tree):
+        result = check_tree({
+            "src/repro/errors.py": ERRORS,
+            "src/repro/cli.py": """
+                def _cmd_run(args):
+                    raise KeyError(args)
+            """,
+        }, select=["exn-escape"])
+        assert [d.rule for d in result.diagnostics] == ["exn-escape"]
+        assert "KeyError" in result.diagnostics[0].message
+
+    def test_bare_reraise_handler_does_not_subtract(self, check_tree):
+        # ``except ValueError: ...; raise`` logs and rethrows — the
+        # exception still escapes the entry point
+        result = check_tree({
+            "src/repro/errors.py": ERRORS,
+            "src/repro/cli.py": """
+                def helper():
+                    raise ValueError("boom")
+
+
+                def main(argv=None):
+                    try:
+                        return helper()
+                    except ValueError:
+                        print("failed")
+                        raise
+            """,
+        }, select=["exn-escape"])
+        assert [d.rule for d in result.diagnostics] == ["exn-escape"]
+
+    def test_taxonomy_errors_may_escape(self, check_tree):
+        # FP guard: BonsaiError subclasses are the sanctioned CLI
+        # failure channel — the shared entry wrapper renders them
+        result = check_tree({
+            "src/repro/errors.py": ERRORS,
+            "src/repro/cli.py": """
+                from repro.errors import ConfigurationError
+
+
+                def main(argv=None):
+                    raise ConfigurationError("bad flag")
+            """,
+        }, select=["exn-escape"])
+        assert result.diagnostics == ()
+
+    def test_wrap_and_reraise_is_silent(self, check_tree):
+        # FP guard: catching the stdlib error and converting it into the
+        # taxonomy is exactly the pattern the rule wants to encourage
+        result = check_tree({
+            "src/repro/errors.py": ERRORS,
+            "src/repro/core/parse.py": """
+                def parse(text):
+                    return int(text)
+
+
+                def helper(text):
+                    raise ValueError(text)
+            """,
+            "src/repro/cli.py": """
+                from repro.core.parse import helper
+                from repro.errors import ConfigurationError
+
+
+                def main(argv=None):
+                    try:
+                        return helper("x")
+                    except ValueError as error:
+                        raise ConfigurationError(str(error)) from error
+            """,
+        }, select=["exn-escape"])
+        assert result.diagnostics == ()
+
+    def test_subtraction_respects_multiple_inheritance(self, check_tree):
+        # ConfigurationError is-a ValueError, so a ValueError handler
+        # catches it even though it is also a BonsaiError
+        result = check_tree({
+            "src/repro/errors.py": ERRORS,
+            "src/repro/cli.py": """
+                from repro.errors import ConfigurationError
+
+
+                def helper():
+                    raise ConfigurationError("bad")
+
+
+                def main(argv=None):
+                    try:
+                        return helper()
+                    except ValueError:
+                        return 2
+            """,
+        }, select=["exn-escape"])
+        assert result.diagnostics == ()
+
+    def test_non_entry_functions_are_not_gated(self, check_tree):
+        # FP guard: internal helpers raise stdlib errors freely; only
+        # entry points must funnel through the taxonomy
+        result = check_tree({
+            "src/repro/errors.py": ERRORS,
+            "src/repro/core/parse.py": """
+                def parse(text):
+                    raise ValueError(text)
+            """,
+        }, select=["exn-escape"])
+        assert result.diagnostics == ()
+
+
+class TestSwallow:
+    def test_pass_only_handler(self, check_tree):
+        result = check_tree({
+            "src/repro/core/io.py": """
+                def read(path):
+                    try:
+                        return open(path).read()
+                    except OSError:
+                        pass
+            """,
+        }, select=["exn-swallow"])
+        assert [d.rule for d in result.diagnostics] == ["exn-swallow"]
+        assert "drops it" in result.diagnostics[0].message
+
+    def test_handler_with_fallback_body_is_silent(self, check_tree):
+        # FP guard: returning a default is handling, not swallowing
+        result = check_tree({
+            "src/repro/core/io.py": """
+                def read(path):
+                    try:
+                        return open(path).read()
+                    except OSError:
+                        return ""
+            """,
+        }, select=["exn-swallow"])
+        assert result.diagnostics == ()
+
+
+class TestBroadFallback:
+    def test_except_exception_in_parallel_worker(self, check_tree):
+        result = check_tree({
+            "src/repro/parallel/worker.py": """
+                def run(task):
+                    try:
+                        return task()
+                    except Exception:
+                        return None
+            """,
+        }, select=["exn-broad-fallback"])
+        assert [d.rule for d in result.diagnostics] == ["exn-broad-fallback"]
+
+    def test_same_catch_outside_parallel_is_silent(self, check_tree):
+        # FP guard: the rule only patrols repro.parallel, where a broad
+        # catch hides worker crashes from the parent process
+        result = check_tree({
+            "src/repro/core/worker.py": """
+                def run(task):
+                    try:
+                        return task()
+                    except Exception:
+                        return None
+            """,
+        }, select=["exn-broad-fallback"])
+        assert result.diagnostics == ()
+
+
+class TestDeadHandler:
+    def test_taxonomy_handler_over_safe_body(self, check_tree):
+        result = check_tree({
+            "src/repro/errors.py": ERRORS,
+            "src/repro/core/calc.py": """
+                from repro.errors import SimulationError
+
+
+                def total(values):
+                    return len(values)
+
+
+                def guarded(values):
+                    try:
+                        return total(values)
+                    except SimulationError:
+                        return 0
+            """,
+        }, select=["exn-dead-handler"])
+        assert [d.rule for d in result.diagnostics] == ["exn-dead-handler"]
+        assert "SimulationError" in result.diagnostics[0].message
+
+    def test_opaque_callback_in_body_bails(self, check_tree):
+        # FP guard: calling a parameter means the body can raise
+        # anything — the handler cannot be proven dead
+        result = check_tree({
+            "src/repro/errors.py": ERRORS,
+            "src/repro/core/calc.py": """
+                from repro.errors import SimulationError
+
+
+                def guarded(task):
+                    try:
+                        return task()
+                    except SimulationError:
+                        return 0
+            """,
+        }, select=["exn-dead-handler"])
+        assert result.diagnostics == ()
+
+    def test_reachable_raise_through_callee_is_silent(self, check_tree):
+        # FP guard: the handler type genuinely escapes a callee
+        result = check_tree({
+            "src/repro/errors.py": ERRORS,
+            "src/repro/core/calc.py": """
+                from repro.errors import SimulationError
+
+
+                def step(values):
+                    if not values:
+                        raise SimulationError("no work")
+                    return len(values)
+
+
+                def guarded(values):
+                    try:
+                        return step(values)
+                    except SimulationError:
+                        return 0
+            """,
+        }, select=["exn-dead-handler"])
+        assert result.diagnostics == ()

@@ -305,6 +305,236 @@ class TestProcsafetyGolden:
         _assert_matches_golden(_normalise_sarif(document), "procsafety.sarif")
 
 
+DET_ENTROPY = """\
+import os
+import random
+
+
+def noise():
+    return random.random()
+
+
+def listing(root):
+    return os.listdir(root)
+"""
+
+DET_REPORT = """\
+from repro.obs.trace import record
+from repro.util.entropy import noise
+
+
+def save():
+    return record(noise())
+"""
+
+DET_ENGINE = """\
+from repro.util.entropy import listing, noise
+
+
+def advance(cycle):
+    return cycle + noise()
+
+
+def names(root):
+    return [n for n in listing(root)]
+"""
+
+DET_OBS = """\
+def record(payload):
+    return payload
+"""
+
+EXN_ERRORS = """\
+class BonsaiError(Exception):
+    pass
+
+
+class SimulationError(BonsaiError):
+    pass
+"""
+
+EXN_PARSE = """\
+def parse(text):
+    if not text:
+        raise ValueError("empty input")
+    return text
+
+
+def load(text):
+    return parse(text)
+"""
+
+EXN_CLI = """\
+from repro.core.parse import load
+
+
+def main(argv=None):
+    return load("x")
+"""
+
+EXN_CALC = """\
+from repro.errors import SimulationError
+
+
+def total(values):
+    return len(values)
+
+
+def guarded(values):
+    try:
+        return total(values)
+    except SimulationError:
+        return 0
+
+
+def read(path):
+    try:
+        return open(path).read()
+    except OSError:
+        pass
+"""
+
+EXN_POOL = """\
+def run(task):
+    try:
+        return task()
+    except Exception:
+        return None
+"""
+
+DET_RULES = ("det-order-leak", "det-taint-sink", "det-unseeded-flow")
+EXN_RULES = (
+    "exn-broad-fallback", "exn-dead-handler", "exn-escape", "exn-swallow",
+)
+
+
+@pytest.fixture
+def detflow_result(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write_tree(tmp_path, {
+        "src/repro/util/entropy.py": DET_ENTROPY,
+        "src/repro/report/out.py": DET_REPORT,
+        "src/repro/engine/step.py": DET_ENGINE,
+        "src/repro/obs/trace.py": DET_OBS,
+    })
+    return analyze(["src"], select=list(DET_RULES))
+
+
+@pytest.fixture
+def exnflow_result(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    _write_tree(tmp_path, {
+        "src/repro/errors.py": EXN_ERRORS,
+        "src/repro/core/parse.py": EXN_PARSE,
+        "src/repro/cli.py": EXN_CLI,
+        "src/repro/core/calc.py": EXN_CALC,
+        "src/repro/parallel/pool.py": EXN_POOL,
+    })
+    return analyze(["src"], select=list(EXN_RULES))
+
+
+class TestDetflowGolden:
+    def test_fixture_fires_every_det_rule_once(self, detflow_result):
+        assert sorted(d.rule for d in detflow_result.diagnostics) == list(
+            DET_RULES
+        )
+
+    def test_sarif_golden_and_schema(self, detflow_result):
+        document = render_sarif_report(detflow_result)
+        payload = _validate_sarif(document)
+        rule_ids = {
+            rule["id"] for rule in payload["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert rule_ids == set(DET_RULES) | {"parse-error"}
+        _assert_matches_golden(_normalise_sarif(document), "detflow.sarif")
+
+    def test_taint_chain_becomes_related_locations(self, detflow_result):
+        payload = json.loads(render_sarif_report(detflow_result))
+        by_rule = {
+            r["ruleId"]: r for r in payload["runs"][0]["results"]
+        }
+        related = by_rule["det-taint-sink"]["relatedLocations"]
+        assert related, "source->sink chain must be attached"
+        uris = [
+            hop["physicalLocation"]["artifactLocation"]["uri"]
+            for hop in related
+        ]
+        assert any(uri.endswith("entropy.py") for uri in uris)
+        assert all(hop["message"]["text"] for hop in related)
+
+
+class TestExnflowGolden:
+    def test_fixture_fires_every_exn_rule_once(self, exnflow_result):
+        assert sorted(d.rule for d in exnflow_result.diagnostics) == list(
+            EXN_RULES
+        )
+
+    def test_sarif_golden_and_schema(self, exnflow_result):
+        document = render_sarif_report(exnflow_result)
+        payload = _validate_sarif(document)
+        rule_ids = {
+            rule["id"] for rule in payload["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert rule_ids == set(EXN_RULES) | {"parse-error"}
+        _assert_matches_golden(_normalise_sarif(document), "exnflow.sarif")
+
+    def test_escape_chain_walks_back_to_the_raise(self, exnflow_result):
+        payload = json.loads(render_sarif_report(exnflow_result))
+        by_rule = {
+            r["ruleId"]: r for r in payload["runs"][0]["results"]
+        }
+        related = by_rule["exn-escape"]["relatedLocations"]
+        uris = [
+            hop["physicalLocation"]["artifactLocation"]["uri"]
+            for hop in related
+        ]
+        assert any(uri.endswith("parse.py") for uri in uris)
+
+
+class TestFingerprints:
+    def test_every_result_carries_a_fingerprint(self, exnflow_result):
+        from repro.lint.sarif import FINGERPRINT_KEY
+
+        payload = json.loads(render_sarif_report(exnflow_result))
+        for result in payload["runs"][0]["results"]:
+            value = result["partialFingerprints"][FINGERPRINT_KEY]
+            assert len(value) == 20
+            int(value, 16)
+
+    def test_identical_findings_get_distinct_fingerprints(self):
+        from repro.lint.diagnostics import Diagnostic, Severity
+        from repro.lint.sarif import FINGERPRINT_KEY
+        from repro.lint.sarif import render_sarif as render_raw
+
+        twins = [
+            Diagnostic(
+                path="src/repro/a.py", line=line, column=0,
+                rule="determinism", message="same message",
+                severity=Severity.ERROR,
+            )
+            for line in (3, 9)
+        ]
+        document = render_raw(
+            twins, tool_name="bonsai-lint",
+            rule_descriptions={"determinism": ("d", "error")},
+        )
+        values = [
+            r["partialFingerprints"][FINGERPRINT_KEY]
+            for r in json.loads(document)["runs"][0]["results"]
+        ]
+        assert len(set(values)) == 2
+        # and the scheme is line-independent: re-rendering reproduces
+        # the exact fingerprints, so pushes that shift lines still dedupe
+        again = render_raw(
+            twins, tool_name="bonsai-lint",
+            rule_descriptions={"determinism": ("d", "error")},
+        )
+        assert [
+            r["partialFingerprints"][FINGERPRINT_KEY]
+            for r in json.loads(again)["runs"][0]["results"]
+        ] == values
+
+
 class TestRuleTableFiltering:
     def test_selected_run_lists_enabled_union_fired(self, perfcheck_result):
         payload = json.loads(render_sarif_report(perfcheck_result))
