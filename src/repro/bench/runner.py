@@ -42,6 +42,7 @@ from repro.bench.scenarios import (
     run_parallel_optimizer_sweep,
 )
 from repro.errors import ConfigurationError, SimulationError
+from repro.network import flims
 from repro.obs.runtime import DISABLED, activated, live_observation, observation
 from repro.parallel import ParallelPlan, available_cpus
 
@@ -99,6 +100,31 @@ def _best_of(fn: Callable[[], object], reps: int) -> tuple[float, object]:
     return best or 0.0, result
 
 
+def _backend_identity_gate(scenario: Scenario, run_fast: Callable[[], object], reference: object) -> list[str]:
+    """Re-run the fast engine under every forced merge backend and
+    require bit-identical output and statistics.
+
+    The timed legs run under whatever backend the session selected
+    (normally ``auto``); this gate pins that the recorded numbers could
+    not have come from a kernel that computes something different —
+    scalar and vectorized paths must agree on every scenario before a
+    report is written.  Returns the backend names checked.
+    """
+    checked = []
+    for name in ("python", "numpy"):
+        if name not in flims.available_backends():
+            continue
+        with flims.forced_backend(name):
+            out = run_fast()
+        if out != reference:
+            raise SimulationError(
+                f"{scenario.name}: forced '{name}' merge backend diverged "
+                "from the timed run (output or statistics)"
+            )
+        checked.append(name)
+    return checked
+
+
 def _run_simulator_scenario(scenario: Scenario, quick: bool) -> BenchResult:
     reps = 2 if quick else 3
     if scenario.kind == "micro":
@@ -113,8 +139,11 @@ def _run_simulator_scenario(scenario: Scenario, quick: bool) -> BenchResult:
             raise SimulationError(
                 f"{scenario.name}: engines diverged (output or StageStats)"
             )
+        backends = _backend_identity_gate(
+            scenario, lambda: run_micro(scenario, runs, "fast"), fast_out
+        )
         cycles = fast_out[1].cycles
-        extra = {"records": fast_out[1].records_in}
+        extra = {"records": fast_out[1].records_in, "backends_identical": backends}
     else:
         records = scenario.make_records(quick)
         naive_seconds, naive_out = _best_of(
@@ -129,8 +158,15 @@ def _run_simulator_scenario(scenario: Scenario, quick: bool) -> BenchResult:
             )
         if fast_out[0] != sorted(records):
             raise SimulationError(f"{scenario.name}: end-to-end output unsorted")
+        backends = _backend_identity_gate(
+            scenario, lambda: run_end_to_end(scenario, records, "fast"), fast_out
+        )
         cycles = fast_out[2]
-        extra = {"records": len(records), "stages": fast_out[1]}
+        extra = {
+            "records": len(records),
+            "stages": fast_out[1],
+            "backends_identical": backends,
+        }
     return BenchResult(
         name=scenario.name,
         kind=scenario.kind,
@@ -179,13 +215,35 @@ def _digest(values) -> str:
     ).hexdigest()[:16]
 
 
+def _headline_jobs_key() -> tuple[str, str]:
+    """Which ``jobs_seconds`` entry carries a parallel scenario's
+    headline ``fast_seconds``, plus an annotation when it is degraded.
+
+    With at least two CPUs the four-worker leg is the claim being
+    benchmarked.  On a single-CPU host that leg only measures the cost
+    of spawning processes that then time-slice one core, so the
+    headline pins to the serial leg (speedup reads 1.0x, honestly
+    neutral) and the annotation explains the exclusion.
+    """
+    if available_cpus() >= 2:
+        return "4", ""
+    return "1", (
+        "pooled legs excluded from headline: single-CPU host times "
+        "process-spawn overhead, not parallelism"
+    )
+
+
 def _run_parallel_sort_scenario(scenario: Scenario, quick: bool) -> BenchResult:
     """Worker-count scan over the λ_unrl cycle-simulated unrolled sort.
 
     The plan-free joint simulation is the reference; every ``jobs``
     setting must reproduce its output bytes, cycle counts and stage
     count exactly (the determinism contract of ``repro.parallel``), and
-    the recorded figures are jobs=1 vs jobs=4 wall-clock.
+    the recorded figures are jobs=1 vs jobs=4 wall-clock.  On a
+    single-CPU host the pooled legs still run (the bit-identity scan is
+    the scenario's real contract) but are excluded from the headline:
+    four workers on one core time process-spawn overhead, not
+    parallelism, and a recorded 0.05x would read as a regression.
     """
     reps = 1 if quick else 2
     records = scenario.make_records(quick)
@@ -208,25 +266,30 @@ def _run_parallel_sort_scenario(scenario: Scenario, quick: bool) -> BenchResult:
                 f"{scenario.name}: jobs={jobs} diverged from the serial "
                 "reference (output, cycles or stages)"
             )
+    headline_jobs, note = _headline_jobs_key()
+    extra = {
+        "jobs_seconds": {k: round(v, 4) for k, v in jobs_seconds.items()},
+        "digest": reference_digest,
+        "identical": True,
+        "host_cpus": available_cpus(),
+        "headline_jobs": headline_jobs,
+        "records": int(data.size),
+        "parallel_cycles": reference.detail["parallel_cycles"],
+        "final_merge_cycles": reference.detail["final_merge_cycles"],
+    }
+    if note:
+        extra["multi_job_timing"] = note
     return BenchResult(
         name=scenario.name,
         kind=scenario.kind,
         summary=scenario.summary,
         naive_seconds=jobs_seconds["1"],
-        fast_seconds=jobs_seconds["4"],
+        fast_seconds=jobs_seconds[headline_jobs],
         cycles=reference.detail["parallel_cycles"]
         + reference.detail["final_merge_cycles"],
         bandwidth_bound=scenario.bandwidth_bound,
         target_speedup=scenario.target_speedup,
-        extra={
-            "jobs_seconds": {k: round(v, 4) for k, v in jobs_seconds.items()},
-            "digest": reference_digest,
-            "identical": True,
-            "host_cpus": available_cpus(),
-            "records": int(data.size),
-            "parallel_cycles": reference.detail["parallel_cycles"],
-            "final_merge_cycles": reference.detail["final_merge_cycles"],
-        },
+        extra=extra,
     )
 
 
@@ -253,21 +316,26 @@ def _run_parallel_optimizer_scenario(scenario: Scenario, quick: bool) -> BenchRe
                 f"{scenario.name}: jobs={jobs} ranked differently from serial"
             )
     space = make_bounded_optimizer(None)
+    headline_jobs, note = _headline_jobs_key()
+    extra = {
+        "jobs_seconds": {k: round(v, 4) for k, v in jobs_seconds.items()},
+        "identical": True,
+        "host_cpus": available_cpus(),
+        "headline_jobs": headline_jobs,
+        "latency_configs": len(list(space.feasible_configs(False))),
+        "pipeline_configs": len(list(space.feasible_configs(True))),
+    }
+    if note:
+        extra["multi_job_timing"] = note
     return BenchResult(
         name=scenario.name,
         kind=scenario.kind,
         summary=scenario.summary,
         naive_seconds=jobs_seconds["1"],
-        fast_seconds=jobs_seconds["4"],
+        fast_seconds=jobs_seconds[headline_jobs],
         bandwidth_bound=scenario.bandwidth_bound,
         target_speedup=scenario.target_speedup,
-        extra={
-            "jobs_seconds": {k: round(v, 4) for k, v in jobs_seconds.items()},
-            "identical": True,
-            "host_cpus": available_cpus(),
-            "latency_configs": len(list(space.feasible_configs(False))),
-            "pipeline_configs": len(list(space.feasible_configs(True))),
-        },
+        extra=extra,
     )
 
 

@@ -47,6 +47,11 @@ class Scenario:
     ``seed`` drives every workload generator; the runner can override
     it uniformly (``bonsai bench --seed N``) so serial and parallel
     runs of the same suite are comparable record for record.
+
+    ``key_range`` bounds the generated key space: the default 2**30
+    makes duplicates negligible, while a small range (``micro_dup_heavy``)
+    floods the merge path with equal keys — the worst case for any
+    kernel whose comparisons short-circuit on distinct values.
     """
 
     name: str
@@ -62,6 +67,7 @@ class Scenario:
     batch_bytes: int = 1024
     record_bytes: int = 4
     seed: int = 1
+    key_range: int = 1 << 30
     lambda_unroll: int = 1
     bandwidth_bound: bool = False
     target_speedup: float | None = None
@@ -79,7 +85,7 @@ class Scenario:
         rng = random.Random(self.seed)
         length = max(500, self.run_length // 8) if quick else self.run_length
         return [
-            sorted(rng.randrange(0, 1 << 30) for _ in range(length))
+            sorted(rng.randrange(0, self.key_range) for _ in range(length))
             for _ in range(self.n_runs)
         ]
 
@@ -87,7 +93,7 @@ class Scenario:
         """Seeded unsorted records for the ``end_to_end`` driver."""
         rng = random.Random(self.seed)
         count = max(2000, self.n_records // 4) if quick else self.n_records
-        return [rng.randrange(0, 1 << 30) for _ in range(count)]
+        return [rng.randrange(0, self.key_range) for _ in range(count)]
 
 
 def run_micro(scenario: Scenario, runs: Sequence[Sequence[int]], engine: str):
@@ -314,16 +320,34 @@ SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         name="micro_balanced",
         kind="micro",
-        summary="AMT(8,16) stage at 30% symmetric budget (parity trajectory)",
+        summary="AMT(8,16) stage at 30% symmetric budget (compute-bound floor)",
         p=8, leaves=16, n_runs=16, run_length=4000,
         read_factor=0.3, write_factor=0.3, batch_bytes=1024,
+        target_speedup=1.0,
     ),
     Scenario(
         name="micro_unconstrained",
         kind="micro",
-        summary="AMT(8,16) stage, unconstrained bandwidth (parity trajectory)",
+        summary="AMT(8,16) stage, unconstrained bandwidth (compute-bound floor)",
         p=8, leaves=16, n_runs=16, run_length=4000,
         batch_bytes=1024,
+        target_speedup=1.0,
+    ),
+    Scenario(
+        name="micro_compute_wide",
+        kind="micro",
+        summary="AMT(8,32) stage, unconstrained bandwidth (wide compute-bound floor)",
+        p=8, leaves=32, n_runs=32, run_length=4000,
+        batch_bytes=1024,
+        target_speedup=1.0,
+    ),
+    Scenario(
+        name="micro_dup_heavy",
+        kind="micro",
+        summary="AMT(8,16) stage, unconstrained, 256-key space (duplicate-heavy floor)",
+        p=8, leaves=16, n_runs=16, run_length=4000,
+        batch_bytes=1024, key_range=256,
+        target_speedup=1.0,
     ),
     Scenario(
         name="e2e_hdd_sort",

@@ -72,6 +72,13 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
              "default: serial, results are identical either way)")
 
 
+def _add_backend_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--merge-backend", choices=("auto", "numpy", "python"), default=None,
+        help="merge-kernel backend (default: BONSAI_MERGE_BACKEND or 'auto'; "
+             "'python' forces the scalar kernels, outputs are identical)")
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """Observability flags shared by the workload-running subcommands."""
     parser.add_argument(
@@ -114,6 +121,7 @@ def _configure_sort(srt: argparse.ArgumentParser) -> None:
     srt.add_argument("--output", default=None,
                      help="write sorted keys to this file")
     _add_jobs_flag(srt)
+    _add_backend_flag(srt)
     _add_obs_flags(srt)
 
 
@@ -163,6 +171,7 @@ def _configure_bench(ben: argparse.ArgumentParser) -> None:
                      help="override every scenario's workload seed (keeps "
                           "serial and parallel runs comparable)")
     _add_jobs_flag(ben)
+    _add_backend_flag(ben)
     _add_obs_flags(ben)
 
 
@@ -577,6 +586,10 @@ def _run_command(args: argparse.Namespace, argv: list[str] | None) -> int:
     so the default path stays allocation-free.
     """
     handler = COMMANDS[args.command]
+    if getattr(args, "merge_backend", None):
+        from repro.network import flims
+
+        flims.set_backend(args.merge_backend)
     trace = getattr(args, "trace", None)
     metrics = getattr(args, "metrics", None)
     manifest = getattr(args, "manifest", None)

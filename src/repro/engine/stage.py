@@ -15,16 +15,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.network import flims
 
 
 def merge_two_sorted(left: np.ndarray, right: np.ndarray) -> np.ndarray:
-    """Vectorised stable merge of two sorted arrays.
+    """Stable merge of two sorted arrays (left wins ties).
 
-    Computes each element's position in the merged output via
-    ``searchsorted``: left elements shift right by the count of *strictly
-    smaller* right elements (ties keep left first), right elements by the
-    count of left elements ``<=`` them.  O(n log n) with numpy kernels,
-    but a genuine two-way merge — no re-sorting of the payload.
+    Backend-dispatched through :mod:`repro.network.flims`: the numpy
+    path computes each element's position in the merged output via
+    ``searchsorted`` (left elements shift right by the count of
+    *strictly smaller* right elements, so ties keep left first; a
+    genuine two-way merge, no re-sorting of the payload); the scalar
+    path is the classic two-pointer merge with the same tie rule, used
+    when the backend is forced to ``python`` or the merge is too small
+    to amortize the numpy call overhead.  Both produce bit-identical
+    output arrays.
     """
     left = np.asarray(left)
     right = np.asarray(right)
@@ -32,6 +37,9 @@ def merge_two_sorted(left: np.ndarray, right: np.ndarray) -> np.ndarray:
         return right.copy()
     if right.size == 0:
         return left.copy()
+    if not flims.use_numpy_arrays():
+        merged = flims.merge_runs_python(left.tolist(), right.tolist())
+        return np.asarray(merged, dtype=np.result_type(left, right))
     out = np.empty(left.size + right.size, dtype=np.result_type(left, right))
     left_positions = np.arange(left.size) + np.searchsorted(right, left, side="left")
     right_positions = np.arange(right.size) + np.searchsorted(left, right, side="right")

@@ -110,3 +110,20 @@ class Coupler:
     def skip_cycles(self, n_cycles: int) -> None:
         """Immediate form of :meth:`apply_stall` (see fastpath docs)."""
         self.apply_stall(self.stall_tag(), n_cycles)
+
+    def wake_fifos_now(self) -> list[Fifo]:
+        """Dynamic wake set: only the blocking port needs watching.
+
+        The coupler acts as soon as the output has space *and* the
+        input has data, so only the currently violated condition(s) can
+        re-enable it: a full output can only be unblocked by a
+        downstream pop, an empty input only by an upstream push.  The
+        non-blocking port is frozen from the coupler's perspective (it
+        is that FIFO's only producer/consumer on the relevant side).
+        """
+        fifos = []
+        if self.output.is_full:
+            fifos.append(self.output)
+        if self.input.is_empty:
+            fifos.append(self.input)
+        return fifos

@@ -28,10 +28,10 @@ A component opts in by implementing three methods next to ``tick``:
 ``stall_tag() -> str | None``
     A label classifying what the component's stall ticks would count
     *under the current frozen state* (``"stall_output"`` vs
-    ``"idle_cycles"``, bandwidth-limited vs idle, ...).  Captured once
-    when the component goes to sleep, because by the time the skipped
-    window is accounted for, the FIFO state that justified the
-    classification may already have changed.
+    ``"idle_cycles"``, bandwidth-limited vs idle, ...).  Captured when
+    the component goes to sleep and re-captured at every re-arm, so the
+    skipped window is always accounted under the tag that was valid
+    while it was skipped.
 
 ``apply_stall(tag, n) -> None``
     Bulk-apply ``n`` skipped stall ticks' worth of bookkeeping for a
@@ -42,33 +42,56 @@ A component opts in by implementing three methods next to ``tick``:
 ``skip_cycles(n)`` (``= apply_stall(stall_tag(), n)``) is the immediate
 form used when the state is known to still be frozen.
 
+Two *optional* hooks refine the wiring:
+
+``wake_fifos() -> list[Fifo]``
+    The static set of FIFOs a component's tick can touch, for
+    components whose ports are not direct dataclass fields (the loader
+    reaches its leaf FIFOs through feed records).
+
+``wake_fifos_now() -> list[Fifo]``
+    The *dynamic* wake set: the FIFOs whose traffic can change this
+    component's ``next_event_cycle``/``stall_tag`` answers **in its
+    current state**.  Consulted at sleep time and after every re-arm.
+    An in-flight loader with nothing parked returns ``[]`` (its only
+    event is its own transfer timer); a starved merger returns just its
+    empty input port (downstream pops draining its output cannot enable
+    it).  Returning ``[]`` is a contract that no FIFO traffic affects
+    the component until it next wakes.
+
 The engine
 ----------
 
 :func:`run_event_driven` keeps a per-component *awake* flag.  Awake
 components tick normally, in list order, preserving the naive stepper's
-intra-cycle semantics exactly.  A component whose tick moved no data
-(its adjacent FIFOs' push/pop counters are unchanged) is asked for its
-next event; if that is not the next cycle, the component goes to sleep,
-recording the cycle it slept from, its stall tag, and an optional timer.
+intra-cycle semantics exactly.  Every :data:`SWEEP_INTERVAL_MIN` cycles
+(backing off to :data:`SWEEP_INTERVAL_MAX` while nothing changes) a
+*sleep sweep* asks each awake component for its next event; components
+with no event due go to sleep, recording the cycle they slept from,
+their stall tag, an optional timer, and their dynamic wake set.
 
-Sleeping components are woken by
+Traffic on a registered FIFO does **not** blindly wake a sleeper.  The
+engine flushes the sleeper's skipped-cycle accounting up to the event
+boundary (the exact cycle whose tick first observes the new state —
+this cycle for components later in tick order than the mover, the next
+cycle for earlier ones) and re-asks ``next_event_cycle``:
 
-* **FIFO traffic**: when an awake component's tick changes a FIFO, every
-  sleeping component adjacent to that FIFO is woken — effective the
-  same cycle for components later in tick order (they have not ticked
-  yet this cycle), the next cycle for earlier ones (their turn already
-  passed, correctly, as a stall);
-* **timers**: the self-scheduled ``next_event_cycle`` hints;
-* **termination**: when the run completes or hits its cycle budget,
-  every sleeper is settled up to the final cycle.
+* if the component can act at the boundary it wakes fully (and still
+  ticks this cycle when its turn has not passed);
+* otherwise it *re-arms*: new stall tag, new timer, new wake set, still
+  asleep.  A starved merger whose output is being drained stays asleep
+  through every downstream pop instead of thrashing awake.
 
-On wake, the skipped window is charged in one ``apply_stall`` call.
+When **no sleeper is FIFO-registered** (everyone asleep is timer-only
+or traffic-independent) the engine drops into a dense loop: prebound
+``tick`` calls, no movement detection at all, until the next timer,
+sweep boundary or completion.  Compute-bound shapes where every
+component is busy every cycle run the dense loop almost exclusively,
+which is how the fast path stays at or above naive parity there.
+
 When *no* component is awake the clock jumps straight to the earliest
 timer (or the cycle budget, turning silent deadlocks into instant,
-fully-accounted timeouts).  Spurious wakes are harmless: the component
-ticks once — counting its stall exactly as the naive stepper would —
-and goes back to sleep.
+fully-accounted timeouts).
 
 Components that do not implement the protocol (trace recorders, fault
 injectors, pausing wrappers) disable the fast path for the whole run;
@@ -80,6 +103,7 @@ argument for why the engines cannot diverge.
 from __future__ import annotations
 
 from dataclasses import fields, is_dataclass
+from heapq import heappop, heappush
 from typing import Callable
 
 from repro.errors import SimulationError
@@ -87,12 +111,33 @@ from repro.hw.fifo import Fifo
 
 _PROTOCOL = ("next_event_cycle", "stall_tag", "apply_stall")
 
-#: Consecutive no-movement ticks before a component is put to sleep.
-#: Sleeping costs a wake/re-sleep round trip (several times a plain
-#: stall tick), so it only pays off for stall windows longer than a few
-#: cycles; components on the fringe of an active region — woken by a
-#: neighbour's push every cycle or two — should keep ticking naively.
-SLEEP_AFTER_STALLS = 8
+#: Cycles between sleep-candidacy sweeps while components keep acting.
+#: A sweep asks every awake component for its next event, so sweeping
+#: too often taxes compute-bound shapes; sweeping too rarely leaves
+#: stalled components ticking.  Sweeps back off exponentially to
+#: :data:`SWEEP_INTERVAL_MAX` while they find nothing to sleep and no
+#: wake occurs, then snap back.
+SWEEP_INTERVAL_MIN = 8
+SWEEP_INTERVAL_MAX = 256
+
+#: A sleep/wake round trip (wake-set registration, re-evaluation,
+#: deregistration) costs roughly as much as this many skipped stall
+#: ticks.  A component whose sleep turns out shorter than this was a
+#: net loss, so it is barred from re-sleeping for
+#: :data:`SLEEP_PENALTY_CYCLES` — components that stall in short bursts
+#: (a merger starved every other cycle by its coupler) settle into
+#: plain awake ticking, which is cheaper than churning.
+MIN_SLEEP_CYCLES = 32
+SLEEP_PENALTY_CYCLES = 1024
+
+#: Re-arms (in-place re-evaluations triggered by registered-FIFO
+#: traffic) tolerated per sleep window before the engine concludes the
+#: wake set is too hot and wakes the component outright, with the same
+#: re-sleep penalty as a too-short sleep.  Each re-arm re-derives the
+#: stall tag, timer and wake set — several ticks' worth of work — so a
+#: sleeper re-armed every few cycles is strictly worse than an awake
+#: component counting stalls in plain ticks.
+REARM_LIMIT = 8
 
 
 def supports_fast_forward(components: list) -> bool:
@@ -120,7 +165,7 @@ def _component_fifos(component: object) -> list[Fifo]:
 
 
 def _watched_fifos(component: object) -> list[Fifo]:
-    """The FIFOs whose traffic must wake a sleeping component.
+    """The full static set of FIFOs a component's tick can touch.
 
     Components whose ports are not direct dataclass fields (the loader
     reaches its leaf FIFOs through feed records) override the default
@@ -149,14 +194,20 @@ def run_event_driven(
     """
     n_components = len(components)
     order = list(components)
+    ticks = [component.tick for component in order]
+    dynamic_sets = [
+        getattr(component, "wake_fifos_now", None) for component in order
+    ]
 
-    # Wiring: one slot per distinct FIFO; per-component adjacency for
-    # movement detection; per-slot watcher lists for wake propagation.
+    # Wiring: one slot per distinct FIFO; per-component adjacency (the
+    # static touchable set) for movement detection; per-slot lists of
+    # *currently registered sleepers* for event dispatch.
     slot_of: dict[int, int] = {}
     fifo_list: list[Fifo] = []
-    watchers: list[list[int]] = []
+    slot_sleepers: list[list[int]] = []
+    slot_touchers: list[list[int]] = []
     adjacency: list[list[tuple[Fifo, int]]] = []
-    for index, component in enumerate(order):
+    for component_index, component in enumerate(order):
         # bonsai-lint: disable=hot-loop-alloc -- wiring prologue runs once per simulation, before the cycle loop
         pairs: list[tuple[Fifo, int]] = []
         for fifo in _watched_fifos(component):
@@ -165,35 +216,217 @@ def run_event_driven(
                 slot = len(fifo_list)
                 slot_of[id(fifo)] = slot
                 fifo_list.append(fifo)
-                # bonsai-lint: disable=hot-loop-alloc -- wiring prologue, one watcher list per distinct FIFO
-                watchers.append([])
-            watchers[slot].append(index)
+                # bonsai-lint: disable=hot-loop-alloc -- wiring prologue, one sleeper list per distinct FIFO
+                slot_sleepers.append([])
+                # bonsai-lint: disable=hot-loop-alloc -- wiring prologue, one toucher list per distinct FIFO
+                slot_touchers.append([])
             pairs.append((fifo, slot))
+            slot_touchers[slot].append(component_index)
         adjacency.append(pairs)
     traffic = [fifo.pushes + fifo.pops for fifo in fifo_list]
+    # watch_count[i] > 0 iff some FIFO component i can touch has a
+    # registered sleeper; maintained at register/deregister so awake
+    # components with no sleeping neighbours tick at naive cost (no
+    # movement detection at all).
+    watch_count = [0] * n_components
 
     awake = [True] * n_components
     sleep_since = [0] * n_components
+    slept_at = [0] * n_components
     sleep_tag: list = [None] * n_components
     timers: list = [None] * n_components
-    last_move = [cycle] * n_components
+    reg_slots: list[tuple[int, ...]] = [()] * n_components
     awake_count = n_components
+    registered_count = 0
     next_timer: int | None = None
+    next_sweep = cycle + SWEEP_INTERVAL_MIN
+    sweep_interval = SWEEP_INTERVAL_MIN
+    dense_ticks: list = []
+    dense_dirty = True
+    # Sparse-mode iteration order: the indices awake at cycle start
+    # (rebuilt lazily on any sleep/wake) plus a heap of components woken
+    # *mid-cycle* by an earlier-ticking neighbour, which still owe a
+    # tick this cycle.  Scales the per-cycle cost with the number of
+    # awake components instead of the component count.
+    awake_list: list[int] = []
+    awake_dirty = True
+    pending: list[int] = []
+    # Churn guard: components whose last sleep was too short to pay for
+    # itself are barred from re-sleeping until this cycle.
+    no_sleep_before = [0] * n_components
+    # Re-arm guard: in-place re-evaluations since each component last
+    # went to sleep (see REARM_LIMIT).
+    rearms = [0] * n_components
+
+    def register(index: int) -> None:
+        """Record the component's dynamic wake set in the slot tables."""
+        nonlocal registered_count
+        hook = dynamic_sets[index]
+        fifos = hook() if hook is not None else [
+            fifo for fifo, _slot in adjacency[index]
+        ]
+        slots = []
+        for fifo in fifos:
+            slot = slot_of.get(id(fifo))
+            if slot is None:
+                # A FIFO outside the static wiring (exotic component):
+                # give it a slot so its traffic is still observable.
+                slot = len(fifo_list)
+                slot_of[id(fifo)] = slot
+                fifo_list.append(fifo)
+                slot_sleepers.append([])
+                slot_touchers.append([])
+                traffic.append(fifo.pushes + fifo.pops)
+            sleepers = slot_sleepers[slot]
+            if not sleepers:
+                for toucher in slot_touchers[slot]:
+                    watch_count[toucher] += 1
+            sleepers.append(index)
+            traffic[slot] = fifo.pushes + fifo.pops
+            slots.append(slot)
+        reg_slots[index] = tuple(slots)
+        registered_count += len(slots)
+
+    def deregister(index: int) -> None:
+        nonlocal registered_count
+        slots = reg_slots[index]
+        for slot in slots:
+            sleepers = slot_sleepers[slot]
+            sleepers.remove(index)
+            if not sleepers:
+                for toucher in slot_touchers[slot]:
+                    watch_count[toucher] -= 1
+        registered_count -= len(slots)
+        reg_slots[index] = ()
+
+    def put_to_sleep(index: int, from_cycle: int, hint: int | None) -> None:
+        nonlocal awake_count, next_timer, dense_dirty, awake_dirty
+        awake[index] = False
+        awake_count -= 1
+        sleep_since[index] = from_cycle
+        slept_at[index] = from_cycle
+        rearms[index] = 0
+        sleep_tag[index] = order[index].stall_tag()
+        timers[index] = hint
+        if hint is not None and (next_timer is None or hint < next_timer):
+            next_timer = hint
+        register(index)
+        dense_dirty = True
+        awake_dirty = True
 
     def wake(index: int, at_cycle: int) -> None:
-        nonlocal awake_count
+        """Flush a sleeper's skipped window and mark it awake."""
+        nonlocal awake_count, dense_dirty, awake_dirty
+        nonlocal sweep_interval, next_sweep
         skipped = at_cycle - sleep_since[index]
         if skipped > 0:
             order[index].apply_stall(sleep_tag[index], skipped)
+        if at_cycle - slept_at[index] < MIN_SLEEP_CYCLES:
+            no_sleep_before[index] = at_cycle + SLEEP_PENALTY_CYCLES
+        deregister(index)
         awake[index] = True
         timers[index] = None
-        last_move[index] = at_cycle
         awake_count += 1
+        dense_dirty = True
+        awake_dirty = True
+        if sweep_interval != SWEEP_INTERVAL_MIN:
+            sweep_interval = SWEEP_INTERVAL_MIN
+            boundary = at_cycle + sweep_interval
+            if boundary < next_sweep:
+                next_sweep = boundary
+
+    def handle_event(watcher: int, mover: int) -> None:
+        """A registered FIFO of a sleeping ``watcher`` saw traffic.
+
+        Flush the watcher's accounting up to the event boundary — the
+        first cycle whose (real or skipped) tick observes the new state:
+        this cycle when the watcher ticks after the mover, the next one
+        when its turn already passed — then either wake it (it can act
+        at the boundary) or re-arm it in place with a fresh tag, timer
+        and wake set.  Re-arming is what lets a component sleep through
+        adjacent traffic that provably cannot enable it.
+        """
+        nonlocal next_timer
+        component = order[watcher]
+        boundary = cycle if watcher > mover else cycle + 1
+        skipped = boundary - sleep_since[watcher]
+        if skipped > 0:
+            component.apply_stall(sleep_tag[watcher], skipped)
+            sleep_since[watcher] = boundary
+        hint = component.next_event_cycle(boundary)
+        if hint is not None and hint <= boundary:
+            deregister(watcher)
+            _mark_awake(watcher)
+            if watcher > mover:
+                # The watcher's turn has not passed: it still owes a
+                # tick this cycle, outside the cycle-start awake list.
+                heappush(pending, watcher)
+            return
+        if rearms[watcher] >= REARM_LIMIT:
+            # The wake set is too hot for sleeping to pay off: wake the
+            # component outright (a spurious wake is naive-identical)
+            # and bar re-sleep so it settles into plain ticking.
+            no_sleep_before[watcher] = cycle + SLEEP_PENALTY_CYCLES
+            deregister(watcher)
+            _mark_awake(watcher)
+            if watcher > mover:
+                heappush(pending, watcher)
+            return
+        rearms[watcher] += 1
+        sleep_tag[watcher] = component.stall_tag()
+        timers[watcher] = hint
+        if hint is not None and (next_timer is None or hint < next_timer):
+            next_timer = hint
+        # The state that justified the old wake set is gone; re-derive.
+        deregister(watcher)
+        register(watcher)
+
+    def _mark_awake(index: int) -> None:
+        nonlocal awake_count, dense_dirty, awake_dirty
+        nonlocal sweep_interval, next_sweep
+        if cycle - slept_at[index] < MIN_SLEEP_CYCLES:
+            no_sleep_before[index] = cycle + SLEEP_PENALTY_CYCLES
+        awake[index] = True
+        timers[index] = None
+        awake_count += 1
+        dense_dirty = True
+        awake_dirty = True
+        if sweep_interval != SWEEP_INTERVAL_MIN:
+            sweep_interval = SWEEP_INTERVAL_MIN
+            boundary = cycle + sweep_interval
+            if boundary < next_sweep:
+                next_sweep = boundary
 
     def settle_all(at_cycle: int) -> None:
         for index in range(n_components):
             if not awake[index]:
                 wake(index, at_cycle)
+
+    def sweep(at_cycle: int) -> None:
+        """Put every eventless awake component to sleep.
+
+        Runs between cycles (``at_cycle`` is the next cycle to
+        execute), so each component's answer reflects exactly the state
+        its next tick would see.  Sleeping late is always safe — the
+        extra awake ticks are naive-identical stall ticks — which is
+        why candidacy can be batched instead of tracked per tick.
+        """
+        nonlocal sweep_interval, next_sweep
+        slept = False
+        for index in range(n_components):
+            if not awake[index] or at_cycle < no_sleep_before[index]:
+                continue
+            component = order[index]
+            hint = component.next_event_cycle(at_cycle)
+            if hint is not None and hint <= at_cycle:
+                continue
+            put_to_sleep(index, at_cycle, hint)
+            slept = True
+        if slept:
+            sweep_interval = SWEEP_INTERVAL_MIN
+        elif sweep_interval < SWEEP_INTERVAL_MAX:
+            sweep_interval = min(2 * sweep_interval, SWEEP_INTERVAL_MAX)
+        next_sweep = at_cycle + sweep_interval
 
     while True:
         if next_timer is not None and next_timer <= cycle:
@@ -221,53 +454,72 @@ def run_event_driven(
             # event, or straight to the budget boundary (deadlock).
             cycle = limit if next_timer is None else min(next_timer, limit)
             continue
-        # ``enumerate(awake)`` reads each flag at iteration time, so a
-        # component woken mid-cycle by an earlier neighbour still gets
-        # its tick this cycle, while one that just slept is skipped.
-        ops_before = Fifo.total_ops
-        for index, is_awake in enumerate(awake):
-            if not is_awake:
+        if cycle >= next_sweep:
+            sweep(cycle)
+            if awake_count == 0:
                 continue
-            component = order[index]
-            component.tick(cycle)
-            ops_after = Fifo.total_ops
-            if ops_after != ops_before:
-                # The tick moved data: remember, and wake any watchers.
-                ops_before = ops_after
-                last_move[index] = cycle
-                if awake_count != n_components:
-                    # Per-FIFO attribution is only needed while someone
-                    # sleeps; with everyone awake the caches may go
-                    # stale (counters are monotonic, so staleness can
-                    # only cause a harmless spurious wake later).
-                    for fifo, slot in adjacency[index]:
-                        seen = fifo.pushes + fifo.pops
-                        if seen != traffic[slot]:
-                            traffic[slot] = seen
-                            for watcher in watchers[slot]:
-                                if not awake[watcher]:
-                                    # Later in tick order: still ticks
-                                    # this cycle.  Earlier: its turn
-                                    # has passed (as a stall); it
-                                    # resumes next cycle.
-                                    wake(
-                                        watcher,
-                                        cycle if watcher > index else cycle + 1,
-                                    )
+        if registered_count == 0:
+            # Dense mode: every sleeper is timer-only (or declared
+            # traffic-independent), so no per-tick movement detection
+            # is needed — run a bare tick loop to the next boundary.
+            end = next_sweep if next_sweep < limit else limit
+            if next_timer is not None and next_timer < end:
+                end = next_timer
+            if dense_dirty:
+                # bonsai-lint: disable=hot-loop-alloc -- rebuilt only on a sleep/wake transition, then reused across dense cycles
+                dense_ticks = [
+                    ticks[index] for index in range(n_components) if awake[index]
+                ]
+                dense_dirty = False
+            while cycle < end:
+                for tick in dense_ticks:
+                    tick(cycle)
+                cycle += 1
+                if done():
+                    break
+            continue
+        # Sparse mode: one cycle with exact per-tick event dispatch.
+        # Iterate the cycle-start awake list in index order, merging in
+        # components woken mid-cycle by an earlier neighbour (they tick
+        # this cycle, preserving naive intra-cycle order exactly).
+        # Components with no sleeping neighbour (watch_count 0) tick
+        # without any movement detection — in busy phases that is most
+        # of them, keeping sparse-mode ticks at naive cost.
+        if awake_dirty:
+            # bonsai-lint: disable=hot-loop-alloc -- rebuilt only on a sleep/wake transition, then reused across sparse cycles
+            awake_list = [
+                index for index in range(n_components) if awake[index]
+            ]
+            awake_dirty = False
+        position = 0
+        n_listed = len(awake_list)
+        while True:
+            if pending and (
+                position >= n_listed or pending[0] < awake_list[position]
+            ):
+                index = heappop(pending)
+            elif position < n_listed:
+                index = awake_list[position]
+                position += 1
+            else:
+                break
+            if not watch_count[index]:
+                ticks[index](cycle)
                 continue
-            if cycle - last_move[index] < SLEEP_AFTER_STALLS:
+            ops_before = Fifo.total_ops
+            ticks[index](cycle)
+            if Fifo.total_ops == ops_before:
                 continue
-            hint = component.next_event_cycle(cycle + 1)
-            if hint is not None and hint <= cycle + 1:
-                last_move[index] = cycle
-                continue
-            awake[index] = False
-            awake_count -= 1
-            sleep_since[index] = cycle + 1
-            sleep_tag[index] = component.stall_tag()
-            timers[index] = hint
-            if hint is not None and (next_timer is None or hint < next_timer):
-                next_timer = hint
+            for fifo, slot in adjacency[index]:
+                sleepers = slot_sleepers[slot]
+                if not sleepers:
+                    continue
+                seen = fifo.pushes + fifo.pops
+                if seen == traffic[slot]:
+                    continue
+                traffic[slot] = seen
+                for watcher in tuple(sleepers):
+                    handle_event(watcher, index)
         cycle += 1
 
 

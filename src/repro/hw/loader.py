@@ -179,6 +179,29 @@ class DataLoader:
         """
         return [feed.fifo for feed in self.feeds]
 
+    def wake_fifos_now(self) -> list[Fifo]:
+        """FIFOs whose traffic can change this loader's *current* answers.
+
+        Mid-transfer with nothing parked the loader is timer-only: feed
+        FIFOs are not consulted until the batch delivers, so leaf
+        traffic cannot affect ``next_event_cycle``/``stall_tag`` and the
+        set is empty.  Parked leaves are always watched (a pop frees
+        skid-buffer space); when no transfer is in flight, every
+        non-exhausted, non-parked feed is watched because
+        ``_find_feed`` scans their free space.  Everything this method
+        reads (``_parked``, ``_inflight_feed``, ``exhausted``) is
+        mutated only by the loader's own tick, so the set stays valid
+        for the whole sleep.
+        """
+        parked = self._parked
+        fifos = [self.feeds[index].fifo for index in parked]
+        if self._inflight_feed is None:
+            for index, feed in enumerate(self.feeds):
+                if feed.exhausted or index in parked:
+                    continue
+                fifos.append(feed.fifo)
+        return fifos
+
     # ------------------------------------------------------------------
     def _find_feed(self) -> int | None:
         """Round-robin scan for a leaf with pending data and buffer space.
@@ -232,11 +255,17 @@ class DataLoader:
                 offset += take
                 feed.offset = offset
                 taken += take
-                for start in range(0, len(records), tuple_width):
-                    chunk = tuple(records[start : start + tuple_width])
-                    if len(chunk) < tuple_width:
-                        chunk = chunk + pad_row[: tuple_width - len(chunk)]
-                    items.append(chunk)
+                if tuple_width == 1:
+                    # Burst lane: leaf tuples are single records, so the
+                    # batch maps 1:1 onto rows without slicing.
+                    # bonsai-lint: disable=hot-loop-alloc -- the per-record row tuples ARE the delivered payload; no slicing overhead remains to hoist
+                    items.extend((record,) for record in records)
+                else:
+                    for start in range(0, len(records), tuple_width):
+                        chunk = tuple(records[start : start + tuple_width])
+                        if len(chunk) < tuple_width:
+                            chunk = chunk + pad_row[: tuple_width - len(chunk)]
+                        items.append(chunk)
             if offset >= len(run):
                 items.append(TERMINAL)
                 feed.run_index += 1
@@ -462,3 +491,14 @@ class OutputWriter:
     def skip_cycles(self, n_cycles: int) -> None:
         """Immediate form of :meth:`apply_stall` (see fastpath docs)."""
         self.apply_stall(self.stall_tag(), n_cycles)
+
+    def wake_fifos_now(self) -> list[Fifo]:
+        """Dynamic wake set: the source only matters while it is empty.
+
+        A non-empty source pins the head tuple in place (the writer is
+        its only consumer), so upstream pushes cannot change
+        ``next_event_cycle``'s answer — the writer is waiting purely on
+        its credit-refill timer (or is stuck for good) and sleeps
+        through root traffic instead of being re-woken by every push.
+        """
+        return [self.source] if self.source.is_empty else []

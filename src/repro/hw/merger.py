@@ -36,7 +36,7 @@ from repro.errors import SimulationError
 from repro.hw.fifo import Fifo
 from repro.hw.probes import MergerStats
 from repro.hw.terminal import TERMINAL, is_terminal
-from repro.network.halfmerger import BitonicHalfMerger
+from repro.network.flims import tuple_merge_kernel
 from repro.units import is_power_of_two
 
 
@@ -64,7 +64,7 @@ class KMerger:
     name: str = "merger"
 
     stats: MergerStats = field(init=False)
-    _half_merger: BitonicHalfMerger | None = field(init=False, repr=False)
+    _merge_kernel: object = field(init=False, repr=False)
     _feedback: tuple | None = field(init=False, default=None, repr=False)
     _done_a: bool = field(init=False, default=False)
     _done_b: bool = field(init=False, default=False)
@@ -72,7 +72,9 @@ class KMerger:
     def __post_init__(self) -> None:
         if not is_power_of_two(self.k):
             raise SimulationError(f"merger width must be a power of two, got {self.k}")
-        self._half_merger = BitonicHalfMerger(self.k) if self.k > 1 else None
+        # The 2k half-merger datapath, resolved once against the active
+        # flims backend so the per-cycle path carries no dispatch.
+        self._merge_kernel = tuple_merge_kernel(self.k)
         self.stats = MergerStats(name=self.name, k=self.k)
 
     # ------------------------------------------------------------------
@@ -127,7 +129,7 @@ class KMerger:
             self._feedback = incoming
             stats.prime_cycles += 1
             return
-        lower, upper = self._merge(self._feedback, incoming)
+        lower, upper = self._merge_kernel(self._feedback, incoming)
         self._feedback = upper
         self.output.push(lower)
         stats.active_cycles += 1
@@ -176,6 +178,28 @@ class KMerger:
         """Immediate form of :meth:`apply_stall` (see fastpath docs)."""
         self.apply_stall(self.stall_tag(), n_cycles)
 
+    def wake_fifos_now(self) -> list[Fifo]:
+        """Dynamic wake set: only the ports that block this merger.
+
+        With the output full, nothing but a downstream pop can re-enable
+        the datapath (input pushes leave ``next_event_cycle`` at None
+        and the stall tag at stall_output).  With output space, the
+        merger is starved on its *empty* live ports: a non-empty port's
+        head is pinned (the merger is its only consumer) and this
+        merger's own pushes are the only way its output fills, so
+        neither needs watching.  A starved merger therefore sleeps
+        straight through its output being drained downstream — the wake
+        thrash that used to keep compute-bound shapes at naive speed.
+        """
+        if self.output.is_full:
+            return [self.output]
+        fifos = []
+        if not self._done_a and self.input_a.is_empty:
+            fifos.append(self.input_a)
+        if not self._done_b and self.input_b.is_empty:
+            fifos.append(self.input_b)
+        return fifos
+
     # ------------------------------------------------------------------
     def _select_port(self) -> Fifo | None:
         """Choose the port to consume from, or None to stall.
@@ -204,19 +228,13 @@ class KMerger:
         the compare-exchange stages element by element per cycle is the
         simulator's hottest loop, and for integer keys the network's
         output is simply the sorted permutation of the 2k inputs — so
-        the model computes it with the native sort (Timsort's galloping
-        merge of two sorted runs), which is bit-identical and an order
-        of magnitude faster.  ``tests/network`` verifies the network
-        itself produces the same sorted output over exhaustive and
-        randomized inputs.
+        the model delegates to the FLiMS kernel bound at construction
+        (:func:`repro.network.flims.tuple_merge_kernel`), which is
+        bit-identical across its scalar and vectorized backends.
+        ``tests/network`` verifies the bitonic network itself produces
+        the same sorted output over exhaustive and randomized inputs.
         """
-        if self.k == 1:
-            if right[0] < left[0]:
-                return right, left
-            return left, right
-        merged = sorted(left + right)
-        k = self.k
-        return tuple(merged[:k]), tuple(merged[k:])
+        return self._merge_kernel(left, right)
 
     def _finish_run(self) -> None:
         """Flush the feedback register, then emit the terminal and reset."""

@@ -1,0 +1,212 @@
+"""FLiMS-style batched merge kernels with selectable backends.
+
+FLiMS (arXiv 2112.05607) merges two sorted ``k``-sequences with a
+single rank of pairwise min/max units — element ``i`` of A against
+element ``k-1-i`` of B — followed by an independent clean-up of each
+half: concatenating A with reversed B forms a bitonic sequence, so
+after the butterfly exchange every element of the lower half is ≤
+every element of the upper half, and each half sorts independently.
+That structure is exactly what vectorizes: the whole exchange is two
+``np.minimum``/``np.maximum`` calls and the clean-up two ``np.sort``
+calls, regardless of ``k``.
+
+This module hosts the simulator's merge kernels behind one backend
+switch:
+
+* ``python`` — scalar kernels (the native ``sorted``/two-pointer
+  merges).  Always available; for integer keys their output is the
+  sorted permutation of the inputs, which is also exactly what the
+  bitonic network computes, so the backends are interchangeable bit
+  for bit (``tests/network/test_flims.py`` pins this across seeds,
+  widths, duplicates and sentinel padding).
+* ``numpy`` — the vectorized FLiMS kernels.  Worthwhile for wide
+  tuples and whole-run merges; for the narrow per-cycle tuples of a
+  small ``k``-merger the per-call array-conversion overhead exceeds
+  the comparator work, which is why ``auto`` keeps those scalar.
+* ``auto`` (default) — ``python`` below :data:`NUMPY_WIDTH_THRESHOLD`
+  records per call, ``numpy`` at or above it; degrades to ``python``
+  everywhere when numpy is unavailable.
+
+The backend is chosen at import from ``BONSAI_MERGE_BACKEND`` and can
+be overridden per run via ``--merge-backend`` on the CLI (which calls
+:func:`set_backend`).  Requesting ``numpy`` without numpy installed
+raises :class:`~repro.errors.ConfigurationError` up front rather than
+silently degrading.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
+
+BACKENDS = ("auto", "numpy", "python")
+
+#: Minimum records per call (both sides combined) before the ``auto``
+#: backend switches a kernel from scalar to numpy.  Below this the
+#: fixed cost of building/converting arrays exceeds the comparator
+#: work; per-cycle tuples of the hardware model (2k ≤ 64 for the
+#: paper's mergers) stay scalar, whole-run merges go vectorized.
+NUMPY_WIDTH_THRESHOLD = 512
+
+_backend = "auto"
+
+
+def _coerce(name: str) -> str:
+    if name not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown merge backend {name!r}; expected one of {BACKENDS}"
+        )
+    if name == "numpy" and _np is None:
+        raise ConfigurationError(
+            "merge backend 'numpy' requested but numpy is not importable"
+        )
+    return name
+
+
+def set_backend(name: str) -> None:
+    """Select the merge-kernel backend (``auto``/``numpy``/``python``)."""
+    # bonsai-lint: disable=proc-global-write -- backend choice flows parent->worker only (fork inherits it; spawn re-reads BONSAI_MERGE_BACKEND at import) and both backends are bit-identical, so worker-local rebinds can never leak state the parent needs back
+    global _backend
+    _backend = _coerce(name)
+
+
+def get_backend() -> str:
+    """The currently selected backend name (as requested, pre-``auto``)."""
+    return _backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backend names selectable on this host (bench identity gates
+    iterate these to cross-check kernels without tripping the
+    numpy-missing :class:`~repro.errors.ConfigurationError`)."""
+    return BACKENDS if _np is not None else ("auto", "python")
+
+
+def use_numpy(width: int) -> bool:
+    """True when a kernel over ``width`` records should use numpy.
+
+    For kernels whose operands are native tuples/lists: the ``auto``
+    backend weighs the per-call conversion cost against the comparator
+    work via :data:`NUMPY_WIDTH_THRESHOLD`.
+    """
+    if _backend == "python" or _np is None:
+        return False
+    if _backend == "numpy":
+        return True
+    return width >= NUMPY_WIDTH_THRESHOLD
+
+
+def use_numpy_arrays() -> bool:
+    """True when kernels over *numpy operands* should stay vectorized.
+
+    Array inputs carry no conversion cost into the numpy path (and a
+    real ``tolist`` cost out of it), so ``auto`` always vectorizes
+    them; only a forced ``python`` backend — or numpy being absent —
+    selects the scalar route.
+    """
+    return _np is not None and _backend != "python"
+
+
+@contextmanager
+def forced_backend(name: str) -> Iterator[None]:
+    """Temporarily pin the backend (bench identity gates, tests)."""
+    previous = _backend
+    set_backend(name)
+    try:
+        yield
+    finally:
+        set_backend(previous)
+
+
+# Honour the environment at import so subprocess workers and plain
+# `python -m` entry points inherit the session's choice without CLI
+# plumbing.
+_env_choice = os.environ.get("BONSAI_MERGE_BACKEND", "").strip().lower()
+if _env_choice:
+    set_backend(_env_choice)
+
+
+# ----------------------------------------------------------------------
+# Tuple kernel: the k-merger datapath (two sorted k-tuples -> 2k)
+# ----------------------------------------------------------------------
+def _merge_halves_python(left: tuple, right: tuple, k: int) -> tuple[tuple, tuple]:
+    """Scalar 2k merge: native sort of the concatenation (Timsort's
+    galloping merge of two sorted runs), split into lower/upper k."""
+    merged = sorted(left + right)
+    return tuple(merged[:k]), tuple(merged[k:])
+
+
+def _merge_halves_numpy(left: tuple, right: tuple, k: int) -> tuple[tuple, tuple]:
+    """FLiMS 2k merge: one butterfly exchange, then sort each half.
+
+    ``A + reversed(B)`` is bitonic, so ``min(A[i], B[k-1-i])`` collects
+    the k smallest records and ``max`` the k largest; each half then
+    sorts independently.  For integer keys this equals the scalar
+    kernel's output exactly.  ``tolist()`` converts back to native
+    ints so downstream comparisons and digests see identical objects.
+    """
+    a = _np.asarray(left, dtype=_np.uint64)
+    b = _np.asarray(right, dtype=_np.uint64)[::-1]
+    lower = _np.sort(_np.minimum(a, b))
+    upper = _np.sort(_np.maximum(a, b))
+    return tuple(lower.tolist()), tuple(upper.tolist())
+
+
+def tuple_merge_kernel(k: int) -> Callable[[tuple, tuple], tuple[tuple, tuple]]:
+    """Bind the (lower, upper) 2k-tuple merge kernel for width ``k``.
+
+    Resolved once per merger construction so the per-cycle datapath
+    carries no backend dispatch; ``k == 1`` degenerates to a single
+    compare-exchange in either backend.
+    """
+    if k == 1:
+        def compare_swap(left: tuple, right: tuple) -> tuple[tuple, tuple]:
+            if right[0] < left[0]:
+                return right, left
+            return left, right
+
+        return compare_swap
+    if use_numpy(2 * k):
+        def numpy_kernel(left: tuple, right: tuple) -> tuple[tuple, tuple]:
+            return _merge_halves_numpy(left, right, k)
+
+        return numpy_kernel
+
+    def python_kernel(left: tuple, right: tuple) -> tuple[tuple, tuple]:
+        return _merge_halves_python(left, right, k)
+
+    return python_kernel
+
+
+# ----------------------------------------------------------------------
+# Run kernel: whole sorted runs in one call (model-mode merge stages)
+# ----------------------------------------------------------------------
+def merge_runs_python(left: Sequence[int], right: Sequence[int]) -> list[int]:
+    """Stable scalar merge of two sorted runs (left wins ties)."""
+    out: list[int] = []
+    append = out.append
+    i = j = 0
+    n_left = len(left)
+    n_right = len(right)
+    while i < n_left and j < n_right:
+        a = left[i]
+        b = right[j]
+        if b < a:
+            append(b)
+            j += 1
+        else:
+            append(a)
+            i += 1
+    if i < n_left:
+        out.extend(left[i:])
+    else:
+        out.extend(right[j:])
+    return out

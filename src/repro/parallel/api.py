@@ -8,8 +8,12 @@ a helper's output is bit-identical across ``jobs=1``, ``jobs=N`` and
 ``backend="serial"`` — the differential suite in ``tests/parallel``
 pins this.
 
-Model-mode array data travels through :mod:`repro.parallel.shm`;
-simulate-mode runs are small int lists and ride the task pickle.
+Record data — model-mode arrays *and* simulate-mode runs — travels
+through :mod:`repro.parallel.shm`: the parent packs batches into one
+shared block, workers attach zero-copy views, and only tiny descriptors
+and cycle counts ride the pickles.  Simulate-mode keys that cannot pack
+into a uint64 block (negative, or beyond 64 bits) degrade to the
+original pickled-int-list transport with identical results.
 """
 
 from __future__ import annotations
@@ -27,9 +31,46 @@ from repro.parallel.shm import (
 from repro.parallel.workers import (
     worker_merge_group,
     worker_simulate_group,
+    worker_simulate_group_shm,
     worker_simulate_unit,
+    worker_simulate_unit_shm,
     worker_sort_partition,
 )
+
+
+def _as_uint64_runs(runs: list) -> list[np.ndarray] | None:
+    """Coerce int runs to uint64 arrays for shm transport, or ``None``.
+
+    The simulator's record space is non-negative 64-bit keys; anything
+    outside that (signalled by numpy's conversion errors) keeps the
+    caller on the pickled-int-list fallback, whose arbitrary-precision
+    ints have no such limit.
+    """
+    arrays = []
+    for run in runs:
+        if isinstance(run, np.ndarray):
+            # Casting straight to uint64 silently wraps negatives and
+            # truncates floats instead of raising, so gate on the
+            # array's own dtype kind and range first.
+            if run.dtype.kind == "u":
+                arrays.append(run.astype(np.uint64))
+                continue
+            if run.dtype.kind == "i" and not (run.size and int(run.min()) < 0):
+                arrays.append(run.astype(np.uint64))
+                continue
+            return None
+        # Lists: require genuine ints before casting (floats would
+        # truncate, and large values make numpy infer float64, so the
+        # element scan is the only airtight check; it costs the same
+        # O(n) as the pickled path's per-element int() conversions).
+        if not all(type(x) is int or isinstance(x, np.integer) for x in run):
+            return None
+        try:
+            # The explicit cast raises on anything outside [0, 2**64).
+            arrays.append(np.asarray(run, dtype=np.uint64))
+        except (OverflowError, ValueError, TypeError):
+            return None
+    return arrays
 
 
 def merge_stage_sharded(
@@ -96,7 +137,65 @@ def simulate_stage_sharded(
     group — accounted to neither group.  The decomposition is the same
     for every ``jobs`` setting, so cycle counts stay bit-identical
     across serial and parallel plans.
+
+    Record transport is zero-copy: runs pack into one shared uint64
+    block, workers attach views of their group's slots, and merged
+    groups land in a pre-allocated output block (a merge preserves its
+    record count, so every output slot's size is known up front).  Only
+    keys that cannot live in a uint64 block ride the pickled fallback.
     """
+    arrays = None if not runs else _as_uint64_runs(runs)
+    if arrays is None:
+        return _simulate_stage_pickled(
+            runs, p, leaves, record_bytes,
+            read_bytes_per_cycle, write_bytes_per_cycle, batch_bytes, plan,
+        )
+    bounds = [
+        (start, min(start + leaves, len(arrays)))
+        for start in range(0, len(arrays), leaves)
+    ]
+    in_block, in_desc = pack_arrays(arrays)
+    out_lengths = [
+        sum(int(arrays[i].size) for i in range(start, stop))
+        for start, stop in bounds
+    ]
+    out_block, out_desc = alloc_arrays(out_lengths, np.uint64)
+    try:
+        tasks = [
+            (
+                in_desc, out_desc, group, start, stop,
+                p, leaves, record_bytes,
+                read_bytes_per_cycle, write_bytes_per_cycle, batch_bytes,
+            )
+            for group, (start, stop) in enumerate(bounds)
+        ]
+        results = plan.map(worker_simulate_group_shm, tasks)
+        out_runs = []
+        cycles = 0
+        for group, (run_lengths, group_cycles) in enumerate(results):
+            cycles += group_cycles
+            slot = view_array(out_desc, group, out_block)
+            position = 0
+            for length in run_lengths:
+                out_runs.append(slot[position : position + length].tolist())
+                position += length
+        return out_runs, cycles
+    finally:
+        release(in_block)
+        release(out_block)
+
+
+def _simulate_stage_pickled(
+    runs: list[np.ndarray],
+    p: int,
+    leaves: int,
+    record_bytes: int,
+    read_bytes_per_cycle: float,
+    write_bytes_per_cycle: float,
+    batch_bytes: int,
+    plan: ParallelPlan,
+) -> tuple[list[list[int]], int]:
+    """Fallback transport: runs as int lists inside the task pickles."""
     int_runs = [[int(x) for x in run] for run in runs]
     tasks = [
         (
@@ -190,6 +289,12 @@ def simulate_unrolled_sharded(
     counts reduce to ``parallel_cycles`` with the existing ``max()``
     semantics, bit-identical to the joint simulation.
 
+    Record transport is zero-copy: the array packs into one shared
+    uint64 block as λ chunk slots, each worker attaches a view of its
+    chunk and writes the sorted range back into the same-sized output
+    slot; only cycle/stage counts ride the result pickles.  Keys that
+    cannot live in a uint64 block ride the pickled fallback.
+
     Returns ``(output, max_stages_done, parallel_cycles,
     final_merge_cycles)``.
     """
@@ -197,23 +302,52 @@ def simulate_unrolled_sharded(
 
     share = total_bytes_per_cycle / lambda_unroll
     chunk = -(-len(array) // lambda_unroll)
-    tasks = [
-        (
-            p,
-            leaves,
-            record_bytes,
-            share,
-            batch_bytes,
-            presort_run,
-            list(array[index * chunk : (index + 1) * chunk]),
-            max_cycles,
-        )
+    chunks = [
+        list(array[index * chunk : (index + 1) * chunk])
         for index in range(lambda_unroll)
     ]
-    results = plan.map(worker_simulate_unit, tasks)
-    parallel_cycles = max(cycles for _out, _busy, _stages, cycles in results)
-    stages_done = max(stages for _out, _busy, stages, _cycles in results)
-    ranges = [output for output, _busy, _stages, _cycles in results]
+    arrays = _as_uint64_runs(chunks)
+    if arrays is not None:
+        in_block, in_desc = pack_arrays(arrays)
+        out_block, out_desc = alloc_arrays(
+            [int(a.size) for a in arrays], np.uint64
+        )
+        try:
+            tasks = [
+                (
+                    in_desc, out_desc, index, p, leaves, record_bytes,
+                    share, batch_bytes, presort_run, max_cycles,
+                )
+                for index in range(lambda_unroll)
+            ]
+            results = plan.map(worker_simulate_unit_shm, tasks)
+            parallel_cycles = max(cycles for _busy, _stages, cycles in results)
+            stages_done = max(stages for _busy, stages, _cycles in results)
+            ranges = [
+                view_array(out_desc, index, out_block).tolist()
+                for index in range(lambda_unroll)
+            ]
+        finally:
+            release(in_block)
+            release(out_block)
+    else:
+        tasks = [
+            (
+                p,
+                leaves,
+                record_bytes,
+                share,
+                batch_bytes,
+                presort_run,
+                chunks[index],
+                max_cycles,
+            )
+            for index in range(lambda_unroll)
+        ]
+        results = plan.map(worker_simulate_unit, tasks)
+        parallel_cycles = max(cycles for _out, _busy, _stages, cycles in results)
+        stages_done = max(stages for _out, _busy, stages, _cycles in results)
+        ranges = [output for output, _busy, _stages, _cycles in results]
     merged, stats = simulate_merge(
         p=p,
         leaves=leaves,

@@ -215,3 +215,76 @@ class TestOptimizerRanking:
         assert serial.rank_by_latency(array) == first
         for key, value in bonsai._latency_cache.items():
             assert serial._latency_cache[key] == value
+
+
+class TestSimulateShmTransport:
+    """The zero-copy simulate-mode transport vs its pickled fallback."""
+
+    @staticmethod
+    def _runs(seed: int) -> list[list[int]]:
+        import random
+
+        rng = random.Random(seed)
+        return [
+            sorted(rng.randrange(0, 1000) for _ in range(rng.randrange(10, 60)))
+            for _ in range(8)
+        ]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_shm_matches_pickled_stage(self, seed):
+        from repro.parallel.api import (
+            _simulate_stage_pickled,
+            simulate_stage_sharded,
+        )
+
+        runs = self._runs(seed)
+        kwargs = dict(
+            p=4, leaves=4, record_bytes=4,
+            read_bytes_per_cycle=16.0, write_bytes_per_cycle=16.0,
+            batch_bytes=64,
+        )
+        for plan in (ParallelPlan.serial(), ParallelPlan(jobs=2)):
+            shm = simulate_stage_sharded(runs, plan=plan, **kwargs)
+            pickled = _simulate_stage_pickled(runs, plan=plan, **kwargs)
+            assert shm == pickled
+
+    def test_unpackable_keys_use_fallback(self):
+        from repro.parallel.api import _as_uint64_runs, simulate_stage_sharded
+
+        # 2**64 exceeds uint64; negative values may not wrap silently.
+        assert _as_uint64_runs([[1, 2**64]]) is None
+        assert _as_uint64_runs([np.asarray([-1, 2], dtype=np.int64)]) is None
+        assert _as_uint64_runs([[1, 2.5]]) is None
+        huge = [[1, 5, 2**64 + 3], [2, 4, 6]]
+        out_runs, cycles = simulate_stage_sharded(
+            huge, p=2, leaves=2, record_bytes=4,
+            read_bytes_per_cycle=8.0, write_bytes_per_cycle=8.0,
+            batch_bytes=32, plan=ParallelPlan.serial(),
+        )
+        assert out_runs == [sorted(huge[0] + huge[1])]
+        assert cycles > 0
+
+    def test_uint64_range_packs(self):
+        from repro.parallel.api import _as_uint64_runs
+
+        packed = _as_uint64_runs([[0, 2**64 - 1], np.asarray([7], dtype=np.uint32)])
+        assert packed is not None
+        assert all(a.dtype == np.uint64 for a in packed)
+        assert packed[0].tolist() == [0, 2**64 - 1]
+
+    @pytest.mark.parametrize("seed", SEEDS[:4])
+    def test_unrolled_shm_matches_fallback(self, seed, monkeypatch):
+        import repro.parallel.api as api
+
+        rng = np.random.default_rng(seed)
+        array = [int(x) for x in rng.integers(0, 1 << 30, size=600)]
+        kwargs = dict(
+            p=4, leaves=4, lambda_unroll=4, record_bytes=4,
+            presort_run=16, total_bytes_per_cycle=64.0, batch_bytes=64,
+            plan=ParallelPlan(jobs=2),
+        )
+        shm = api.simulate_unrolled_sharded(array, **kwargs)
+        monkeypatch.setattr(api, "_as_uint64_runs", lambda runs: None)
+        pickled = api.simulate_unrolled_sharded(array, **kwargs)
+        assert shm == pickled
+        assert shm[0] == sorted(array)

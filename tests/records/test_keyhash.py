@@ -50,3 +50,28 @@ class TestIndexHash:
         values = [f"value-{i}".encode() for i in range(20_000)]
         indices = {hash_value_to_index(v) for v in values}
         assert len(indices) == len(values)  # 48-bit space: no collisions here
+
+
+class TestFnv1aBatch:
+    """The column-parallel hash must equal the scalar loop per row."""
+
+    @given(st.lists(st.binary(min_size=8, max_size=8), min_size=1, max_size=40))
+    def test_matches_scalar_per_row(self, payloads):
+        import numpy as np
+
+        from repro.records.keyhash import fnv1a_hash_batch
+
+        rows = np.frombuffer(b"".join(payloads), dtype=np.uint8).reshape(
+            len(payloads), 8
+        )
+        batched = fnv1a_hash_batch(rows)
+        assert batched.dtype == np.uint64
+        assert batched.tolist() == [fnv1a_hash(p) for p in payloads]
+
+    def test_empty_width(self):
+        import numpy as np
+
+        from repro.records.keyhash import fnv1a_hash_batch
+
+        rows = np.zeros((3, 0), dtype=np.uint8)
+        assert fnv1a_hash_batch(rows).tolist() == [fnv1a_hash(b"")] * 3
