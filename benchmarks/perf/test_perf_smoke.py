@@ -229,6 +229,57 @@ def test_parallel_sort_speedup_floor_on_multicore(parallel_results):
     assert result.speedup >= 1.25
 
 
+@pytest.fixture(scope="module")
+def cluster_result():
+    """One quick run of the executed cluster-sort scenario."""
+    (result,) = run_suite(names=["cluster_sort"], quick=True)
+    return result
+
+
+def test_cluster_sort_executes_verified_with_full_report(cluster_result):
+    """Every jobs leg landed on the serial single-tree output bytes
+    (the runner raises otherwise), and the measured Table I figure sits
+    next to the model's prediction in the report."""
+    extra = cluster_result.extra
+    assert extra["identical"] is True
+    assert set(extra["jobs_seconds"]) == {"1", "2", "4", "auto"}
+    assert extra["digest"]
+    assert extra["cluster_nodes"] == 4
+    assert extra["measured_ms_per_gb"] > 0
+    assert extra["modeled_ms_per_gb"] > 0
+    assert extra["measured_vs_modeled"] > 0
+    assert extra["measured_skew"] >= 1.0
+    assert extra["skew_leg"]["identical"] is True
+    assert extra["skew_leg"]["measured_skew"] >= 1.0
+
+
+def test_cluster_sort_headline_matches_host_shape(cluster_result):
+    """Same exclusion rule as the parallel scenarios: single-CPU hosts
+    pin the headline to the serial leg and annotate why."""
+    from repro.parallel import available_cpus
+
+    expected = "4" if available_cpus() >= 2 else "1"
+    assert cluster_result.extra["headline_jobs"] == expected
+    assert (
+        round(cluster_result.fast_seconds, 4)
+        == cluster_result.extra["jobs_seconds"][expected]
+    )
+    if expected == "1":
+        assert "multi_job_timing" in cluster_result.extra
+    else:
+        assert "multi_job_timing" not in cluster_result.extra
+
+
+def test_cluster_sort_speedup_floor_on_multicore(cluster_result):
+    """Half the ≥1.0x full-run target, and only where four workers can
+    physically exist: the executed multi-node leg must not cost more
+    than twice the single-process serial sort it replaces."""
+    if cluster_result.extra["host_cpus"] < 4:
+        pytest.skip("speedup floor needs >= 4 host CPUs")
+    floor = (BY_NAME["cluster_sort"].target_speedup or 1.0) / 2
+    assert cluster_result.speedup >= floor
+
+
 def test_unknown_scenario_rejected():
     with pytest.raises(ConfigurationError, match="unknown scenario"):
         run_suite(names=["no_such_shape"])

@@ -33,6 +33,9 @@ from repro.bench.scenarios import (
     SCENARIOS,
     Scenario,
     make_bounded_optimizer,
+    make_cluster_executor,
+    make_cluster_skew_records,
+    make_obs_sorter,
     make_optimizer,
     make_unrolled_sorter,
     run_end_to_end,
@@ -41,6 +44,7 @@ from repro.bench.scenarios import (
     run_optimizer_sweep,
     run_parallel_optimizer_sweep,
 )
+from repro.distributed.executor import ClusterExecutionReport
 from repro.errors import ConfigurationError, SimulationError
 from repro.network import flims
 from repro.obs.runtime import DISABLED, activated, live_observation, observation
@@ -387,6 +391,85 @@ def _run_obs_scenario(scenario: Scenario, quick: bool) -> BenchResult:
     )
 
 
+def _run_cluster_scenario(scenario: Scenario, quick: bool) -> BenchResult:
+    """Worker-count scan over the measured cluster-sort executor.
+
+    The single-process single-tree sort of the same records is the
+    naive leg — the thing a cluster has to beat to justify existing.
+    Every ``jobs`` setting must land the executor on the exact output
+    bytes of that serial sort (the executor additionally self-verifies
+    each run against an ``np.sort`` oracle, so a divergence aborts
+    before any figure is recorded).  Timings use the executor's own
+    measured window — the four plan phases, excluding its oracle
+    verification — and, per the parallel scenarios' convention, pooled
+    legs are excluded from the headline on a single-CPU host.  A serial
+    skew leg on the zipf/nearly-sorted workload records how close the
+    oversampled splitters keep the measured partition skew to 1.0.
+    """
+    reps = 1 if quick else 2
+    records = scenario.make_records(quick)
+    data = np.asarray(records, dtype=np.uint64)
+
+    serial_sorter = make_obs_sorter(scenario)
+    naive_seconds, naive_out = _best_of(lambda: serial_sorter.sort(data), reps)
+    reference_digest = _digest(naive_out.data)
+
+    jobs_seconds: dict[str, float] = {}
+    reports: dict[str, ClusterExecutionReport] = {}
+    for jobs in JOBS_SCAN:
+        executor = make_cluster_executor(scenario, jobs=jobs)
+        best = executor.execute(data)
+        for _ in range(reps - 1):
+            report = executor.execute(data)
+            if report.elapsed_seconds < best.elapsed_seconds:
+                best = report
+        if best.digest != reference_digest:
+            raise SimulationError(
+                f"{scenario.name}: jobs={jobs} executed cluster output "
+                "diverged from the serial single-tree sort"
+            )
+        jobs_seconds[str(jobs)] = best.elapsed_seconds
+        reports[str(jobs)] = best
+    headline_jobs, note = _headline_jobs_key()
+    headline = reports[headline_jobs]
+
+    # Skew leg: serial (cheap, still oracle-verified inside execute());
+    # what matters here is the splitters' measured balance, not time.
+    skew_report = make_cluster_executor(scenario, jobs=None).execute(
+        make_cluster_skew_records(scenario, quick)
+    )
+
+    extra = {
+        "jobs_seconds": {k: round(v, 4) for k, v in jobs_seconds.items()},
+        "digest": reference_digest,
+        "identical": True,
+        "host_cpus": available_cpus(),
+        "headline_jobs": headline_jobs,
+        "records": int(data.size),
+        "cluster_nodes": scenario.cluster_nodes,
+        "measured_ms_per_gb": round(headline.measured_ms_per_gb, 3),
+        "modeled_ms_per_gb": round(headline.modeled_ms_per_gb, 3),
+        "measured_vs_modeled": round(headline.measured_vs_modeled, 1),
+        "measured_skew": round(headline.measured_skew, 4),
+        "skew_leg": {
+            "measured_skew": round(skew_report.measured_skew, 4),
+            "identical": True,
+        },
+    }
+    if note:
+        extra["multi_job_timing"] = note
+    return BenchResult(
+        name=scenario.name,
+        kind=scenario.kind,
+        summary=scenario.summary,
+        naive_seconds=naive_seconds,
+        fast_seconds=jobs_seconds[headline_jobs],
+        bandwidth_bound=scenario.bandwidth_bound,
+        target_speedup=scenario.target_speedup,
+        extra=extra,
+    )
+
+
 def run_scenario(scenario: Scenario, quick: bool = False) -> BenchResult:
     """Time one scenario under both engines and verify they agree."""
     if scenario.kind in ("micro", "end_to_end"):
@@ -399,6 +482,8 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> BenchResult:
         return _run_parallel_optimizer_scenario(scenario, quick)
     if scenario.kind == "obs":
         return _run_obs_scenario(scenario, quick)
+    if scenario.kind == "cluster":
+        return _run_cluster_scenario(scenario, quick)
     raise ConfigurationError(f"unknown scenario kind {scenario.kind!r}")
 
 

@@ -38,9 +38,12 @@ class Scenario:
     a ranked design-space sweep, ``"parallel_sort"`` /
     ``"parallel_optimizer"`` a worker-count scan (1/2/4/auto) over the
     process-pool execution layer that also asserts bit-identical
-    results at every setting, and ``"obs"`` one model-mode sort timed
+    results at every setting, ``"obs"`` one model-mode sort timed
     with observability disabled vs enabled (the instrumentation
-    overhead gate).  ``bandwidth_bound`` marks the shapes
+    overhead gate), and ``"cluster"`` a measured
+    ``cluster_nodes``-way exchange + per-node sort executed through
+    :class:`~repro.distributed.executor.ClusterExecutor` across the
+    same worker scan.  ``bandwidth_bound`` marks the shapes
     that carry the fast-path speedup claim; ``target_speedup`` is the
     floor asserted by ``benchmarks/perf``.
 
@@ -69,6 +72,7 @@ class Scenario:
     seed: int = 1
     key_range: int = 1 << 30
     lambda_unroll: int = 1
+    cluster_nodes: int = 4
     bandwidth_bound: bool = False
     target_speedup: float | None = None
 
@@ -244,6 +248,50 @@ def run_obs_workload(scenario: Scenario, records: Sequence[int]):
     return make_obs_sorter(scenario).sort(data).data
 
 
+def make_cluster_executor(scenario: Scenario, jobs):
+    """A measured cluster-sort executor for one jobs setting.
+
+    ``jobs=None`` (or 1) runs both phases in-process — bit-identical
+    output, no pool; any other value runs the exchange and the per-node
+    sorts as actual worker processes.
+    """
+    from repro.core import presets
+    from repro.core.configuration import AmtConfig
+    from repro.core.parameters import MergerArchParams
+    from repro.distributed.executor import ClusterExecutor
+    from repro.parallel import ParallelPlan
+
+    platform = presets.aws_f1_measured()
+    return ClusterExecutor(
+        nodes=scenario.cluster_nodes,
+        config=AmtConfig(p=scenario.p, leaves=scenario.leaves),
+        hardware=platform.hardware,
+        arch=MergerArchParams(record_bytes=scenario.record_bytes),
+        presort_run=PRESORT_RUN,
+        mode="model",
+        plan=None if jobs is None else ParallelPlan.from_jobs(jobs),
+        seed=scenario.seed,
+    )
+
+
+def make_cluster_skew_records(scenario: Scenario, quick: bool):
+    """The skew leg's workload: zipf-skewed, nearly sorted keys.
+
+    The adversarial histogram for range partitioning — naive
+    equal-width splitters would collapse most records onto one node;
+    the oversampled sketch has to earn its keep here, and the runner
+    records the measured skew it achieves.
+    """
+    import numpy as np
+
+    from repro.records.workloads import skewed_nearly_sorted
+
+    count = max(2000, scenario.n_records // 4) if quick else scenario.n_records
+    return np.asarray(
+        skewed_nearly_sorted(count, seed=scenario.seed), dtype=np.uint64
+    )
+
+
 def make_bounded_optimizer(jobs):
     """A search-space-bounded Bonsai for the parallel sweep scenario.
 
@@ -386,6 +434,13 @@ SCENARIOS: tuple[Scenario, ...] = (
         kind="obs",
         summary="model-mode sort, observability disabled vs enabled (overhead gate)",
         p=8, leaves=16, n_records=200_000,
+    ),
+    Scenario(
+        name="cluster_sort",
+        kind="cluster",
+        summary="executed 4-node range-partition cluster sort vs single-tree serial, worker scan 1/2/4/auto",
+        p=8, leaves=16, n_records=200_000, cluster_nodes=4,
+        target_speedup=1.0,
     ),
 )
 

@@ -11,10 +11,31 @@ Bonsai cluster.
 * :mod:`repro.distributed.node` — one FPGA server node wrapping the
   scalability model.
 * :mod:`repro.distributed.cluster` — the cluster: partition/exchange
-  phase over the network plus parallel node-local sorts.
+  phase over the network plus parallel node-local sorts (analytical).
+* :mod:`repro.distributed.exchange` — the executed plan's deterministic
+  half: splitter sampling/refinement and the shared-memory all-to-all
+  shuttle layout.
+* :mod:`repro.distributed.executor` — the measured counterpart: the
+  same plan run as real processes over :mod:`repro.parallel`, verified
+  bit-exactly against a serial oracle and reported next to the model.
 """
 
 from repro.distributed.node import SortingNode
 from repro.distributed.cluster import Cluster, ClusterSortReport
+from repro.distributed.exchange import ShuffleLayout, sample_splitters
+from repro.distributed.executor import (
+    ClusterExecutionReport,
+    ClusterExecutor,
+    StragglerSpec,
+)
 
-__all__ = ["SortingNode", "Cluster", "ClusterSortReport"]
+__all__ = [
+    "Cluster",
+    "ClusterExecutionReport",
+    "ClusterExecutor",
+    "ClusterSortReport",
+    "ShuffleLayout",
+    "SortingNode",
+    "StragglerSpec",
+    "sample_splitters",
+]

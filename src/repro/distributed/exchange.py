@@ -1,0 +1,178 @@
+"""Measured range-partition exchange: splitters, owners, shuttle layout.
+
+The executed cluster sort (see :mod:`repro.distributed.executor`) runs
+the classic GraySort plan with real processes.  This module holds the
+plan's deterministic half — everything except wall-clocks and process
+pools:
+
+* **splitter sampling** — an oversampled key sketch, quantile
+  boundaries, and a refinement pass that advances duplicate boundaries
+  past heavy key mass (a zipf-skewed histogram would otherwise produce
+  equal splitters and empty partitions);
+* **ownership** — ``searchsorted`` range partitioning: node ``i`` owns
+  keys in ``[splitters[i-1], splitters[i])``, so concatenating the
+  nodes' sorted partitions is globally sorted by construction;
+* **shuttle layout** — the all-to-all bookkeeping over one shared
+  uint64 block: each sender's slot holds its records grouped by
+  receiver, so every (sender, receiver) shard is one disjoint range of
+  the block and a receiver gathers its partition with ``nodes`` range
+  copies and zero pickled records.
+
+The shared-memory blocks themselves are owned by the executor (one
+function allocates and releases them, per the ``proc-shm-lifetime``
+contract); workers attach through :mod:`repro.parallel.shm`
+descriptors exactly like the simulate-mode transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Default sketch size per node; 32x oversampling keeps the max/mean
+#: partition skew near 1.0 on uniform keys and small even under zipf.
+DEFAULT_OVERSAMPLE = 32
+
+
+def sample_splitters(
+    data: np.ndarray,
+    nodes: int,
+    oversample: int = DEFAULT_OVERSAMPLE,
+    seed: int = 0,
+) -> np.ndarray:
+    """``nodes - 1`` key boundaries from a seeded, oversampled sketch.
+
+    Draws ``nodes * oversample`` keys (with replacement), sorts the
+    sketch and takes its ``1/nodes`` quantiles.  A boundary that ties
+    the previous one — the signature of heavy duplicate mass under
+    skew — is refined to the next strictly larger sketch value, so
+    every splitter that *can* be distinct is; a key so frequent that it
+    spans several quantiles legitimately leaves later partitions empty,
+    and the executor's skew measurement reports exactly that.
+    """
+    if nodes < 1:
+        raise ConfigurationError(f"cluster needs >= 1 node, got {nodes}")
+    if oversample < 1:
+        raise ConfigurationError(f"oversample must be >= 1, got {oversample}")
+    data = np.asarray(data)
+    if nodes == 1 or data.size == 0:
+        return np.empty(0, dtype=np.uint64)
+    rng = np.random.default_rng(seed)
+    picks = rng.integers(0, data.size, size=nodes * oversample)
+    sketch = np.sort(data[picks].astype(np.uint64))
+    splitters: list[int] = []
+    previous: int | None = None
+    for rank in range(1, nodes):
+        position = min((rank * sketch.size) // nodes, sketch.size - 1)
+        value = int(sketch[position])
+        if previous is not None and value <= previous:
+            # Refinement: this quantile fell inside the previous
+            # boundary's duplicate run; advance to the next distinct
+            # sketch value (or stick, conceding an empty partition).
+            beyond = sketch[np.searchsorted(sketch, previous, side="right"):]
+            value = int(beyond[0]) if beyond.size else previous
+        splitters.append(value)
+        previous = value
+    return np.asarray(splitters, dtype=np.uint64)
+
+
+def partition_owners(keys: np.ndarray, splitters: np.ndarray) -> np.ndarray:
+    """Owning node index per key: node ``i`` holds ``[s[i-1], s[i])``.
+
+    ``side="left"`` on the mirrored comparison would split duplicate
+    boundary keys across two nodes; ``side="right"`` keeps every copy
+    of a key on one node, so the exchange is stable and the
+    concatenated output needs no cross-node merge.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    bounds = np.asarray(splitters, dtype=np.uint64)
+    return np.searchsorted(bounds, keys, side="right")
+
+
+def partition_counts(
+    keys: np.ndarray, splitters: np.ndarray, nodes: int
+) -> np.ndarray:
+    """Records each node would own — the splitter-quality histogram."""
+    owners = partition_owners(keys, splitters)
+    return np.bincount(owners, minlength=nodes)
+
+
+def serial_partitions(
+    keys: np.ndarray, splitters: np.ndarray, nodes: int
+) -> list[np.ndarray]:
+    """Oracle exchange: each node's partition, input order preserved.
+
+    The differential reference for the process-pool shuttle — the
+    executed exchange must deliver exactly these records to each node
+    (possibly permuted across senders, which the local sort erases).
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    owners = partition_owners(keys, splitters)
+    return [keys[owners == node] for node in range(nodes)]
+
+
+@dataclass(frozen=True)
+class ShuffleLayout:
+    """All-to-all bookkeeping: ``counts[sender][receiver]`` records.
+
+    After the exchange phase each sender's shuffle slot holds its chunk
+    grouped by receiver (a stable argsort by owner), so the matrix of
+    per-receiver counts fully determines where every (sender, receiver)
+    shard lives.  Everything here derives from that matrix; it is what
+    the executor needs to turn ``nodes`` scatter acknowledgements into
+    ``nodes`` gather task descriptions.
+    """
+
+    counts: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        nodes = len(self.counts)
+        if nodes == 0:
+            raise ConfigurationError("shuffle layout needs >= 1 node")
+        if any(len(row) != nodes for row in self.counts):
+            raise ConfigurationError(
+                f"shuffle counts must be square, got rows of "
+                f"{[len(row) for row in self.counts]}"
+            )
+
+    @property
+    def nodes(self) -> int:
+        return len(self.counts)
+
+    @property
+    def total_records(self) -> int:
+        return sum(sum(row) for row in self.counts)
+
+    def shard_range(self, sender: int, receiver: int) -> tuple[int, int]:
+        """Element range of the (sender, receiver) shard inside the
+        sender's shuffle slot."""
+        start = sum(self.counts[sender][:receiver])
+        return start, start + self.counts[sender][receiver]
+
+    def gather_ranges(self, receiver: int) -> list[tuple[int, int, int]]:
+        """``(sender_slot, start, stop)`` per sender — one receiver's
+        shards, in sender order (the stable-exchange contract)."""
+        return [
+            (sender,) + self.shard_range(sender, receiver)
+            for sender in range(self.nodes)
+        ]
+
+    def partition_lengths(self) -> list[int]:
+        """Records each receiver ends up holding."""
+        return [
+            sum(row[receiver] for row in self.counts)
+            for receiver in range(self.nodes)
+        ]
+
+    @property
+    def skew(self) -> float:
+        """Measured max/mean partition ratio (>= 1.0); the executed
+        counterpart of :class:`~repro.distributed.cluster.Cluster`'s
+        ``skew_factor`` parameter."""
+        total = self.total_records
+        if total == 0:
+            return 1.0
+        return max(1.0, max(self.partition_lengths()) * self.nodes / total)

@@ -129,6 +129,42 @@ def write_array(descriptor: ShmArrays, index: int, values: np.ndarray) -> None:
         block.close()
 
 
+def as_uint64_runs(runs: list) -> list[np.ndarray] | None:
+    """Coerce int runs to uint64 arrays for shm transport, or ``None``.
+
+    The simulator's record space is non-negative 64-bit keys; anything
+    outside that (signalled by numpy's conversion errors) keeps the
+    caller on the pickled-int-list fallback, whose arbitrary-precision
+    ints have no such limit.  This is the one packability gate shared by
+    the simulate-mode transport and the cluster exchange shuttles.
+    """
+    arrays = []
+    for run in runs:
+        if isinstance(run, np.ndarray):
+            # Casting straight to uint64 silently wraps negatives and
+            # truncates floats instead of raising, so gate on the
+            # array's own dtype kind and range first.
+            if run.dtype.kind == "u":
+                arrays.append(run.astype(np.uint64))
+                continue
+            if run.dtype.kind == "i" and not (run.size and int(run.min()) < 0):
+                arrays.append(run.astype(np.uint64))
+                continue
+            return None
+        # Lists: require genuine ints before casting (floats would
+        # truncate, and large values make numpy infer float64, so the
+        # element scan is the only airtight check; it costs the same
+        # O(n) as the pickled path's per-element int() conversions).
+        if not all(type(x) is int or isinstance(x, np.integer) for x in run):
+            return None
+        try:
+            # The explicit cast raises on anything outside [0, 2**64).
+            arrays.append(np.asarray(run, dtype=np.uint64))
+        except (OverflowError, ValueError, TypeError):
+            return None
+    return arrays
+
+
 def release(block: shared_memory.SharedMemory) -> None:
     """Close and unlink a parent-owned block, tolerating double release."""
     try:

@@ -139,6 +139,35 @@ def zipfian(
     return (clipped + low).astype(key_dtype_for(fmt))
 
 
+def skewed_nearly_sorted(
+    n_records: int,
+    fmt: RecordFormat = U32,
+    seed: int = 0,
+    exponent: float = 1.3,
+    swap_fraction: float = 0.05,
+) -> np.ndarray:
+    """Zipf-skewed keys, sorted, then locally disordered by swaps.
+
+    The adversarial shape for a range-partitioned cluster sort: the key
+    *histogram* is heavily skewed (naive equal-width splitters would
+    dump most records on one node), while the near-sortedness keeps the
+    per-node merge work realistic for a resharded shuffle spill.  Used
+    by the skew legs of the ``cluster_sort`` bench scenario.
+    """
+    _check_count(n_records)
+    if not 0 <= swap_fraction <= 1:
+        raise WorkloadError(f"swap_fraction must be in [0, 1], got {swap_fraction}")
+    data = zipfian(n_records, fmt, seed, exponent=exponent)
+    data.sort()
+    n_swaps = int(n_records * swap_fraction)
+    if n_swaps and n_records >= 2:
+        rng = _rng(seed + 1)
+        left = rng.integers(0, n_records, size=n_swaps)
+        right = rng.integers(0, n_records, size=n_swaps)
+        data[left], data[right] = data[right].copy(), data[left].copy()
+    return data
+
+
 def runs_of_sorted(
     n_records: int, fmt: RecordFormat = U32, seed: int = 0, run_length: int = 16
 ) -> np.ndarray:
@@ -222,6 +251,7 @@ GENERATORS: Dict[str, Callable[..., np.ndarray]] = {
     "nearly_sorted": nearly_sorted,
     "duplicates": duplicate_heavy,
     "zipf": zipfian,
+    "skewed_sorted": skewed_nearly_sorted,
     "runs": runs_of_sorted,
     "sawtooth": sawtooth,
     "organ_pipe": organ_pipe,

@@ -150,3 +150,93 @@ class TestWorkerSpans:
         assert roots
         trace_ids = {s["trace"] for s in spans}
         assert len(trace_ids) == 1
+
+
+class TestClusterSortMerge:
+    """The executed cluster sort rides the same absorb contract: a
+    pooled run's counters equal the serial run's, and a recomputed
+    straggler partition is counted exactly once."""
+
+    def run_cluster(self, data, plan=None, straggler=None):
+        from repro.distributed.executor import ClusterExecutor
+
+        return ClusterExecutor(
+            nodes=4, plan=plan, straggler=straggler
+        ).execute(data)
+
+    def test_serial_and_jobs2_counters_identical(self):
+        rng = np.random.default_rng(14)
+        data = rng.integers(0, 1 << 30, size=8000, dtype=np.uint64)
+        serial_report, serial = observed_counters(
+            lambda: self.run_cluster(data)
+        )
+        pooled_report, pooled = observed_counters(
+            lambda: self.run_cluster(data, plan=ParallelPlan(jobs=2))
+        )
+        assert serial_report.digest == pooled_report.digest
+        assert diff_counters(
+            serial.registry.counters(),
+            pooled.registry.counters(),
+            ignore_prefixes=IGNORED,
+        ) == []
+
+    def test_straggler_recompute_counts_exactly_once(self):
+        from repro.distributed.executor import StragglerSpec
+
+        rng = np.random.default_rng(15)
+        data = rng.integers(0, 1 << 30, size=8000, dtype=np.uint64)
+        serial_report, serial = observed_counters(
+            lambda: self.run_cluster(data)
+        )
+        straggled_report, straggled = observed_counters(
+            lambda: self.run_cluster(
+                data,
+                plan=ParallelPlan(jobs=2),
+                straggler=StragglerSpec(node=1, mode="kill"),
+            )
+        )
+        assert straggled_report.straggler_recovered
+        assert straggled_report.digest == serial_report.digest
+        # The recomputed partition's records land once — either from
+        # the absorbed worker snapshot or from the parent's recompute,
+        # never both.
+        assert diff_counters(
+            serial.registry.counters(),
+            straggled.registry.counters(),
+            ignore_prefixes=IGNORED,
+        ) == []
+        assert straggled.registry.counter_total("parallel.recomputed_chunks") >= 1
+
+    def test_node_worker_spans_link_under_cluster_dispatch(self):
+        rng = np.random.default_rng(16)
+        data = rng.integers(0, 1 << 30, size=8000, dtype=np.uint64)
+        _, live = observed_counters(
+            lambda: self.run_cluster(data, plan=ParallelPlan(jobs=2))
+        )
+        spans = live.sink.spans()
+        by_id = {s["span"]: s for s in spans}
+        names = {s["name"] for s in spans}
+        assert {
+            "cluster.sort", "cluster.splitters", "cluster.exchange",
+            "cluster.local_sort", "cluster.merge",
+        } <= names
+        cluster_ids = {s["span"] for s in spans if s["name"] == "cluster.sort"}
+        assert len(cluster_ids) == 1
+        # Phase spans hang directly off the one dispatch span.
+        for phase in ("cluster.exchange", "cluster.local_sort", "cluster.merge"):
+            phase_spans = [s for s in spans if s["name"] == phase]
+            assert phase_spans
+            assert all(s["parent"] in cluster_ids for s in phase_spans)
+        # Worker spans hang off a parallel.map span whose ancestry
+        # reaches the cluster.sort dispatch span.
+        worker_spans = [s for s in spans if s["proc"] != "main"]
+        assert worker_spans, "pool run must ship worker spans back"
+        map_span_ids = {s["span"] for s in spans if s["name"] == "parallel.map"}
+        roots = [s for s in worker_spans if s["parent"] in map_span_ids]
+        assert roots
+        for root in roots:
+            node = by_id[root["parent"]]
+            while node["parent"] in by_id:
+                node = by_id[node["parent"]]
+            assert node["span"] in cluster_ids
+        assert len({s["trace"] for s in spans}) == 1

@@ -63,3 +63,40 @@ def test_release_tolerates_double_release():
     block, _desc = alloc_arrays([2], np.uint64)
     release(block)
     release(block)  # no FileNotFoundError escape
+
+
+class TestUint64Packability:
+    """The one shared guard deciding shm transport vs pickled fallback."""
+
+    def test_unsigned_and_safe_signed_pack(self):
+        from repro.parallel.shm import as_uint64_runs
+
+        packed = as_uint64_runs([
+            np.asarray([0, 2**64 - 1], dtype=np.uint64),
+            np.asarray([7, 8], dtype=np.uint32),
+            np.asarray([0, 5], dtype=np.int64),
+            [1, 2, np.uint8(3)],
+        ])
+        assert packed is not None
+        assert all(run.dtype == np.uint64 for run in packed)
+        assert [list(run) for run in packed] == [
+            [0, 2**64 - 1], [7, 8], [0, 5], [1, 2, 3],
+        ]
+
+    def test_unpackable_inputs_fall_back(self):
+        from repro.parallel.shm import as_uint64_runs
+
+        assert as_uint64_runs([np.asarray([-1, 2], dtype=np.int64)]) is None
+        assert as_uint64_runs([[-1, 2]]) is None
+        assert as_uint64_runs([[1, 2**64]]) is None
+        assert as_uint64_runs([[1, 2.5]]) is None
+        assert as_uint64_runs([np.asarray([1.5])]) is None
+        assert as_uint64_runs([[1, "2"]]) is None
+
+    def test_api_alias_is_the_shared_guard(self):
+        # The simulate-mode transport and the cluster exchange must
+        # consult the same guard; the api alias also keeps the
+        # differential suite's monkeypatch seam working.
+        from repro.parallel import api, shm
+
+        assert api._as_uint64_runs is shm.as_uint64_runs

@@ -195,3 +195,32 @@ class TestDispatch:
     def test_generates_requested_count(self, kind, n_records):
         spec = WorkloadSpec(kind=kind, n_records=n_records, seed=1)
         assert len(generate(spec)) == n_records
+
+
+class TestSkewedNearlySorted:
+    def test_histogram_is_zipf_skewed(self):
+        data = workloads.skewed_nearly_sorted(20_000, seed=1)
+        _, counts = np.unique(data, return_counts=True)
+        top = np.sort(counts)[::-1]
+        # The heaviest key carries far more than a uniform share.
+        assert top[0] > 10 * data.size / counts.size
+
+    def test_mostly_sorted_with_local_disorder(self):
+        data = workloads.skewed_nearly_sorted(10_000, seed=1)
+        inversions = np.count_nonzero(np.diff(data.astype(np.int64)) < 0)
+        assert 0 < inversions < data.size // 2
+
+    def test_zero_swaps_is_fully_sorted(self):
+        data = workloads.skewed_nearly_sorted(1000, seed=1, swap_fraction=0.0)
+        assert np.all(np.diff(data.astype(np.int64)) >= 0)
+
+    def test_registered_and_u64_capable(self):
+        assert workloads.GENERATORS["skewed_sorted"] is workloads.skewed_nearly_sorted
+        data = generate(WorkloadSpec(kind="skewed_sorted", n_records=500, seed=3))
+        assert data.size == 500
+        wide = workloads.skewed_nearly_sorted(500, fmt=U64, seed=3)
+        assert wide.dtype == np.uint64
+
+    def test_rejects_bad_swap_fraction(self):
+        with pytest.raises(WorkloadError):
+            workloads.skewed_nearly_sorted(10, swap_fraction=-0.1)

@@ -95,6 +95,30 @@ class TestSort:
         assert "error:" in capsys.readouterr().err
 
 
+class TestClusterSort:
+    def test_executed_cluster_sort(self, capsys):
+        assert main(["sort", "--records", "5000", "--cluster-nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster-sorted 5,000 records" in out
+        assert "across 4 nodes" in out
+        assert "measured" in out and "modeled" in out
+        assert "skew=" in out
+        assert "verified=OK" in out
+
+    def test_cluster_with_jobs_and_output(self, tmp_path, capsys):
+        target = tmp_path / "sorted.bin"
+        assert main([
+            "sort", "--records", "4000", "--cluster-nodes", "2",
+            "--jobs", "2", "--output", str(target),
+        ]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert target.exists()
+
+    def test_bad_node_count_clean_error(self, capsys):
+        assert main(["sort", "--records", "100", "--cluster-nodes", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestScalability:
     def test_prints_curve_and_breakpoints(self, capsys):
         assert main(["scalability", "--max", "4TB"]) == 0
