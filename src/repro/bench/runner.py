@@ -18,7 +18,6 @@ workloads and repetitions for CI smoke runs.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
 import time
 from dataclasses import dataclass, field
@@ -49,6 +48,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.network import flims
 from repro.obs.runtime import DISABLED, activated, live_observation, observation
 from repro.parallel import ParallelPlan, available_cpus
+from repro.records.valsort import content_digest
 
 #: Report schema tag; bump when the JSON layout changes.
 SCHEMA = "bonsai-bench/v1"
@@ -213,10 +213,13 @@ def _run_optimizer_scenario(scenario: Scenario, quick: bool) -> BenchResult:
 
 
 def _digest(values) -> str:
-    """Order-sensitive content digest of a sorted output."""
-    return hashlib.sha256(
-        np.asarray(list(values), dtype=np.uint64).tobytes()
-    ).hexdigest()[:16]
+    """Order-sensitive content digest of a sorted output.
+
+    Delegates to :func:`repro.records.valsort.content_digest` — the
+    same fingerprint the serve result cache and ``sort --print-digest``
+    report — so "identical" means the same thing on every surface.
+    """
+    return content_digest(values)
 
 
 def _headline_jobs_key() -> tuple[str, str]:
@@ -470,6 +473,81 @@ def _run_cluster_scenario(scenario: Scenario, quick: bool) -> BenchResult:
     )
 
 
+def _run_serve_scenario(scenario: Scenario, quick: bool) -> BenchResult:
+    """Socket round trips through a live daemon vs one-shot sessions.
+
+    The naive leg runs every request the way the CLI would: a fresh
+    :class:`SortSession` per job, nothing amortized.  The fast leg
+    drives the same request stream through a :class:`ServerThread` over
+    its unix socket — after the first pass over the distinct jobs, the
+    daemon's digest-keyed result cache answers the repeats, which is the
+    serving architecture's whole claim.  Every served digest must equal
+    its direct counterpart or the run aborts: a throughput number from
+    divergent results would be meaningless.
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve.client import ServeClient
+    from repro.serve.server import ServeConfig, ServerThread
+    from repro.serve.session import SortJob, SortSession
+
+    reps = 1 if quick else 2
+    count = max(2000, scenario.n_records // 4) if quick else scenario.n_records
+    distinct = [
+        SortJob(records=count, seed=scenario.seed + offset,
+                p=scenario.p, leaves=scenario.leaves)
+        for offset in range(4)
+    ]
+    requests = [distinct[index % len(distinct)] for index in range(12)]
+
+    def direct() -> list[str]:
+        return [SortSession().run_sort(job)["digest"] for job in requests]
+
+    naive_seconds, direct_digests = _best_of(direct, reps)
+
+    scratch = tempfile.mkdtemp(prefix="bsv-", dir="/tmp")
+    try:
+        config = ServeConfig(socket=f"{scratch}/sock", queue_depth=32,
+                             batch_max=4)
+        with ServerThread(config), ServeClient(config.socket) as client:
+
+            def served() -> list[dict]:
+                ids = [client.send("sort", job.params()) for job in requests]
+                return [client.collect(request_id) for request_id in ids]
+
+            # First pass fills the cache; min-of-reps is the warm cost.
+            fast_seconds, responses = _best_of(served, max(2, reps))
+            stats = client.stats()["result"]
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+    served_digests = [response["result"]["digest"] for response in responses]
+    if served_digests != direct_digests:
+        raise SimulationError(
+            f"{scenario.name}: served digests diverged from direct "
+            "SortSession runs"
+        )
+    return BenchResult(
+        name=scenario.name,
+        kind=scenario.kind,
+        summary=scenario.summary,
+        naive_seconds=naive_seconds,
+        fast_seconds=fast_seconds,
+        bandwidth_bound=scenario.bandwidth_bound,
+        target_speedup=scenario.target_speedup,
+        extra={
+            "requests": len(requests),
+            "distinct_jobs": len(distinct),
+            "records": count,
+            "cache_hits_final_pass": sum(
+                1 for response in responses if response["cached"]
+            ),
+            "jobs_completed": stats["completed"],
+            "identical": True,
+        },
+    )
+
+
 def run_scenario(scenario: Scenario, quick: bool = False) -> BenchResult:
     """Time one scenario under both engines and verify they agree."""
     if scenario.kind in ("micro", "end_to_end"):
@@ -484,6 +562,8 @@ def run_scenario(scenario: Scenario, quick: bool = False) -> BenchResult:
         return _run_obs_scenario(scenario, quick)
     if scenario.kind == "cluster":
         return _run_cluster_scenario(scenario, quick)
+    if scenario.kind == "serve":
+        return _run_serve_scenario(scenario, quick)
     raise ConfigurationError(f"unknown scenario kind {scenario.kind!r}")
 
 

@@ -442,6 +442,13 @@ SCENARIOS: tuple[Scenario, ...] = (
         p=8, leaves=16, n_records=200_000, cluster_nodes=4,
         target_speedup=1.0,
     ),
+    Scenario(
+        name="serve_throughput",
+        kind="serve",
+        summary="12 sort requests through a live serve daemon (warm digest cache) vs one-shot sessions",
+        p=8, leaves=16, n_records=20_000,
+        target_speedup=1.5,
+    ),
 )
 
 BY_NAME = {scenario.name: scenario for scenario in SCENARIOS}

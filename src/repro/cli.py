@@ -26,7 +26,6 @@ from repro.core.configuration import AmtConfig
 from repro.core.parameters import ArrayParams, MergerArchParams
 from repro.core.scalability import ScalabilityModel
 from repro.core.ssd_planner import SsdSortPlan
-from repro.engine.sorter import AmtSorter
 from repro.errors import BonsaiError
 from repro.records.workloads import WorkloadSpec, generate
 from repro.units import GB, KB, MB, TB, format_bytes, format_seconds
@@ -124,6 +123,10 @@ def _configure_sort(srt: argparse.ArgumentParser) -> None:
                      help="execute an N-node range-partition cluster sort "
                           "(measured exchange + per-node sorts, verified "
                           "against a serial oracle) instead of one tree")
+    srt.add_argument("--print-digest", action="store_true",
+                     help="also print the sorted output's sha256 content "
+                          "digest (the identity served results are "
+                          "compared against)")
     _add_jobs_flag(srt)
     _add_backend_flag(srt)
     _add_obs_flags(srt)
@@ -179,6 +182,27 @@ def _configure_bench(ben: argparse.ArgumentParser) -> None:
     _add_obs_flags(ben)
 
 
+def _configure_serve(srv: argparse.ArgumentParser) -> None:
+    srv.add_argument("--socket", required=True, metavar="PATH",
+                     help="unix socket to listen on (keep the path short; "
+                          "unix sockets cap out near 108 chars)")
+    srv.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                     help="bounded job-queue depth; submissions past it are "
+                          "rejected with reason 'overloaded' (default 64)")
+    srv.add_argument("--client-quota", type=int, default=16, metavar="N",
+                     help="max queued+running jobs per client identity "
+                          "(default 16)")
+    srv.add_argument("--batch-max", type=int, default=8, metavar="N",
+                     help="max jobs dispatched per batch; batches >1 fan "
+                          "out across --jobs workers (default 8)")
+    srv.add_argument("--cache-size", type=int, default=128, metavar="N",
+                     help="LRU result-cache entries, keyed by job digest; "
+                          "0 disables caching (default 128)")
+    _add_jobs_flag(srv)
+    _add_backend_flag(srv)
+    _add_obs_flags(srv)
+
+
 def _configure_lint(parser: argparse.ArgumentParser) -> None:
     from repro.lint.main import add_arguments
 
@@ -218,32 +242,30 @@ def _build_parser() -> argparse.ArgumentParser:
 
 # ----------------------------------------------------------------------
 def _cmd_optimize(args: argparse.Namespace) -> int:
-    from repro.parallel import ParallelPlan
+    from repro.serve import OptimizeJob, SortSession
 
-    platform = PLATFORMS[args.platform]()
-    bonsai = platform.bonsai(
+    session = SortSession(jobs=args.jobs)
+    payload = session.run_optimize(OptimizeJob(
+        platform=args.platform,
+        size_bytes=args.size,
         record_bytes=args.record_bytes,
-        presort_run=args.presort,
+        objective=args.objective,
+        presort=args.presort,
         leaves_cap=args.leaves_cap,
-    )
-    bonsai.parallel = ParallelPlan.from_jobs(args.jobs)
-    array = ArrayParams.from_bytes(args.size)
-    if args.objective == "latency":
-        ranked = bonsai.rank_by_latency(array, top=args.top)
-    else:
-        ranked = bonsai.rank_by_throughput(array, top=args.top)
-    print(f"platform={platform.name}  size={format_bytes(args.size)}  "
+        top=args.top,
+    ))
+    print(f"platform={payload['platform']}  size={format_bytes(args.size)}  "
           f"objective={args.objective}")
     rows = [
         (
             index + 1,
-            entry.config.describe(),
-            format_seconds(entry.latency_seconds),
-            f"{entry.throughput_bytes / GB:.2f} GB/s",
-            f"{entry.lut_usage:,.0f}",
-            f"{entry.bram_bytes:,}",
+            entry["config"],
+            format_seconds(entry["latency_seconds"]),
+            f"{entry['throughput_bytes'] / GB:.2f} GB/s",
+            f"{entry['lut_usage']:,.0f}",
+            f"{entry['bram_bytes']:,}",
         )
-        for index, entry in enumerate(ranked)
+        for index, entry in enumerate(payload["rows"])
     ]
     print(render_table(
         ("#", "configuration", "latency", "throughput", "LUTs", "BRAM bytes"),
@@ -258,21 +280,21 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     from repro.records.valsort import validate_sort
 
     obs = observation()
-    platform = PLATFORMS[args.platform]()
-    with obs.span("sort.load", source=args.input or args.workload):
-        if args.input:
-            data = read_records(args.input)
-            source = args.input
-        else:
-            data = generate(WorkloadSpec(kind=args.workload,
-                                         n_records=args.records,
-                                         seed=args.seed))
-            source = args.workload
-    from repro.parallel import ParallelPlan
 
     if args.cluster_nodes is not None:
         from repro.distributed.executor import ClusterExecutor
+        from repro.parallel import ParallelPlan
 
+        platform = PLATFORMS[args.platform]()
+        with obs.span("sort.load", source=args.input or args.workload):
+            if args.input:
+                data = read_records(args.input)
+                source = args.input
+            else:
+                data = generate(WorkloadSpec(kind=args.workload,
+                                             n_records=args.records,
+                                             seed=args.seed))
+                source = args.workload
         executor = ClusterExecutor(
             nodes=args.cluster_nodes,
             config=AmtConfig(p=args.p, leaves=args.leaves),
@@ -306,24 +328,28 @@ def _cmd_sort(args: argparse.Namespace) -> int:
             print(f"wrote {args.output}")
         return 0
 
-    sorter = AmtSorter(
-        config=AmtConfig(p=args.p, leaves=args.leaves),
-        hardware=platform.hardware,
-        arch=MergerArchParams(),
+    from repro.serve import SortJob, SortSession
+
+    session = SortSession(jobs=args.jobs)
+    payload = session.run_sort(SortJob(
+        records=args.records,
+        workload=args.workload,
+        seed=args.seed,
+        p=args.p,
+        leaves=args.leaves,
         mode=args.mode,
-        parallel=ParallelPlan.from_jobs(args.jobs),
-    )
-    outcome = sorter.sort(data)
-    with obs.span("sort.validate", records=len(data)):
-        summary = validate_sort(data, outcome.data)  # raises on any corruption
-    if args.output:
-        with obs.span("sort.write", path=args.output):
-            write_records(args.output, outcome.data)
-    print(f"sorted {len(data):,} records ({source}) with "
-          f"AMT({args.p}, {args.leaves}) in {outcome.stages} stages")
-    print(f"mode={outcome.mode}  modeled time={format_seconds(outcome.seconds)}  "
-          f"({outcome.latency_ms_per_gb:.0f} ms/GB)  "
-          f"verified=OK ({summary.duplicates:,} duplicate keys)")
+        platform=args.platform,
+        input=args.input,
+        output=args.output,
+    ))
+    print(f"sorted {payload['records']:,} records ({payload['source']}) with "
+          f"AMT({args.p}, {args.leaves}) in {payload['stages']} stages")
+    print(f"mode={payload['mode']}  "
+          f"modeled time={format_seconds(payload['seconds'])}  "
+          f"({payload['ms_per_gb']:.0f} ms/GB)  "
+          f"verified=OK ({payload['duplicates']:,} duplicate keys)")
+    if args.print_digest:
+        print(f"digest={payload['digest']}")
     if args.output:
         print(f"wrote {args.output}")
     return 0
@@ -520,7 +546,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import SCENARIOS, compare_to_baseline, run_suite, write_report
+    from repro.bench import SCENARIOS, compare_to_baseline, write_report
     from repro.bench.runner import load_baseline
 
     if args.list_scenarios:
@@ -529,8 +555,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             [(s.name, s.kind, s.summary) for s in SCENARIOS],
         ))
         return 0
-    results = run_suite(
-        names=args.scenario, quick=args.quick, jobs=args.jobs, seed=args.seed
+    from repro.serve import SortSession
+
+    results = SortSession(jobs=args.jobs).run_bench(
+        names=args.scenario, quick=args.quick, seed=args.seed
     )
     rows = [
         (
@@ -567,6 +595,19 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import ServeConfig, serve
+
+    return serve(ServeConfig(
+        socket=args.socket,
+        queue_depth=args.queue_depth,
+        client_quota=args.client_quota,
+        batch_max=args.batch_max,
+        cache_size=args.cache_size,
+        jobs=args.jobs,
+    ))
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.main import run_from_args
 
@@ -600,6 +641,8 @@ SUBCOMMANDS = (
      _configure_report, _cmd_report),
     ("bench", "time the simulation engines and record the perf trajectory",
      _configure_bench, _cmd_bench),
+    ("serve", "run the sorting service daemon on a unix socket",
+     _configure_serve, _cmd_serve),
     ("lint", "bonsai-lint: check simulator/unit/purity invariants",
      _configure_lint, _cmd_lint),
     ("check", "bonsai-check: whole-program unit-flow/purity/FIFO analysis",

@@ -65,6 +65,25 @@ class ObservabilityError(BonsaiError):
     """
 
 
+class ServeError(BonsaiError):
+    """The sorting service was misconfigured or misused.
+
+    Raised for unusable socket paths, malformed server parameters, and
+    daemon lifecycle violations — not for per-job failures, which travel
+    back to the submitting client as ``status: "error"`` responses.
+    """
+
+
+class ProtocolError(ServeError):
+    """A serve-protocol message could not be understood.
+
+    Raised for non-JSON request lines, unknown request kinds, missing or
+    mistyped envelope fields, and oversized messages.  The server turns
+    it into an ``status: "error"`` response rather than dying; the
+    client raises it when the server's reply is unintelligible.
+    """
+
+
 class LintError(BonsaiError):
     """The static-analysis subsystem was misused.
 

@@ -67,15 +67,21 @@ CARRIER_KIND = "set-carrier"
 #: *is* host wall-clock (Table I's ``elapsed x nodes / GB``), measured
 #: around phases whose outputs are separately oracle-verified and
 #: digest-gated — the timings annotate the run, they never gate replay.
+#: ``repro.serve.server``/``client``/``smoke`` are wall-clock territory
+#: by nature (an asyncio event loop, socket timeouts, signal-driven
+#: drain); everything they *execute* goes through the deterministic
+#: :mod:`repro.serve.session`, which is deliberately NOT sanctioned.
 CLOCK_SANCTIONED_PREFIXES = (
     "repro.obs.", "repro.bench.", "repro.lint.",
     "repro.distributed.executor.",
+    "repro.serve.server.", "repro.serve.client.", "repro.serve.smoke.",
 )
 
 #: modules under the deterministic-computation contract
 DETERMINISTIC_ZONES = (
     "repro.engine.", "repro.hw.", "repro.core.", "repro.records.",
-    "repro.parallel.",
+    "repro.parallel.", "repro.serve.session.", "repro.serve.queue.",
+    "repro.serve.protocol.",
 )
 
 #: resolved-callee prefixes that persist cross-run evidence

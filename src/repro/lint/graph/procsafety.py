@@ -41,8 +41,9 @@ from repro.lint.diagnostics import Diagnostic, Severity
 from repro.lint.graph.perfcheck import _component_roots
 from repro.lint.graph.symbols import ProjectIndex
 
-#: the module holding the pool entry points (see workercheck)
-WORKERS_MODULE = "repro.parallel.workers"
+#: the modules holding pool entry points (see workercheck): the
+#: execution layer's and the serve daemon's batch worker
+WORKERS_MODULES = ("repro.parallel.workers", "repro.serve.workers")
 ENTRY_PREFIX = "worker_"
 
 #: packages allowed to manage cross-process state: the observability
@@ -81,7 +82,7 @@ def _worker_reachable(index: ProjectIndex) -> set[str]:
     """Closure of the call graph from the ``worker_*`` entry points."""
     roots = {
         fq for fq, fn in index.functions.items()
-        if index.file_of[fq].module == WORKERS_MODULE
+        if index.file_of[fq].module in WORKERS_MODULES
         and fq.rsplit(".", 1)[-1].startswith(ENTRY_PREFIX)
         and fn.class_name is None
     }

@@ -78,6 +78,21 @@ def summarize(keys: np.ndarray) -> SortSummary:
     )
 
 
+def content_digest(keys: np.ndarray) -> str:
+    """Order-sensitive sha256 content digest of a key array (16 hex chars).
+
+    The canonical "same output bytes" fingerprint used by the benchmark
+    identity gates and the serve result cache: two runs agree iff their
+    digests are string-equal.  Keys are widened to ``uint64`` first so
+    the digest is independent of the array's inbound dtype.
+    """
+    import hashlib
+
+    return hashlib.sha256(
+        np.asarray(list(keys), dtype=np.uint64).tobytes()
+    ).hexdigest()[:16]
+
+
 def validate_sort(input_keys: np.ndarray, output_keys: np.ndarray) -> SortSummary:
     """Validate a sort run; raises :class:`WorkloadError` on any failure.
 

@@ -1,0 +1,148 @@
+"""Synchronous client for the ``bonsai serve`` daemon.
+
+Stdlib-only (a unix socket and :mod:`json`), so anything that can
+import :mod:`repro` — tests, the CI smoke driver, a shell loop via
+``python -m repro.serve.client`` — can talk to the daemon without an
+event loop of its own.
+
+    >>> with ServeClient("/tmp/bonsai.sock") as client:
+    ...     reply = client.sort(records=10_000, seed=3)
+    ...     reply["result"]["digest"]
+
+One client drives one connection; requests may be pipelined (send many,
+then collect) and responses are matched back by request id, so
+out-of-order completion is fine.  Concurrency across connections comes
+from using one client per thread, as the smoke driver does.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ProtocolError, ServeError
+from repro.serve import protocol
+
+
+class ServeClient:
+    """One connection to a serve daemon."""
+
+    def __init__(self, socket_path: str, timeout: float = 60.0,
+                 client_id: str | None = None) -> None:
+        self.socket_path = socket_path
+        self.client_id = client_id
+        try:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(socket_path)
+        except OSError as error:
+            raise ServeError(
+                f"cannot connect to {socket_path!r}: {error}"
+            ) from None
+        self._file = self._sock.makefile("rb")
+        self._seq = 0
+        self._pending: dict[str, dict] = {}
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- raw protocol --------------------------------------------------
+    def send(self, kind: str, params: dict | None = None,
+             priority: int = 0) -> str:
+        """Send one request without waiting; returns its request id."""
+        self._seq += 1
+        request_id = f"r{self._seq}"
+        request = protocol.Request(
+            id=request_id, kind=kind, params=params or {},
+            client=self.client_id, priority=priority,
+        )
+        try:
+            self._sock.sendall(request.encode())
+        except OSError as error:
+            raise ServeError(f"send failed: {error}") from None
+        return request_id
+
+    def collect(self, request_id: str) -> dict:
+        """Wait for the response to one id (buffering any others)."""
+        pending = self._pending.pop(request_id, None)
+        if pending is not None:
+            return pending
+        while True:
+            try:
+                line = self._file.readline()
+            except OSError as error:
+                raise ServeError(f"receive failed: {error}") from None
+            if not line:
+                raise ServeError(
+                    "server closed the connection before responding "
+                    f"to {request_id!r}"
+                )
+            response = protocol.decode_response(line)
+            if response["id"] == request_id:
+                return response
+            self._pending[response["id"]] = response
+
+    def request(self, kind: str, params: dict | None = None,
+                priority: int = 0) -> dict:
+        """Send one request and wait for its response."""
+        return self.collect(self.send(kind, params, priority))
+
+    # -- conveniences --------------------------------------------------
+    def sort(self, **params) -> dict:
+        return self.request("sort", params)
+
+    def optimize(self, **params) -> dict:
+        return self.request("optimize", params)
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain and exit (same path as SIGTERM)."""
+        return self.request("shutdown")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.serve.client``: one request from the shell."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.client",
+        description="send one request to a bonsai serve daemon",
+    )
+    parser.add_argument("--socket", required=True, help="daemon unix socket")
+    parser.add_argument("kind",
+                        choices=protocol.WORK_KINDS + protocol.CONTROL_KINDS)
+    parser.add_argument("params", nargs="?", default="{}",
+                        help='job parameters as JSON, e.g. \'{"records": 50000}\'')
+    parser.add_argument("--client", default=None, help="fairness identity")
+    parser.add_argument("--priority", type=int, default=0,
+                        help="smaller runs first (default 0)")
+    parser.add_argument("--timeout", type=float, default=60.0)
+    args = parser.parse_args(argv)
+    try:
+        params = json.loads(args.params)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"params is not valid JSON: {error}") from None
+    with ServeClient(args.socket, timeout=args.timeout,
+                     client_id=args.client) as client:
+        response = client.request(args.kind, params, priority=args.priority)
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response["status"] == "ok" else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -182,6 +182,44 @@ class TestUnseededFlow:
         assert [d.rule for d in result.diagnostics] == ["det-unseeded-flow"]
         assert "repro.util.jitter.jitter" in result.diagnostics[0].message
 
+    def test_serve_session_is_a_deterministic_zone(self, check_tree):
+        # The serve execution core must stay a pure function of the job:
+        # unseeded randomness reaching it is a finding.
+        result = check_tree({
+            "src/repro/util/jitter.py": """
+                import random
+
+
+                def jitter():
+                    return random.random()
+            """,
+            "src/repro/serve/session.py": """
+                from repro.util.jitter import jitter
+
+
+                def run_sort(records):
+                    return records + jitter()
+            """,
+        }, select=["det-unseeded-flow"])
+        assert [d.rule for d in result.diagnostics] == ["det-unseeded-flow"]
+
+    def test_serve_server_wall_clock_is_sanctioned(self, check_tree):
+        # FP guard: the daemon's socket/event loop plumbing times the
+        # host by nature; only the session layer must stay deterministic.
+        result = check_tree({
+            "src/repro/obs/trace.py": OBS_TRACE,
+            "src/repro/serve/server.py": """
+                import time
+
+                from repro.obs.trace import record
+
+
+                def heartbeat():
+                    return record(time.monotonic())
+            """,
+        }, select=["det-taint-sink"])
+        assert result.diagnostics == ()
+
     def test_seeded_helper_is_silent_in_zone(self, check_tree):
         # FP guard: default_rng(seed) with any argument is deterministic
         result = check_tree({

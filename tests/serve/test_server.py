@@ -1,0 +1,193 @@
+"""End-to-end daemon tests: a real ServerThread, real unix sockets."""
+
+from __future__ import annotations
+
+import json
+import socket as socket_module
+
+import pytest
+
+from repro.serve import SortJob, SortSession
+from repro.serve.client import ServeClient
+from repro.serve.protocol import decode_response
+from repro.serve.server import ServeConfig, ServerThread
+
+#: Slow enough (~0.5s simulated) to still be queued or running while a
+#: follow-up request races it through admission.
+SLOW = {"records": 6000, "p": 4, "leaves": 8, "mode": "simulate"}
+
+
+@pytest.fixture
+def socket_path(tmp_path):
+    path = str(tmp_path / "s.sock")
+    assert len(path) <= 100  # sockaddr_un limit, enforced by ServeConfig
+    return path
+
+
+class TestServedResults:
+    def test_served_digest_equals_direct_session(self, socket_path):
+        job = SortJob(records=2500, seed=7)
+        direct = SortSession().run(job)
+        with ServerThread(ServeConfig(socket=socket_path)):
+            with ServeClient(socket_path) as client:
+                served = client.sort(**job.params())
+        assert served["status"] == "ok"
+        assert served["result"]["digest"] == direct["digest"]
+        assert served["result"]["checksum"] == direct["checksum"]
+        assert served["result"]["seconds"] == direct["seconds"]
+
+    def test_repeat_request_is_a_cache_hit_with_identical_payload(
+        self, socket_path
+    ):
+        with ServerThread(ServeConfig(socket=socket_path)):
+            with ServeClient(socket_path) as client:
+                first = client.sort(records=1500, seed=4)
+                second = client.sort(records=1500, seed=4)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["result"] == first["result"]
+
+    def test_cache_size_zero_disables_caching(self, socket_path):
+        config = ServeConfig(socket=socket_path, cache_size=0)
+        with ServerThread(config):
+            with ServeClient(socket_path) as client:
+                client.sort(records=1500, seed=4)
+                again = client.sort(records=1500, seed=4)
+        assert again["cached"] is False
+
+    def test_file_writing_jobs_bypass_the_cache(self, socket_path, tmp_path):
+        out = str(tmp_path / "out.bin")
+        with ServerThread(ServeConfig(socket=socket_path)):
+            with ServeClient(socket_path) as client:
+                first = client.sort(records=1200, seed=1, output=out)
+                second = client.sort(records=1200, seed=1, output=out)
+        assert first["status"] == second["status"] == "ok"
+        assert second["cached"] is False
+
+
+class TestFaultyRequests:
+    def test_malformed_job_is_an_error_not_a_queue_slot(self, socket_path):
+        with ServerThread(ServeConfig(socket=socket_path)):
+            with ServeClient(socket_path) as client:
+                response = client.sort(recordz=10)
+                stats = client.stats()["result"]
+        assert response["status"] == "error"
+        assert "recordz" in response["reason"]
+        assert stats["admitted"] == 0
+
+    def test_job_level_failures_report_the_taxonomy_error(self, socket_path):
+        with ServerThread(ServeConfig(socket=socket_path)):
+            with ServeClient(socket_path) as client:
+                response = client.sort(platform="warp-drive")
+        assert response["status"] == "error"
+        assert "warp-drive" in response["reason"]
+
+    def test_garbage_line_gets_an_error_response_not_a_hangup(
+        self, socket_path
+    ):
+        with ServerThread(ServeConfig(socket=socket_path)):
+            raw = socket_module.socket(
+                socket_module.AF_UNIX, socket_module.SOCK_STREAM
+            )
+            raw.settimeout(10.0)
+            try:
+                raw.connect(socket_path)
+                raw.sendall(b"{not json\n")
+                response = decode_response(raw.makefile("rb").readline())
+                assert response["status"] == "error"
+                assert response["id"] == "?"
+                # The connection survives the bad line.
+                raw.sendall(
+                    (json.dumps({
+                        "proto": "bonsai-serve/v1", "id": "r2", "kind": "ping",
+                    }) + "\n").encode()
+                )
+                pong = decode_response(raw.makefile("rb").readline())
+                assert pong["result"] == "pong"
+            finally:
+                raw.close()
+
+
+class TestAdmissionControl:
+    def test_quota_rejection_names_the_reason(self, socket_path):
+        config = ServeConfig(
+            socket=socket_path, queue_depth=8, client_quota=1, batch_max=1
+        )
+        with ServerThread(config):
+            with ServeClient(socket_path, client_id="greedy") as client:
+                ids = [
+                    client.send("sort", {**SLOW, "seed": seed})
+                    for seed in (1, 2, 3)
+                ]
+                responses = [client.collect(i) for i in ids]
+        statuses = [r["status"] for r in responses]
+        assert statuses.count("ok") >= 1
+        rejected = [r for r in responses if r["status"] == "rejected"]
+        assert rejected and all(r["reason"] == "quota" for r in rejected)
+
+    def test_overload_rejection_past_queue_depth(self, socket_path):
+        config = ServeConfig(
+            socket=socket_path, queue_depth=1, client_quota=8, batch_max=1
+        )
+        with ServerThread(config):
+            with ServeClient(socket_path) as client:
+                ids = [
+                    client.send("sort", {**SLOW, "seed": seed})
+                    for seed in range(5)
+                ]
+                responses = [client.collect(i) for i in ids]
+        rejected = [r for r in responses if r["status"] == "rejected"]
+        assert rejected and all(r["reason"] == "overloaded" for r in rejected)
+        assert any(r["status"] == "ok" for r in responses)
+
+    def test_drain_rejects_new_work_but_answers_admitted(self, socket_path):
+        import time
+
+        with ServerThread(ServeConfig(socket=socket_path)) as server:
+            with ServeClient(socket_path) as client:
+                admitted = client.send("sort", {**SLOW, "seed": 9})
+                # The stats round-trip proves the slow job's line was
+                # processed (admitted) before the drain begins...
+                assert client.stats()["result"]["admitted"] == 1
+                server.control.request_drain()
+                # ...and the drain flag proves the drain landed before
+                # the late submission races it.
+                deadline = time.monotonic() + 10.0
+                while not client.stats()["result"]["draining"]:
+                    assert time.monotonic() < deadline
+                late = client.send("sort", {**SLOW, "seed": 10})
+                late_response = client.collect(late)
+                admitted_response = client.collect(admitted)
+        assert admitted_response["status"] == "ok"
+        assert "digest" in admitted_response["result"]
+        assert late_response["status"] == "rejected"
+        assert late_response["reason"] == "draining"
+
+
+class TestControlPlane:
+    def test_ping_stats_and_shutdown(self, socket_path):
+        with ServerThread(ServeConfig(socket=socket_path)) as server:
+            with ServeClient(socket_path) as client:
+                assert client.ping()["result"] == "pong"
+                client.sort(records=1200, seed=2)
+                stats = client.stats()["result"]
+                assert stats["completed"] == 1
+                assert stats["cache_entries"] == 1
+                assert stats["draining"] is False
+                ack = client.shutdown()
+                assert ack["result"] == "draining"
+            server._thread.join(timeout=30)
+            assert not server._thread.is_alive()
+
+    def test_concurrent_clients_each_get_their_own_answers(self, socket_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        def one(seed: int) -> tuple:
+            with ServeClient(socket_path, client_id=f"c{seed}") as client:
+                response = client.sort(records=1000 + seed, seed=seed)
+                return response["status"], response["result"]["records"]
+
+        with ServerThread(ServeConfig(socket=socket_path, jobs=2)):
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                outcomes = list(pool.map(one, range(6)))
+        assert outcomes == [("ok", 1000 + seed) for seed in range(6)]

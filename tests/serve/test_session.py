@@ -1,0 +1,118 @@
+"""SortSession: job validation, digests, memoization, execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.serve import (
+    OptimizeJob,
+    SortJob,
+    SortSession,
+    execute_payload,
+    job_digest,
+    job_from_params,
+)
+
+
+class TestJobFromParams:
+    def test_round_trips_through_params(self):
+        job = SortJob(records=500, seed=9, p=4, leaves=8)
+        assert job_from_params("sort", job.params()) == job
+        opt = OptimizeJob(top=3)
+        assert job_from_params("optimize", opt.params()) == opt
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="unknown job kind"):
+            job_from_params("teleport", {})
+
+    def test_unknown_parameter_lists_the_allowed_ones(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            job_from_params("sort", {"recordz": 10})
+        message = str(excinfo.value)
+        assert "recordz" in message and "records" in message
+
+    def test_non_mapping_params(self):
+        with pytest.raises(ProtocolError, match="must be an object"):
+            job_from_params("sort", [1, 2])
+
+
+class TestJobDigest:
+    def test_stable_and_parameter_sensitive(self):
+        assert job_digest(SortJob(seed=1)) == job_digest(SortJob(seed=1))
+        assert job_digest(SortJob(seed=1)) != job_digest(SortJob(seed=2))
+
+    def test_kind_is_part_of_the_identity(self):
+        # Two different job kinds must never collide in the result cache,
+        # whatever their parameters.
+        assert job_digest(SortJob()) != job_digest(OptimizeJob())
+
+    def test_cacheable_only_without_files(self, tmp_path):
+        assert SortJob().cacheable
+        assert not SortJob(input=str(tmp_path / "in.bin")).cacheable
+        assert not SortJob(output=str(tmp_path / "out.bin")).cacheable
+        assert OptimizeJob().cacheable
+
+
+class TestRunSort:
+    def test_payload_shape_and_digest(self):
+        payload = SortSession().run(SortJob(records=2000, seed=5))
+        assert payload["records"] == 2000
+        assert payload["source"] == "uniform"
+        assert payload["duplicates"] >= 0
+        assert len(payload["digest"]) == 16
+        # The digest is a pure function of the job.
+        again = SortSession().run(SortJob(records=2000, seed=5))
+        assert again["digest"] == payload["digest"]
+
+    def test_unknown_platform_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError, match="unknown platform"):
+            SortSession().run(SortJob(platform="warp-drive"))
+
+    def test_file_round_trip(self, tmp_path):
+        out = tmp_path / "sorted.bin"
+        session = SortSession()
+        wrote = session.run(SortJob(records=1000, seed=2, output=str(out)))
+        assert wrote["output"] == str(out)
+        reread = session.run(SortJob(input=str(out), output=None))
+        assert reread["source"] == str(out)
+        assert reread["digest"] == wrote["digest"]
+
+
+class TestRunOptimize:
+    def test_rows_and_platform_memoization(self):
+        session = SortSession()
+        payload = session.run(OptimizeJob(top=3))
+        assert len(payload["rows"]) == 3
+        assert {"config", "latency_seconds", "throughput_bytes",
+                "lut_usage", "bram_bytes"} <= set(payload["rows"][0])
+        # Same key: the memoized Bonsai instance is reused.
+        assert session.optimizer("aws-f1") is session.optimizer("aws-f1")
+        assert session.run(OptimizeJob(top=3)) == payload
+
+    def test_unknown_objective(self):
+        with pytest.raises(ProtocolError, match="unknown objective"):
+            SortSession().run(OptimizeJob(objective="vibes"))
+
+
+class TestExecutePayload:
+    def test_ok_path(self):
+        status, payload = execute_payload(
+            SortSession(), "sort", {"records": 1000, "seed": 1}
+        )
+        assert status == "ok"
+        assert payload["records"] == 1000
+
+    def test_taxonomy_errors_become_messages(self):
+        status, message = execute_payload(SortSession(), "sort", {"bogus": 1})
+        assert status == "error"
+        assert message.startswith("ProtocolError:")
+        assert "bogus" in message
+
+    def test_genuine_bugs_propagate(self):
+        class Exploding(SortSession):
+            def run(self, job):
+                raise RuntimeError("bug")
+
+        with pytest.raises(RuntimeError):
+            execute_payload(Exploding(), "sort", {})

@@ -249,7 +249,30 @@ class TestBench:
 
     def test_unknown_scenario_is_clean_error(self, capsys):
         assert main(["bench", "--scenario", "nope"]) == 2
-        assert "unknown scenario" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        # The error must teach the fix: every valid name is listed.
+        from repro.bench import SCENARIOS
+
+        for scenario in SCENARIOS:
+            assert scenario.name in err
+
+
+class TestServeCommand:
+    def test_socket_flag_is_required(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve"])
+        assert excinfo.value.code == 2
+        assert "--socket" in capsys.readouterr().err
+
+    def test_overlong_socket_path_is_a_clean_error(self, capsys):
+        assert main(["serve", "--socket", "/tmp/" + "x" * 120]) == 2
+        assert "socket path" in capsys.readouterr().err
+
+    def test_bad_queue_shape_is_a_clean_error(self, capsys):
+        assert main(["serve", "--socket", "/tmp/s.sock",
+                     "--queue-depth", "0"]) == 2
+        assert "depth" in capsys.readouterr().err
 
 
 class TestReportTrace:
