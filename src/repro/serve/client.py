@@ -87,6 +87,14 @@ class ServeClient:
             response = protocol.decode_response(line)
             if response["id"] == request_id:
                 return response
+            if response["id"] == "?":
+                # The server could not salvage an id from some line on
+                # this connection; the response can never be matched to
+                # a pending request, so waiting on would hang — fatal.
+                raise ServeError(
+                    "server reported an unmatchable protocol error: "
+                    f"{response.get('reason', 'unknown')}"
+                )
             self._pending[response["id"]] = response
 
     def request(self, kind: str, params: dict | None = None,

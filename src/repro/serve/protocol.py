@@ -30,7 +30,13 @@ error message; resubmitting the same job will fail the same way).
 
 Parsing problems raise :class:`~repro.errors.ProtocolError`; the server
 answers those with ``status: "error"`` instead of dropping the
-connection, so one malformed line cannot kill a pipelined batch.
+connection, so one malformed line cannot kill a pipelined batch.  The
+error response echoes the offending line's ``id`` whenever one can be
+salvaged from the malformed body (:func:`salvage_request_id`), so a
+pipelining client still matches it to its pending request; the
+placeholder id ``"?"`` appears only when the line carried no usable id
+at all, and a client must treat such a response as fatal for the
+connection (it can never be matched).
 """
 
 from __future__ import annotations
@@ -121,6 +127,26 @@ def decode_request(line: bytes) -> Request:
     return Request(
         id=request_id, kind=kind, params=params, client=client, priority=priority
     )
+
+
+def salvage_request_id(line: bytes) -> str:
+    """Best-effort ``id`` of a line :func:`decode_request` rejected.
+
+    An envelope-level error (bad proto, bad kind, non-object params…)
+    still deserves a response the client can match to its pending
+    request — most malformed lines carry a perfectly good ``id`` even
+    though the rest of the envelope is wrong.  Returns ``"?"`` only
+    when the line is not JSON or has no usable id.
+    """
+    try:
+        body = json.loads(line)
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return "?"
+    if isinstance(body, dict):
+        request_id = body.get("id")
+        if isinstance(request_id, str) and request_id:
+            return request_id
+    return "?"
 
 
 def _response(request_id: str, status: str, **extra) -> bytes:

@@ -145,6 +145,20 @@ class _Server:
                     line = await reader.readline()
                 except (ConnectionResetError, asyncio.IncompleteReadError):
                     break
+                except (ValueError, asyncio.LimitOverrunError):
+                    # readline raises ValueError once a line exceeds the
+                    # stream limit (sized above MAX_LINE_BYTES, so the
+                    # in-protocol cap is checked first).  Part of the
+                    # oversized line is already consumed — framing is
+                    # lost — so answer, then close this connection.
+                    obs.count("serve.protocol_errors")
+                    _write(writer, protocol.error_response(
+                        "?",
+                        f"request line exceeds the "
+                        f"{protocol.MAX_LINE_BYTES}-byte limit",
+                    ))
+                    await _flush(writer)
+                    break
                 if not line:
                     break
                 await self._handle_line(line, conn_id, writer)
@@ -162,10 +176,14 @@ class _Server:
             request = protocol.decode_request(line)
         except ProtocolError as error:
             obs.count("serve.protocol_errors")
-            _write(writer, protocol.error_response("?", str(error)))
+            _write(writer, protocol.error_response(
+                protocol.salvage_request_id(line), str(error)
+            ))
+            await _flush(writer)
             return
         if request.kind in protocol.CONTROL_KINDS:
             _write(writer, self._control(request))
+            await _flush(writer)
             return
         # Validate the job before it can consume a queue slot: malformed
         # work is the client's fault, not backpressure.
@@ -174,6 +192,7 @@ class _Server:
         except ProtocolError as error:
             obs.count("serve.protocol_errors")
             _write(writer, protocol.error_response(request.id, str(error)))
+            await _flush(writer)
             return
         digest = job_digest(job)
         if job.cacheable:
@@ -181,6 +200,7 @@ class _Server:
             if cached is not None:
                 obs.count("serve.cache_hits")
                 _write(writer, protocol.ok_response(request.id, cached, cached=True))
+                await _flush(writer)
                 return
         client = request.client or conn_id
         refusal = self.queue.submit(
@@ -191,6 +211,7 @@ class _Server:
         if refusal is not None:
             obs.count("serve.rejected", reason=refusal)
             _write(writer, protocol.rejected_response(request.id, refusal))
+            await _flush(writer)
             return
         obs.count("serve.accepted", kind=job.kind)
         await self.queue.kick()
@@ -219,9 +240,22 @@ class _Server:
                 (job.payload[2].kind, job.payload[2].params(), None)
                 for job in batch
             ]
-            outcomes = await loop.run_in_executor(
-                None, _execute_batch, self.session, tasks
-            )
+            try:
+                outcomes = await loop.run_in_executor(
+                    None, _execute_batch, self.session, tasks
+                )
+            except Exception as error:
+                # execute_payload never raises, so reaching here means
+                # the batch machinery itself failed (a dying worker
+                # pool, a shutdown executor).  The dispatcher is the
+                # daemon's heartbeat: it must answer this batch's
+                # clients and keep pulling, not die with the queue full.
+                obs.count("serve.batch_faults")
+                outcomes = [(
+                    "error",
+                    f"internal error: batch execution failed: "
+                    f"{type(error).__name__}: {error}",
+                )] * len(batch)
             for queued, (status, value) in zip(batch, outcomes):
                 request_id, writer, job, digest = queued.payload
                 if status == "ok":
@@ -237,10 +271,7 @@ class _Server:
             # dict.fromkeys dedups while keeping batch order (a set here
             # would flush writers in hash order).
             for writer in dict.fromkeys(q.payload[1] for q in batch):
-                try:
-                    await writer.drain()
-                except (ConnectionResetError, BrokenPipeError, RuntimeError):  # bonsai-lint: disable=exn-swallow -- flushing to a client that hung up; the job still completed and is counted, only the delivery is moot
-                    observation().count("serve.client_gone")
+                await _flush(writer)
             await self.queue.settle()
 
     # -- lifecycle -----------------------------------------------------
@@ -257,6 +288,20 @@ def _write(writer: asyncio.StreamWriter, data: bytes) -> None:
     try:
         writer.write(data)
     except (ConnectionResetError, BrokenPipeError, RuntimeError):  # bonsai-lint: disable=exn-swallow -- the client hung up before its response; server-side state is already settled and the disconnect is counted per-connection
+        observation().count("serve.client_gone")
+
+
+async def _flush(writer: asyncio.StreamWriter) -> None:
+    """Await the transport after a :func:`_write` — the backpressure half.
+
+    Without this, a client that pipelines requests while never reading
+    responses lets the daemon buffer response bytes without bound; with
+    it, the connection handler stops reading that client's next line
+    until the kernel socket buffer accepts what it is owed.
+    """
+    try:
+        await writer.drain()
+    except (ConnectionResetError, BrokenPipeError, RuntimeError):  # bonsai-lint: disable=exn-swallow -- flushing to a client that hung up; the work is already done and counted, only the delivery is moot
         observation().count("serve.client_gone")
 
 
@@ -281,8 +326,14 @@ async def _serve_async(config: ServeConfig, control: ServeControl | None) -> int
     server = _Server(config)
     obs = observation()
     try:
+        # The StreamReader limit must sit above MAX_LINE_BYTES (asyncio
+        # defaults to 64 KiB): readline raises ValueError at the limit,
+        # so without the slack a line between the two caps would hit the
+        # stream limit before decode_request's in-protocol check could
+        # answer it as a protocol error.
         listener = await asyncio.start_unix_server(
-            server.handle_connection, path=config.socket
+            server.handle_connection, path=config.socket,
+            limit=protocol.MAX_LINE_BYTES + 1024,
         )
     except OSError as error:
         raise ServeError(

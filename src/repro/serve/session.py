@@ -93,14 +93,28 @@ class OptimizeJob:
 
 _JOB_TYPES = {SortJob.kind: SortJob, OptimizeJob.kind: OptimizeJob}
 
+#: Accepted runtime types per field annotation.  Dataclasses never check
+#: values against annotations, and the sort/optimize code paths blow up
+#: deep inside execution when handed e.g. ``records="100"`` — so the
+#: admission path checks here, where the fault is still the client's.
+#: ``test_field_types_cover_every_job_field`` pins this table complete.
+_FIELD_TYPES = {
+    "int": (int,),
+    "str": (str,),
+    "bool": (bool,),
+    "int | None": (int, type(None)),
+    "str | None": (str, type(None)),
+}
+
 
 def job_from_params(kind: str, params: Mapping) -> SortJob | OptimizeJob:
     """Build and validate a job from protocol parameters.
 
-    Unknown kinds and unknown parameter names raise
-    :class:`~repro.errors.ProtocolError` — the serve admission path
-    turns that into an ``status: "error"`` response before the job ever
-    reaches the queue, and the CLI never produces them.
+    Unknown kinds, unknown parameter names, and mistyped parameter
+    values raise :class:`~repro.errors.ProtocolError` — the serve
+    admission path turns that into an ``status: "error"`` response
+    before the job ever reaches the queue, and the CLI never produces
+    them.
     """
     job_type = _JOB_TYPES.get(kind)
     if job_type is None:
@@ -116,6 +130,20 @@ def job_from_params(kind: str, params: Mapping) -> SortJob | OptimizeJob:
             f"unknown {kind} parameter(s) {', '.join(unknown)}; "
             f"allowed: {', '.join(sorted(allowed))}"
         )
+    for field in fields(job_type):
+        if field.name not in params:
+            continue
+        value = params[field.name]
+        accepted = _FIELD_TYPES[field.type]
+        # bool subclasses int, so "records": true passes isinstance —
+        # reject it explicitly wherever bool is not the annotated type.
+        if not isinstance(value, accepted) or (
+            isinstance(value, bool) and bool not in accepted
+        ):
+            raise ProtocolError(
+                f"{kind} parameter {field.name!r} must be {field.type}, "
+                f"got {type(value).__name__}"
+            )
     try:
         return job_type(**params)
     except TypeError as error:
@@ -312,15 +340,21 @@ class SortSession:
 
 
 def execute_payload(session: SortSession, kind: str, params: Mapping) -> tuple:
-    """Run one protocol-shaped job, never raising for job-level faults.
+    """Run one protocol-shaped job, never raising.
 
     Returns ``("ok", payload)`` or ``("error", message)`` — the shape a
-    serve worker ships back across a process boundary.  Only
-    :class:`BonsaiError` is converted: anything else is a genuine bug
-    and propagates to the caller.
+    serve worker ships back across a process boundary.  Taxonomy
+    faults (:class:`BonsaiError`) keep their type name; anything else
+    is a genuine bug, reported as an ``internal error`` message.  It is
+    converted all the same because this function is the daemon's last
+    line of defense: an exception escaping here would kill the
+    dispatcher (or poison a worker pool) and take every queued job's
+    response with it — one bad job must never crash the server.
     """
     try:
         result = session.run(job_from_params(kind, params))
     except BonsaiError as error:
         return ("error", f"{type(error).__name__}: {error}")
+    except Exception as error:
+        return ("error", f"internal error: {type(error).__name__}: {error}")
     return ("ok", result)

@@ -79,6 +79,28 @@ class TestRequestValidation:
             protocol.decode_request(huge)
 
 
+class TestSalvageRequestId:
+    def test_salvages_the_id_from_a_bad_envelope(self):
+        # A wrong proto (or kind, or params shape) still carries an id
+        # the pipelining client needs echoed back.
+        line = (json.dumps({"proto": "bonsai-serve/v0", "id": "r9",
+                            "kind": "sort"}) + "\n").encode()
+        with pytest.raises(ProtocolError):
+            protocol.decode_request(line)
+        assert protocol.salvage_request_id(line) == "r9"
+
+    @pytest.mark.parametrize("line", [
+        b"{not json\n",
+        b"[1, 2]\n",
+        b'{"kind": "sort"}\n',            # no id at all
+        b'{"id": ""}\n',                  # empty
+        b'{"id": 17}\n',                  # wrong type
+        b"\xff\xfe\n",                    # not UTF-8
+    ])
+    def test_unusable_lines_fall_back_to_placeholder(self, line):
+        assert protocol.salvage_request_id(line) == "?"
+
+
 class TestResponses:
     def test_ok_response_round_trip(self):
         body = protocol.decode_response(

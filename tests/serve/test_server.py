@@ -82,6 +82,110 @@ class TestFaultyRequests:
         assert response["status"] == "error"
         assert "warp-drive" in response["reason"]
 
+    def test_mistyped_param_is_refused_and_the_daemon_survives(
+        self, socket_path
+    ):
+        # The review's crash repro: {"records": "100"} passed the
+        # name-only validation, then TypeError'd in the executor and
+        # killed the dispatcher.  It must be refused at admission —
+        # and the daemon must keep serving afterwards.
+        with ServerThread(ServeConfig(socket=socket_path)):
+            with ServeClient(socket_path) as client:
+                bad = client.sort(records="100")
+                stats = client.stats()["result"]
+                good = client.sort(records=1200, seed=3)
+        assert bad["status"] == "error"
+        assert "'records' must be int" in bad["reason"]
+        assert stats["admitted"] == 0
+        assert good["status"] == "ok"
+
+    def test_internal_faults_answer_the_batch_and_spare_the_daemon(
+        self, socket_path, monkeypatch
+    ):
+        # Defense in depth behind admission typing: if batch execution
+        # itself blows up, every client gets an error response and the
+        # dispatcher keeps pulling instead of dying mid-queue.
+        from repro.serve import server as server_module
+
+        def exploding_batch(session, tasks):
+            raise RuntimeError("pool died")
+
+        monkeypatch.setattr(server_module, "_execute_batch", exploding_batch)
+        with ServerThread(ServeConfig(socket=socket_path)) as server:
+            with ServeClient(socket_path) as client:
+                response = client.sort(records=1200, seed=5)
+                assert client.ping()["result"] == "pong"
+        assert response["status"] == "error"
+        assert "pool died" in response["reason"]
+        assert not server._thread.is_alive()  # drained cleanly on exit
+
+    def test_envelope_error_echoes_a_salvageable_id(self, socket_path):
+        with ServerThread(ServeConfig(socket=socket_path)):
+            raw = socket_module.socket(
+                socket_module.AF_UNIX, socket_module.SOCK_STREAM
+            )
+            raw.settimeout(10.0)
+            try:
+                raw.connect(socket_path)
+                raw.sendall(json.dumps({
+                    "proto": "bonsai-serve/v0", "id": "r42", "kind": "sort",
+                }).encode() + b"\n")
+                response = decode_response(raw.makefile("rb").readline())
+            finally:
+                raw.close()
+        assert response["status"] == "error"
+        assert response["id"] == "r42"  # matched, not "?"
+
+    def test_oversized_line_is_answered_then_the_connection_closes(
+        self, socket_path
+    ):
+        # Past the stream limit the reader loses line framing, so the
+        # daemon sends one error response and hangs up — it must not
+        # drop the connection silently (the pre-fix behaviour).
+        from repro.serve import protocol
+
+        with ServerThread(ServeConfig(socket=socket_path)):
+            raw = socket_module.socket(
+                socket_module.AF_UNIX, socket_module.SOCK_STREAM
+            )
+            raw.settimeout(30.0)
+            try:
+                raw.connect(socket_path)
+                raw.sendall(b" " * (protocol.MAX_LINE_BYTES + 4096) + b"\n")
+                reader = raw.makefile("rb")
+                response = decode_response(reader.readline())
+                assert reader.readline() == b""  # server closed after it
+            finally:
+                raw.close()
+        assert response["status"] == "error"
+        assert "byte limit" in response["reason"]
+
+    def test_mid_size_line_under_the_cap_is_answered_not_dropped(
+        self, socket_path
+    ):
+        # The review's case: a 64 KiB – 1 MiB line used to blow the
+        # asyncio default stream limit and drop the connection with no
+        # response.  It must now reach ordinary request handling.
+        with ServerThread(ServeConfig(socket=socket_path)):
+            with ServeClient(socket_path) as client:
+                response = client.sort(
+                    records=1200, seed=1, workload="u" * (128 * 1024)
+                )
+                assert client.ping()["result"] == "pong"
+        assert response["status"] == "error"  # no such workload — but answered
+
+    def test_client_treats_unmatchable_error_as_fatal(self, socket_path):
+        from repro.errors import ServeError
+
+        with ServerThread(ServeConfig(socket=socket_path)):
+            with ServeClient(socket_path) as client:
+                # A corrupted line with no salvageable id draws an
+                # id-"?" response; collect() must fail fast instead of
+                # buffering it and waiting forever for a match.
+                client._sock.sendall(b"\xffgarbage\n")
+                with pytest.raises(ServeError, match="unmatchable"):
+                    client.ping()
+
     def test_garbage_line_gets_an_error_response_not_a_hangup(
         self, socket_path
     ):

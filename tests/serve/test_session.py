@@ -36,6 +36,39 @@ class TestJobFromParams:
         with pytest.raises(ProtocolError, match="must be an object"):
             job_from_params("sort", [1, 2])
 
+    @pytest.mark.parametrize("kind,params", [
+        ("sort", {"records": "100"}),       # the review's crash repro
+        ("sort", {"records": 100.5}),
+        ("sort", {"records": True}),        # bool sneaks past isinstance(int)
+        ("sort", {"workload": 3}),
+        ("sort", {"input": 7}),
+        ("sort", {"return_records": "yes"}),
+        ("optimize", {"size_bytes": "big"}),
+        ("optimize", {"leaves_cap": "none"}),
+    ])
+    def test_mistyped_parameter_is_a_protocol_error(self, kind, params):
+        # Admission must refuse these; a mistyped value reaching
+        # execution would raise TypeError deep inside the sorter.
+        name = next(iter(params))
+        with pytest.raises(ProtocolError, match=f"parameter {name!r} must be"):
+            job_from_params(kind, params)
+
+    def test_optional_fields_accept_none_and_their_type(self):
+        assert job_from_params("sort", {"input": None}).input is None
+        assert job_from_params("sort", {"input": "x.bin"}).input == "x.bin"
+        assert job_from_params("optimize", {"leaves_cap": 8}).leaves_cap == 8
+
+    def test_field_types_cover_every_job_field(self):
+        # _FIELD_TYPES is keyed by annotation string; a new field with a
+        # new annotation must extend the table or admission KeyErrors.
+        from dataclasses import fields
+
+        from repro.serve.session import _FIELD_TYPES, _JOB_TYPES
+
+        for job_type in _JOB_TYPES.values():
+            for field in fields(job_type):
+                assert field.type in _FIELD_TYPES, (job_type, field.name)
+
 
 class TestJobDigest:
     def test_stable_and_parameter_sensitive(self):
@@ -109,10 +142,15 @@ class TestExecutePayload:
         assert message.startswith("ProtocolError:")
         assert "bogus" in message
 
-    def test_genuine_bugs_propagate(self):
+    def test_genuine_bugs_become_internal_errors(self):
+        # execute_payload is the daemon's last line of defense: a bug
+        # escaping it would kill the dispatcher loop with the queue
+        # full, so even non-taxonomy exceptions convert to messages.
         class Exploding(SortSession):
             def run(self, job):
                 raise RuntimeError("bug")
 
-        with pytest.raises(RuntimeError):
-            execute_payload(Exploding(), "sort", {})
+        status, message = execute_payload(Exploding(), "sort", {})
+        assert status == "error"
+        assert message.startswith("internal error: RuntimeError")
+        assert "bug" in message
